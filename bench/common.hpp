@@ -1,0 +1,48 @@
+// Shared plumbing for the per-figure bench harnesses: dataset loading knobs
+// and the relative-metric helpers the paper's figures report ("relative
+// runtime", "relative modularity" — both normalized within each graph, then
+// averaged across graphs).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/dataset.hpp"
+#include "util/cli.hpp"
+
+namespace nulpa::bench {
+
+/// Suite scale: every bench accepts --scale N (vertices of the smallest
+/// instance) and --seed. Defaults keep the full 13-graph sweep under a few
+/// minutes on one core.
+struct SuiteOptions {
+  Vertex scale = 3000;
+  std::uint64_t seed = 42;
+
+  static SuiteOptions from_args(const CliArgs& args) {
+    SuiteOptions o;
+    o.scale = static_cast<Vertex>(args.get_int("scale", o.scale));
+    o.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    return o;
+  }
+};
+
+/// Geometric mean — the standard aggregator for runtime ratios.
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Arithmetic mean, used for modularity ratios (which straddle 1.0).
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace nulpa::bench

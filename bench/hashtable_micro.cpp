@@ -1,0 +1,87 @@
+// Microbenchmark (google-benchmark): raw accumulate throughput of the
+// per-vertex hashtable under each probing policy, plus the coalesced
+// variant and the GVE-LPA dense table for context. This is the host-side
+// cost of the structures; the figure-level benches measure them in situ.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "hash/coalesced.hpp"
+#include "hash/probing.hpp"
+#include "hash/vertex_table.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nulpa;
+
+constexpr std::uint32_t kDegree = 128;
+
+std::vector<Vertex> make_keys(std::uint32_t degree, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Vertex> keys(degree);
+  for (auto& k : keys) {
+    k = static_cast<Vertex>(rng.next_bounded(degree));  // many duplicates
+  }
+  return keys;
+}
+
+void BM_OpenAddressing(benchmark::State& state) {
+  const auto probing = static_cast<Probing>(state.range(0));
+  const std::uint32_t cap = hashtable_capacity(kDegree);
+  std::vector<Vertex> slots(cap);
+  std::vector<float> values(cap);
+  const auto keys = make_keys(kDegree, 7);
+  VertexTableView<float> table(slots.data(), values.data(), cap);
+  for (auto _ : state) {
+    table.clear();
+    for (const Vertex k : keys) {
+      benchmark::DoNotOptimize(table.accumulate(k, 1.0f, probing));
+    }
+    benchmark::DoNotOptimize(table.max_key());
+  }
+  state.SetItemsProcessed(state.iterations() * kDegree);
+}
+BENCHMARK(BM_OpenAddressing)
+    ->Arg(static_cast<int>(Probing::kLinear))
+    ->Arg(static_cast<int>(Probing::kQuadratic))
+    ->Arg(static_cast<int>(Probing::kDouble))
+    ->Arg(static_cast<int>(Probing::kQuadDouble));
+
+void BM_Coalesced(benchmark::State& state) {
+  const std::uint32_t cap = hashtable_capacity(kDegree);
+  std::vector<Vertex> slots(cap);
+  std::vector<float> values(cap);
+  std::vector<std::uint32_t> nexts(cap);
+  const auto keys = make_keys(kDegree, 7);
+  CoalescedTableView<float> table(slots.data(), values.data(), nexts.data(),
+                                  cap);
+  for (auto _ : state) {
+    table.clear();
+    for (const Vertex k : keys) {
+      benchmark::DoNotOptimize(table.accumulate(k, 1.0f));
+    }
+    benchmark::DoNotOptimize(table.max_key());
+  }
+  state.SetItemsProcessed(state.iterations() * kDegree);
+}
+BENCHMARK(BM_Coalesced);
+
+void BM_ClearCost(benchmark::State& state) {
+  const auto degree = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t cap = hashtable_capacity(degree);
+  std::vector<Vertex> slots(cap);
+  std::vector<float> values(cap);
+  VertexTableView<float> table(slots.data(), values.data(), cap);
+  for (auto _ : state) {
+    table.clear();
+    benchmark::DoNotOptimize(slots.data());
+  }
+  state.SetItemsProcessed(state.iterations() * cap);
+}
+BENCHMARK(BM_ClearCost)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

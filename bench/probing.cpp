@@ -1,0 +1,66 @@
+// Figure 4: collision-resolution strategies for the per-vertex hashtables —
+// linear probing, quadratic probing, double hashing, and the paper's hybrid
+// quadratic-double. Reports runtime relative to quadratic-double plus the
+// probe-collision counts that drive the difference.
+//
+// Paper's finding: quadratic-double is 2.8x / 3.7x / 3.2x faster than
+// linear / quadratic / double on the A100 (divergent re-probes serialize
+// warps, so collision counts translate superlinearly into runtime there).
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/nulpa.hpp"
+#include "perfmodel/machine.hpp"
+#include "quality/modularity.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nulpa;
+  const CliArgs args(argc, argv);
+  const auto opts = bench::SuiteOptions::from_args(args);
+  const auto graphs = make_large_subset(opts.scale, opts.seed);
+  const MachineModel gpu = a100();
+
+  const Probing policies[] = {Probing::kLinear, Probing::kQuadratic,
+                              Probing::kDouble, Probing::kQuadDouble};
+
+  // Reference runs: quadratic-double.
+  std::vector<double> ref_time;
+  for (const auto& inst : graphs) {
+    NuLpaConfig cfg;
+    cfg.probing = Probing::kQuadDouble;
+    const auto r = nu_lpa(inst.graph, cfg);
+    ref_time.push_back(modeled_gpu_seconds(gpu, r.counters));
+  }
+
+  std::printf(
+      "=== Figure 4: collision resolution (relative to quadratic-double, "
+      "%zu graphs)\n\n",
+      graphs.size());
+  TextTable table({"policy", "rel. runtime (modeled)", "probes/insert",
+                   "fallbacks", "modularity"});
+  for (const Probing p : policies) {
+    std::vector<double> rel_t, qs;
+    double probes = 0.0, inserts = 0.0, fallbacks = 0.0;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      NuLpaConfig cfg;
+      cfg.probing = p;
+      const auto r = nu_lpa(graphs[i].graph, cfg);
+      rel_t.push_back(modeled_gpu_seconds(gpu, r.counters) / ref_time[i]);
+      probes += static_cast<double>(r.hash_stats.probes);
+      inserts += static_cast<double>(r.hash_stats.inserts);
+      fallbacks += static_cast<double>(r.hash_stats.fallbacks);
+      qs.push_back(modularity(graphs[i].graph, r.labels));
+    }
+    table.add_row({to_string(p), fmt(bench::geomean(rel_t), 3),
+                   fmt(probes / inserts, 4), fmt(fallbacks, 0),
+                   fmt(bench::mean(qs), 3)});
+  }
+  table.print();
+  std::printf(
+      "\nPaper: quadratic-double wins by balancing clustering (which "
+      "linear suffers) against cache locality (which double hashing "
+      "sacrifices); community quality is probing-independent.\n");
+  return 0;
+}

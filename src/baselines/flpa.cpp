@@ -1,0 +1,81 @@
+#include "baselines/flpa.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace nulpa {
+
+ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg) {
+  Timer timer;
+  Xoshiro256 rng(cfg.seed);
+  const Vertex n = g.num_vertices();
+  ClusteringResult res;
+  res.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) res.labels[v] = v;
+
+  std::deque<Vertex> queue;
+  std::vector<std::uint8_t> in_queue(n, 1);
+  for (Vertex v = 0; v < n; ++v) queue.push_back(v);
+
+  std::unordered_map<Vertex, double> weight_of;
+  std::vector<Vertex> dominant;
+  std::uint64_t processed = 0;
+  const std::uint64_t max_processed =
+      cfg.max_processed_factor == 0
+          ? ~0ULL
+          : cfg.max_processed_factor * static_cast<std::uint64_t>(n);
+
+  while (!queue.empty() && processed < max_processed) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    in_queue[v] = 0;
+    ++processed;
+
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.weights_of(v);
+    res.edges_scanned += nbrs.size();
+    if (nbrs.empty()) continue;
+
+    weight_of.clear();
+    double best_w = 0.0;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (nbrs[k] == v) continue;
+      const double w = (weight_of[res.labels[nbrs[k]]] += wts[k]);
+      if (w > best_w) best_w = w;
+    }
+    if (weight_of.empty()) continue;
+
+    // FLPA picks uniformly among all dominant labels.
+    dominant.clear();
+    for (const auto& [label, w] : weight_of) {
+      if (w == best_w) dominant.push_back(label);
+    }
+    const Vertex chosen =
+        dominant.size() == 1
+            ? dominant.front()
+            : dominant[rng.next_bounded(dominant.size())];
+
+    if (chosen != res.labels[v]) {
+      res.labels[v] = chosen;
+      // Re-enqueue neighbours that are not already in the new community
+      // and not already queued.
+      for (const Vertex u : nbrs) {
+        if (res.labels[u] != chosen && !in_queue[u]) {
+          in_queue[u] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  // "Iterations" for a queue algorithm: processed vertices / |V|, rounded up.
+  res.iterations = static_cast<int>((processed + n - 1) / std::max<Vertex>(n, 1));
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace nulpa

@@ -1,0 +1,25 @@
+// Fast Label Propagation Algorithm (Traag & Šubelj 2023) as shipped in
+// igraph's IGRAPH_LPA_FAST variant — the sequential state of the art the
+// paper compares against. Queue-driven: only vertices whose neighbourhood
+// recently changed are reprocessed; converges when the queue empties; no
+// random vertex-order shuffling; ties among dominant labels broken at
+// random (the behaviour the paper calls out as slow).
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/result.hpp"
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+struct FlpaConfig {
+  std::uint64_t seed = 1;  // tie-break RNG seed
+  // Safety valve (the real FLPA runs until the queue drains; on graphs with
+  // persistent swaps that can be long). 0 = unbounded.
+  std::uint64_t max_processed_factor = 64;  // max processed = factor * |V|
+};
+
+ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg);
+
+}  // namespace nulpa

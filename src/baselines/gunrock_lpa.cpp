@@ -1,0 +1,49 @@
+#include "baselines/gunrock_lpa.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace nulpa {
+
+ClusteringResult gunrock_lpa(const Graph& g, const GunrockLpaConfig& cfg) {
+  Timer timer;
+  const Vertex n = g.num_vertices();
+  ClusteringResult res;
+  res.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) res.labels[v] = v;
+  std::vector<Vertex> next(res.labels);
+
+  std::unordered_map<Vertex, double> weight_of;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    for (Vertex v = 0; v < n; ++v) {
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.weights_of(v);
+      res.edges_scanned += nbrs.size();
+      if (nbrs.empty()) continue;
+      weight_of.clear();
+      Vertex best = res.labels[v];
+      double best_w = -1.0;
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        if (nbrs[k] == v) continue;
+        const Vertex c = res.labels[nbrs[k]];
+        const double w = (weight_of[c] += wts[k]);
+        // Tie-break toward the smaller label id (min-reduction semantics
+        // of the data-parallel formulation).
+        if (w > best_w || (w == best_w && c < best)) {
+          best_w = w;
+          best = c;
+        }
+      }
+      next[v] = best;
+    }
+    res.labels.swap(next);
+    ++res.iterations;
+  }
+
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace nulpa

@@ -1,0 +1,20 @@
+// Gunrock-style synchronous LPA. Gunrock's LpProblem runs data-parallel
+// label updates against a snapshot of the previous iteration's labels
+// (double-buffered) for a fixed, small number of iterations and breaks ties
+// toward the smaller label id. Synchronous updates oscillate on symmetric
+// structures and the early cut-off leaves propagation unfinished — which is
+// why the paper measures "very low" modularity for it (Fig. 7c).
+#pragma once
+
+#include "baselines/result.hpp"
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+struct GunrockLpaConfig {
+  int iterations = 5;  // Gunrock runs a fixed short schedule by default
+};
+
+ClusteringResult gunrock_lpa(const Graph& g, const GunrockLpaConfig& cfg);
+
+}  // namespace nulpa

@@ -1,0 +1,28 @@
+// Gunrock-style synchronous LPA executed on the SIMT simulator — the GPU
+// baseline of Figure 7 running on the same simulated hardware as ν-LPA, so
+// the comparison uses hardware counters on both sides. Double-buffered
+// label updates (no asynchrony, no pruning, no symmetry breaking needed),
+// a fixed short iteration schedule, and min-label tie-breaks, as in
+// Gunrock's LpProblem.
+#pragma once
+
+#include <vector>
+
+#include "baselines/gunrock_lpa.hpp"
+#include "graph/csr.hpp"
+#include "simt/counters.hpp"
+
+namespace nulpa {
+
+struct GunrockSimtResult {
+  std::vector<Vertex> labels;
+  int iterations = 0;
+  double seconds = 0.0;  // host wall-clock of the simulation
+  std::uint64_t edges_scanned = 0;
+  simt::PerfCounters counters;
+};
+
+GunrockSimtResult gunrock_lpa_simt(const Graph& g,
+                                   const GunrockLpaConfig& cfg);
+
+}  // namespace nulpa

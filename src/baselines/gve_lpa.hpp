@@ -1,0 +1,26 @@
+// GVE-LPA (Sahu 2023) — the multicore LPA that ν-LPA builds on. Asynchronous
+// updates on a single membership vector, per-iteration tolerance 0.05, max
+// 20 iterations, 8-bit vertex pruning flags, and per-thread collision-free
+// hashtables: a keys list plus a full-size (|V|) values array per thread,
+// giving O(T·N + M) space — the footprint ν-LPA's per-vertex tables remove.
+#pragma once
+
+#include "baselines/result.hpp"
+#include "graph/csr.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nulpa {
+
+struct GveLpaConfig {
+  int max_iterations = 20;
+  double tolerance = 0.05;
+};
+
+ClusteringResult gve_lpa(const Graph& g, ThreadPool& pool,
+                         const GveLpaConfig& cfg);
+
+inline ClusteringResult gve_lpa(const Graph& g, const GveLpaConfig& cfg) {
+  return gve_lpa(g, ThreadPool::global(), cfg);
+}
+
+}  // namespace nulpa

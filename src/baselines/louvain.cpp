@@ -1,0 +1,139 @@
+#include "baselines/louvain.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+#include "util/timer.hpp"
+
+namespace nulpa {
+
+namespace {
+
+/// One level of Louvain local moving. Returns the (non-compacted) community
+/// of each vertex and the number of vertices moved in the final sweep.
+std::vector<Vertex> local_moving(const Graph& g, const LouvainConfig& cfg,
+                                 std::uint64_t& edges_scanned) {
+  const Vertex n = g.num_vertices();
+  const double m = g.total_weight();
+  std::vector<Vertex> community(n);
+  std::vector<double> k(n);            // weighted degree of each vertex
+  std::vector<double> sigma_total(n);  // total degree of each community
+  for (Vertex v = 0; v < n; ++v) {
+    community[v] = v;
+    k[v] = g.weighted_degree(v);
+    sigma_total[v] = k[v];
+  }
+  if (m <= 0.0) return community;
+
+  std::unordered_map<Vertex, double> k_to;  // K_i->c for each candidate c
+  for (int it = 0; it < cfg.max_local_iterations; ++it) {
+    Vertex moved = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.weights_of(v);
+      edges_scanned += nbrs.size();
+      if (nbrs.empty()) continue;
+
+      k_to.clear();
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        if (nbrs[e] == v) continue;
+        k_to[community[nbrs[e]]] += wts[e];
+      }
+
+      const Vertex d = community[v];
+      const double k_to_d = k_to.contains(d) ? k_to[d] : 0.0;
+
+      // Best destination by delta-modularity (Equation 2). Sigma_d includes
+      // v (still a member); Sigma_c must not, and since v is not in c,
+      // sigma_total[c] already excludes it.
+      Vertex best = d;
+      double best_gain = 0.0;
+      for (const auto& [c, k_to_c] : k_to) {
+        if (c == d) continue;
+        const double gain = delta_modularity(
+            k_to_c, k_to_d, k[v], sigma_total[c], sigma_total[d], m);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = c;
+        }
+      }
+      if (best != d) {
+        sigma_total[d] -= k[v];
+        sigma_total[best] += k[v];
+        community[v] = best;
+        ++moved;
+      }
+    }
+    if (static_cast<double>(moved) / n < cfg.tolerance) break;
+  }
+  return community;
+}
+
+/// Collapses communities into super-vertices; self-loops keep the intra-
+/// community weight so modularity is preserved across levels.
+Graph aggregate(const Graph& g, const std::vector<Vertex>& compact_community,
+                Vertex num_communities) {
+  GraphBuilder builder(num_communities);
+  builder.reserve(g.num_edges() / 2 + num_communities);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (u > nbrs[e]) continue;  // one direction; builder symmetrizes
+      const Vertex cu = compact_community[u];
+      const Vertex cv = compact_community[nbrs[e]];
+      // Intra-community edges double into the self-loop so community
+      // degrees and total weight are preserved (CSR stores a self-loop arc
+      // once) — modularity is then invariant across levels.
+      const Weight w = (cu == cv && u != nbrs[e]) ? 2 * wts[e] : wts[e];
+      builder.add_edge(cu, cv, w);
+    }
+  }
+  GraphBuilder::Options opts;
+  opts.drop_self_loops = false;  // intra-community weight must survive
+  return builder.build(opts);
+}
+
+}  // namespace
+
+ClusteringResult louvain(const Graph& g, const LouvainConfig& cfg) {
+  Timer timer;
+  const Vertex n = g.num_vertices();
+  ClusteringResult res;
+  res.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) res.labels[v] = v;
+  if (n == 0) {
+    res.seconds = timer.seconds();
+    return res;
+  }
+
+  Graph level = g;
+  // membership[v] on the original graph, refined after each level.
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    std::vector<Vertex> community =
+        local_moving(level, cfg, res.edges_scanned);
+    ++res.iterations;
+
+    std::vector<Vertex> compact(community);
+    const Vertex k = compact_labels(compact);
+
+    // Project this level's communities onto the original vertices.
+    for (Vertex v = 0; v < n; ++v) res.labels[v] = compact[res.labels[v]];
+
+    if (k == level.num_vertices() ||
+        static_cast<double>(k) >
+            cfg.aggregation_tolerance *
+                static_cast<double>(level.num_vertices())) {
+      break;  // no meaningful coarsening left
+    }
+    level = aggregate(level, compact, k);
+  }
+
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace nulpa

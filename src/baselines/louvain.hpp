@@ -1,0 +1,23 @@
+// Louvain community detection (Blondel et al. 2008) — the stand-in for
+// cuGraph Louvain in the comparison experiments. Full method: repeated
+// local-moving passes driven by delta-modularity (Equation 2), followed by
+// graph aggregation, until modularity gain stalls. Produces the higher-
+// quality / slower end of the quality-runtime trade-off the paper reports
+// (~9.6% above LPA's modularity at ~37x the cost).
+#pragma once
+
+#include "baselines/result.hpp"
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+struct LouvainConfig {
+  int max_passes = 10;          // coarsening levels
+  int max_local_iterations = 20;
+  double tolerance = 1e-2;      // local-moving stop threshold
+  double aggregation_tolerance = 0.8;  // stop if graph shrinks < 20%
+};
+
+ClusteringResult louvain(const Graph& g, const LouvainConfig& cfg);
+
+}  // namespace nulpa

@@ -1,0 +1,86 @@
+#include "baselines/plp.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+
+#include "parallel/for_each.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace nulpa {
+
+ClusteringResult plp(const Graph& g, ThreadPool& pool, const PlpConfig& cfg) {
+  Timer timer;
+  const Vertex n = g.num_vertices();
+  ClusteringResult res;
+  res.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) res.labels[v] = v;
+
+  // NetworKit tracks active vertices with a vector<bool>-style flag array.
+  std::vector<std::uint8_t> active(n, 1);
+  std::atomic<std::uint64_t> edges_scanned{0};
+  std::vector<Xoshiro256> worker_rng;
+  for (unsigned w = 0; w < pool.size(); ++w) {
+    worker_rng.push_back(Xoshiro256(cfg.seed).split(w));
+  }
+
+  for (int it = 0; it < cfg.max_iterations; ++it) {
+    // Shared atomic counter of updated vertices — the contention pattern
+    // the paper criticizes but NetworKit uses.
+    std::atomic<std::uint64_t> changed{0};
+    std::atomic<std::uint64_t> local_edges{0};
+
+    parallel_for(
+        pool, 0, n, Schedule::kGuided,
+        [&](std::uint64_t vi, unsigned worker) {
+          const auto v = static_cast<Vertex>(vi);
+          if (!active[v]) return;
+          active[v] = 0;
+
+          const auto nbrs = g.neighbors(v);
+          const auto wts = g.weights_of(v);
+          local_edges.fetch_add(nbrs.size(), std::memory_order_relaxed);
+          if (nbrs.empty()) return;
+
+          // Label weights in an std::map, as NetworKit does.
+          std::map<Vertex, double> weight_of;
+          for (std::size_t k = 0; k < nbrs.size(); ++k) {
+            if (nbrs[k] == v) continue;
+            weight_of[res.labels[nbrs[k]]] += wts[k];
+          }
+          if (weight_of.empty()) return;
+
+          double best_w = -1.0;
+          for (const auto& [label, w] : weight_of) {
+            best_w = std::max(best_w, w);
+          }
+          // Uniform choice among dominant labels (see PlpConfig::seed).
+          Vertex best = res.labels[v];
+          std::uint64_t ties = 0;
+          for (const auto& [label, w] : weight_of) {
+            if (w == best_w && worker_rng[worker].next_bounded(++ties) == 0) {
+              best = label;
+            }
+          }
+          if (best != res.labels[v]) {
+            res.labels[v] = best;
+            changed.fetch_add(1, std::memory_order_relaxed);
+            for (const Vertex u : nbrs) active[u] = 1;
+          }
+        });
+
+    edges_scanned += local_edges.load();
+    ++res.iterations;
+    if (static_cast<double>(changed.load()) <
+        cfg.tolerance * static_cast<double>(n)) {
+      break;
+    }
+  }
+
+  res.edges_scanned = edges_scanned.load();
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace nulpa

@@ -1,0 +1,32 @@
+// NetworKit-style Parallel Label Propagation (PLP, Staudt & Meyerhenke).
+// Reproduces the implementation choices the paper describes for
+// NetworKit::PLP::run(): boolean active-vertex flags, OpenMP *guided*
+// scheduling (via our thread pool), an std::map per vertex for label
+// weights, a 1e-5 convergence tolerance, and an atomically updated counter
+// of changed vertices.
+#pragma once
+
+#include "baselines/result.hpp"
+#include "graph/csr.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nulpa {
+
+struct PlpConfig {
+  int max_iterations = 100;
+  double tolerance = 1e-5;  // NetworKit's "theta" update threshold
+  // In NetworKit the OpenMP guided schedule scrambles the order in which
+  // vertices observe each other's updates, which is what breaks ties in
+  // practice; a deterministic smallest-label tie-break under ascending
+  // order telescopes labels toward vertex 0 instead. We model the
+  // scrambled order with a seeded uniform choice among dominant labels.
+  std::uint64_t seed = 1;
+};
+
+ClusteringResult plp(const Graph& g, ThreadPool& pool, const PlpConfig& cfg);
+
+inline ClusteringResult plp(const Graph& g, const PlpConfig& cfg) {
+  return plp(g, ThreadPool::global(), cfg);
+}
+
+}  // namespace nulpa

@@ -1,0 +1,19 @@
+// Common result type for every community-detection algorithm in the
+// library (baselines and ν-LPA alike), so benches can sweep them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+struct ClusteringResult {
+  std::vector<Vertex> labels;       // community of each vertex
+  int iterations = 0;               // passes over the vertex set
+  double seconds = 0.0;             // measured wall-clock of the run
+  std::uint64_t edges_scanned = 0;  // algorithm-level work metric
+};
+
+}  // namespace nulpa

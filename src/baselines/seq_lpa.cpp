@@ -1,0 +1,79 @@
+#include "baselines/seq_lpa.hpp"
+
+#include <unordered_map>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace nulpa {
+
+namespace {
+
+struct LabelChooser {
+  std::unordered_map<Vertex, double> weight_of;
+  std::vector<Vertex> dominant;
+
+  /// Label of maximal interconnecting weight for `v` (Equation 3), or |V|
+  /// when the vertex has no usable neighbours.
+  Vertex choose(const Graph& g, Vertex v, const std::vector<Vertex>& labels,
+                bool random_tie, Xoshiro256& rng) {
+    weight_of.clear();
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.weights_of(v);
+    double best_w = -1.0;
+    Vertex first_best = g.num_vertices();
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (nbrs[k] == v) continue;
+      const Vertex c = labels[nbrs[k]];
+      const double w = (weight_of[c] += wts[k]);
+      if (w > best_w) {
+        best_w = w;
+        first_best = c;
+      }
+    }
+    if (first_best == g.num_vertices()) return first_best;
+    if (!random_tie) return first_best;
+
+    dominant.clear();
+    for (const auto& [c, w] : weight_of) {
+      if (w == best_w) dominant.push_back(c);
+    }
+    return dominant.size() == 1 ? dominant.front()
+                                : dominant[rng.next_bounded(dominant.size())];
+  }
+};
+
+}  // namespace
+
+ClusteringResult seq_lpa(const Graph& g, const SeqLpaConfig& cfg) {
+  Timer timer;
+  Xoshiro256 rng(cfg.seed);
+  const Vertex n = g.num_vertices();
+  ClusteringResult res;
+  res.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) res.labels[v] = v;
+
+  std::vector<Vertex> next;
+  if (!cfg.asynchronous) next = res.labels;
+  LabelChooser chooser;
+
+  for (int it = 0; it < cfg.max_iterations; ++it) {
+    std::uint64_t changed = 0;
+    std::vector<Vertex>& write = cfg.asynchronous ? res.labels : next;
+    for (Vertex v = 0; v < n; ++v) {
+      const Vertex c =
+          chooser.choose(g, v, res.labels, cfg.random_tie_break, rng);
+      res.edges_scanned += g.degree(v);
+      if (c == g.num_vertices()) continue;  // isolated vertex
+      if (c != res.labels[v]) ++changed;
+      write[v] = c;
+    }
+    if (!cfg.asynchronous) res.labels = next;
+    ++res.iterations;
+    if (static_cast<double>(changed) / n < cfg.tolerance) break;
+  }
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace nulpa

@@ -1,0 +1,27 @@
+// Textbook LPA (Raghavan et al. 2007) — the reference implementation the
+// property tests compare every optimized variant against.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/result.hpp"
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+struct SeqLpaConfig {
+  int max_iterations = 20;
+  double tolerance = 0.05;  // stop when < tol fraction of vertices change
+  bool asynchronous = true;  // in-place updates (true) vs double-buffered
+  // RAK breaks ties among dominant labels uniformly at random; the strict
+  // variant (first dominant label in scan order) is what GVE-LPA calls
+  // "strict LPA". Random is the default because the strict+ascending-order
+  // combination cascades labels across sparse bridges.
+  bool random_tie_break = true;
+  std::uint64_t seed = 1;
+};
+
+/// Sequential LPA (Equation 3), processing vertices in ascending id order.
+ClusteringResult seq_lpa(const Graph& g, const SeqLpaConfig& cfg);
+
+}  // namespace nulpa

@@ -1,0 +1,55 @@
+// Configuration for ν-LPA. Defaults reproduce the paper's final design:
+// asynchronous LPA, Pick-Less every 4 iterations (PL4), per-vertex
+// hashtables with hybrid quadratic-double probing, switch degree 32,
+// 32-bit float hashtable values, tolerance 0.05, max 20 iterations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hash/probing.hpp"
+#include "simt/grid.hpp"
+
+namespace nulpa {
+
+/// Community-swap mitigation schedule (Section 4.1). A technique fires on
+/// iterations where `iteration % every == 0`; 0 disables it. The paper's
+/// grid: PL1..PL4, CC1..CC4, and all 16 hybrid combinations; PL4 wins.
+struct SwapPrevention {
+  int pick_less_every = 4;    // PL rho; 0 = disabled
+  int cross_check_every = 0;  // CC rho; 0 = disabled
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct NuLpaConfig {
+  int max_iterations = 20;    // Section 4: LPA feature (2)
+  double tolerance = 0.05;    // Section 4: per-iteration tolerance (3)
+  SwapPrevention swap{};      // PL4 by default
+  bool pruning = true;        // Section 4: vertex pruning (4)
+
+  // Section 4.2 — hashtable design.
+  Probing probing = Probing::kQuadDouble;
+  bool use_double_values = false;  // Section 4.4: float wins
+  // Keep low-degree vertices' tables in per-SM shared memory instead of the
+  // global buffers. The paper tried this and measured "little to no
+  // performance gain"; the ablation bench reproduces that comparison.
+  bool shared_memory_tables = false;
+
+  // Section 4.3 — kernel partitioning.
+  std::uint32_t switch_degree = 32;
+
+  // Simulated hardware shape. `launch` drives the thread-per-vertex kernel;
+  // the block-per-vertex kernel uses narrower blocks but many more of them
+  // in flight, because on a real A100 hundreds of blocks are resident and
+  // the number of *vertices* being processed concurrently — the asynchrony
+  // granularity of label updates — is what shapes convergence. Simulating
+  // one-vertex blocks with only a handful resident would make the simulated
+  // GPU more sequential than the hardware it stands in for.
+  simt::LaunchConfig launch{.block_dim = 256, .resident_blocks = 8,
+                            .shared_bytes = 0, .stack_bytes = 1 << 13};
+  std::uint32_t bpv_block_dim = 32;
+  std::uint32_t bpv_resident_blocks = 1024;
+};
+
+}  // namespace nulpa

@@ -1,0 +1,68 @@
+#include "core/multilevel.hpp"
+
+#include "graph/transforms.hpp"
+#include "util/timer.hpp"
+
+namespace nulpa {
+
+MultilevelResult multilevel_lpa(const Graph& g, const MultilevelConfig& cfg) {
+  Timer timer;
+  MultilevelResult res;
+  const Vertex n = g.num_vertices();
+  res.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) res.labels[v] = v;
+  if (n == 0) {
+    res.seconds = timer.seconds();
+    return res;
+  }
+
+  Graph level = g;
+  // membership of each original vertex in the *current* level's id space.
+  std::vector<Vertex> vertex_of(n);
+  for (Vertex v = 0; v < n; ++v) vertex_of[v] = v;
+
+  for (int round = 0; round < cfg.max_levels; ++round) {
+    const NuLpaResult r = nu_lpa(level, cfg.level_config);
+    res.iterations += r.iterations;
+    res.counters += r.counters;
+    ++res.levels;
+
+    // Project this level's communities down to the original vertices.
+    for (Vertex v = 0; v < n; ++v) {
+      res.labels[v] = r.labels[vertex_of[v]];
+    }
+
+    if (round + 1 == cfg.max_levels) break;
+
+    std::vector<Vertex> coarse_id;
+    const Graph coarse = coarsen_by_membership(level, r.labels, &coarse_id);
+    if (static_cast<double>(coarse.num_vertices()) >
+        cfg.min_shrink * static_cast<double>(level.num_vertices())) {
+      break;  // nothing left to merge
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      vertex_of[v] = coarse_id[vertex_of[v]];
+    }
+    level = coarse;
+  }
+
+  // Labels currently name coarse-level vertices (ids < n, since coarsening
+  // only shrinks); remap each distinct label to the first original vertex
+  // carrying it so the result obeys the LPA invariant that labels are
+  // vertex ids of the original graph.
+  std::vector<Vertex> first_of(n, 0xFFFFFFFFu);
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex c = res.labels[v];
+    if (first_of[c] == 0xFFFFFFFFu) first_of[c] = v;
+    res.labels[v] = first_of[c];
+  }
+
+  res.seconds = timer.seconds();
+  return res;
+}
+
+MultilevelResult multilevel_lpa(const Graph& g) {
+  return multilevel_lpa(g, MultilevelConfig{});
+}
+
+}  // namespace nulpa

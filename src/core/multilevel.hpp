@@ -1,0 +1,35 @@
+// Multilevel ν-LPA — the paper's "future work" direction (partitioning of
+// large graphs) following the LPA-coarsening literature it builds on
+// (Valejo et al. coarsening, XtraPuLP/SCLaP-style pipelines): run ν-LPA,
+// contract the communities, repeat on the coarse graph, and project the
+// coarsest labels back down. Each extra level merges structure LPA's
+// one-hop view cannot see, trading a little runtime for modularity that
+// approaches Louvain's.
+#pragma once
+
+#include <vector>
+
+#include "core/nulpa.hpp"
+
+namespace nulpa {
+
+struct MultilevelConfig {
+  NuLpaConfig level_config{};  // used at every level
+  int max_levels = 4;          // contraction rounds (1 = plain nu-LPA)
+  // Stop coarsening when a level shrinks the graph by less than this
+  // factor (no structure left to merge).
+  double min_shrink = 0.95;
+};
+
+struct MultilevelResult {
+  std::vector<Vertex> labels;  // membership on the original graph
+  int levels = 0;              // coarsening rounds actually executed
+  int iterations = 0;          // total LPA iterations across levels
+  double seconds = 0.0;
+  simt::PerfCounters counters;  // summed across levels
+};
+
+MultilevelResult multilevel_lpa(const Graph& g, const MultilevelConfig& cfg);
+MultilevelResult multilevel_lpa(const Graph& g);
+
+}  // namespace nulpa

@@ -1,0 +1,414 @@
+#include "core/nulpa.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "core/shared_accumulate.hpp"
+#include "graph/partition.hpp"
+#include "hash/coalesced.hpp"
+#include "simt/collectives.hpp"
+#include "simt/grid.hpp"
+#include "util/bits.hpp"
+#include "util/timer.hpp"
+
+namespace nulpa {
+
+std::string SwapPrevention::label() const {
+  std::ostringstream ss;
+  if (pick_less_every == 0 && cross_check_every == 0) return "none";
+  if (pick_less_every > 0 && cross_check_every > 0) {
+    ss << "H(PL" << pick_less_every << ",CC" << cross_check_every << ")";
+  } else if (pick_less_every > 0) {
+    ss << "PL" << pick_less_every;
+  } else {
+    ss << "CC" << cross_check_every;
+  }
+  return ss.str();
+}
+
+namespace {
+
+/// Block-shared scratch layout for the block-per-vertex kernel's
+/// max-reduction. Doubles first so the arena's natural alignment suffices.
+struct BlockScratchLayout {
+  std::size_t best_w_off = 0;
+  std::size_t best_k_off = 0;
+  std::size_t flag_off = 0;
+  std::size_t total = 0;
+
+  explicit BlockScratchLayout(std::uint32_t block_dim) {
+    best_w_off = 0;
+    best_k_off = best_w_off + block_dim * sizeof(double);
+    flag_off = best_k_off + block_dim * sizeof(Vertex);
+    // Round the flag word up to 8 so total stays aligned.
+    flag_off = (flag_off + 7) & ~std::size_t{7};
+    total = flag_off + sizeof(std::uint64_t);
+  }
+};
+
+template <typename V>
+class Engine {
+ public:
+  Engine(const Graph& g, const NuLpaConfig& cfg)
+      : g_(g),
+        cfg_(cfg),
+        part_(partition_by_degree(g, cfg.switch_degree)),
+        scratch_(cfg.bpv_block_dim) {
+    const Vertex n = g.num_vertices();
+    labels_.resize(n);
+    for (Vertex v = 0; v < n; ++v) labels_[v] = v;
+    unprocessed_.assign(n, 1);
+    // The two global buffers of Figure 3: one allocation of 2|E| keys and
+    // one of 2|E| values; vertex i's table lives at offset 2*O_i.
+    buf_k_.assign(2 * g.num_edges(), kEmptyKey);
+    buf_v_.assign(2 * g.num_edges(), V{});
+    // Chain links for the coalesced-hashing variant only (appendix figure).
+    if (cfg.probing == Probing::kCoalesced) {
+      buf_n_.assign(2 * g.num_edges(), CoalescedTableView<V>::kNil);
+    }
+    // Shared-memory table layout for the TPV kernel (optional, Section 4.2
+    // footnote). Shared memory is a scarce per-SM resource, so this only
+    // works for realistic switch degrees; otherwise fall back to the
+    // global-buffer tables.
+    if (cfg_.shared_memory_tables && cfg_.switch_degree >= 2 &&
+        cfg_.switch_degree <= 256) {
+      shared_cap_ = hashtable_capacity(cfg_.switch_degree - 1);
+      const auto round8 = [](std::size_t x) { return (x + 7) & ~std::size_t{7}; };
+      shared_keys_off_ = round8(shared_cap_ * sizeof(V));  // values first
+      shared_slice_ = shared_keys_off_ + round8(shared_cap_ * sizeof(Vertex));
+    } else {
+      cfg_.shared_memory_tables = false;
+    }
+  }
+
+  NuLpaResult run() {
+    Timer timer;
+    NuLpaResult res;
+    const Vertex n = g_.num_vertices();
+    if (n == 0) {
+      res.seconds = timer.seconds();
+      return res;
+    }
+
+    for (int iter = 0; iter < cfg_.max_iterations; ++iter) {
+      pick_less_ = cfg_.swap.pick_less_every > 0 &&
+                   iter % cfg_.swap.pick_less_every == 0;
+      const bool cross_check = cfg_.swap.cross_check_every > 0 &&
+                               iter % cfg_.swap.cross_check_every == 0;
+      if (cross_check) {
+        prev_labels_ = labels_;
+        ctr_.global_loads += n;
+        ctr_.global_stores += n;
+      }
+
+      delta_n_ = 0;
+      launch_thread_per_vertex();
+      launch_block_per_vertex();
+      if (cross_check) launch_cross_check();
+
+      ++res.iterations;
+      if (!pick_less_ &&
+          static_cast<double>(delta_n_) / n < cfg_.tolerance) {
+        break;
+      }
+    }
+
+    res.labels = std::move(labels_);
+    res.counters = ctr_;
+    res.hash_stats = hstats_;
+    res.edges_scanned = ctr_.edges_scanned;
+    res.seconds = timer.seconds();
+    return res;
+  }
+
+ private:
+  // ---- Thread-per-vertex kernel: one lane per low-degree vertex. The
+  // syncwarp between the gather and commit phases models warp lockstep —
+  // all 32 lanes read neighbour labels before any of them writes, which is
+  // exactly the execution pattern that produces community swaps.
+  void launch_thread_per_vertex() {
+    const auto count = static_cast<std::uint32_t>(part_.low.size());
+    if (count == 0) return;
+    const auto grid = static_cast<std::uint32_t>(
+        ceil_div(count, cfg_.launch.block_dim));
+
+    simt::LaunchConfig launch = cfg_.launch;
+    if (cfg_.shared_memory_tables) {
+      launch.shared_bytes =
+          static_cast<std::uint32_t>(launch.block_dim * shared_slice_);
+    }
+
+    simt::launch(grid, launch, ctr_, [&](simt::Lane& lane) {
+      const std::uint32_t t = lane.global_thread();
+      if (t >= count) return;
+      const Vertex v = part_.low[t];
+
+      Vertex cstar = kEmptyKey;
+      lane.count_load(1);  // unprocessed flag
+      if (!cfg_.pruning || unprocessed_[v]) {
+        unprocessed_[v] = 0;
+        lane.count_store(1);
+        cstar = gather_unshared(lane, v);
+      }
+
+      lane.syncwarp();  // lockstep boundary: warp gathers, then commits
+
+      commit(lane, v, cstar);
+    });
+  }
+
+  /// Gather phase for a single lane: clear the vertex's table, accumulate
+  /// neighbour labels, return the most weighted label (Algorithm 1 lines
+  /// 20-27, unshared hashtable path of Algorithm 2).
+  Vertex gather_unshared(simt::Lane& lane, Vertex v) {
+    const std::uint32_t deg = g_.degree(v);
+    if (deg == 0) return kEmptyKey;
+    if (cfg_.probing == Probing::kCoalesced) {
+      return gather_coalesced(lane, v, deg);
+    }
+    const std::uint32_t p1 = hashtable_capacity(deg);
+    const bool in_shared = cfg_.shared_memory_tables && p1 <= shared_cap_;
+    Vertex* keys;
+    V* values;
+    if (in_shared) {
+      std::byte* slice =
+          lane.shared() + lane.thread_idx() * shared_slice_;
+      values = reinterpret_cast<V*>(slice);
+      keys = reinterpret_cast<Vertex*>(slice + shared_keys_off_);
+    } else {
+      const EdgeIndex off = 2 * g_.offset(v);
+      keys = buf_k_.data() + off;
+      values = buf_v_.data() + off;
+    }
+    VertexTableView<V> table(keys, values, p1, &hstats_);
+    table.clear();
+    if (in_shared) {
+      lane.count_shared_store(2 * p1);
+    } else {
+      lane.count_store(2 * p1);
+    }
+
+    const auto nbrs = g_.neighbors(v);
+    const auto wts = g_.weights_of(v);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (nbrs[e] == v) continue;
+      lane.count_load(3);  // target id, weight, neighbour's label (global)
+      table.accumulate(labels_[nbrs[e]], static_cast<V>(wts[e]),
+                       cfg_.probing);
+      if (in_shared) {
+        lane.count_shared_store(1);
+      } else {
+        lane.count_store(1);
+      }
+    }
+    ctr_.edges_scanned += deg;
+    if (in_shared) {
+      lane.count_shared_load(p1);  // max-key scan
+    } else {
+      lane.count_load(p1);
+    }
+    return table.max_key();
+  }
+
+  /// Coalesced-chaining variant of the gather (the appendix experiment).
+  /// Needs a third global buffer for the chain links (H_n), which is why
+  /// the paper treats it as an alternative design: +50% table memory.
+  Vertex gather_coalesced(simt::Lane& lane, Vertex v, std::uint32_t deg) {
+    const std::uint32_t p1 = hashtable_capacity(deg);
+    const EdgeIndex off = 2 * g_.offset(v);
+    CoalescedTableView<V> table(buf_k_.data() + off, buf_v_.data() + off,
+                                buf_n_.data() + off, p1, &hstats_);
+    table.clear();
+    lane.count_store(3 * p1);
+
+    const auto nbrs = g_.neighbors(v);
+    const auto wts = g_.weights_of(v);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (nbrs[e] == v) continue;
+      lane.count_load(3);
+      table.accumulate(labels_[nbrs[e]], static_cast<V>(wts[e]));
+      lane.count_store(1);
+    }
+    ctr_.edges_scanned += deg;
+    lane.count_load(p1);
+    return table.max_key();
+  }
+
+  /// Commit phase (Algorithm 1 lines 28-33): adopt c* unless pick-less
+  /// forbids it, bump the changed count, re-activate neighbours.
+  void commit(simt::Lane& lane, Vertex v, Vertex cstar) {
+    lane.count_load(1);  // current label
+    if (cstar == kEmptyKey || cstar == labels_[v]) return;
+    if (pick_less_ && cstar > labels_[v]) return;
+    labels_[v] = cstar;
+    lane.count_store(1);
+    lane.atomic_add(delta_n_, std::uint32_t{1});
+    if (cfg_.pruning) {
+      const auto nbrs = g_.neighbors(v);
+      for (const Vertex j : nbrs) unprocessed_[j] = 1;
+      lane.count_store(nbrs.size());
+    }
+  }
+
+  // ---- Block-per-vertex kernel: a whole block cooperates on one
+  // high-degree vertex; the hashtable is shared, so slot claims use
+  // atomicCAS and weight updates atomicAdd (Algorithm 2, shared path).
+  void launch_block_per_vertex() {
+    const auto blocks = static_cast<std::uint32_t>(part_.high.size());
+    if (blocks == 0) return;
+
+    simt::LaunchConfig cfg = cfg_.launch;
+    cfg.block_dim = cfg_.bpv_block_dim;
+    cfg.resident_blocks = cfg_.bpv_resident_blocks;
+    cfg.shared_bytes = static_cast<std::uint32_t>(scratch_.total);
+
+    simt::launch(blocks, cfg, ctr_, [&](simt::Lane& lane) {
+      const Vertex v = part_.high[lane.block_idx()];
+      const std::uint32_t tid = lane.thread_idx();
+      const std::uint32_t bdim = lane.block_dim();
+
+      // Block-uniform pruning decision: lane 0 reads the flag once and
+      // broadcasts through shared memory. Letting every lane read the
+      // global flag would race with lane 0's clearing write (benign on
+      // lockstep hardware, fatal under any other interleaving).
+      auto* flags =
+          reinterpret_cast<std::uint32_t*>(lane.shared() + scratch_.flag_off);
+      std::uint32_t* moved = flags;     // set by lane 0 after the reduce
+      std::uint32_t* skip = flags + 1;  // pruning verdict broadcast
+      if (tid == 0) {
+        lane.count_load(1);
+        *skip = cfg_.pruning && !unprocessed_[v];
+        if (!*skip) {
+          unprocessed_[v] = 0;
+          lane.count_store(1);
+        }
+      }
+      lane.syncthreads();
+      if (*skip) return;
+
+      const std::uint32_t deg = g_.degree(v);
+      const std::uint32_t p1 = hashtable_capacity(deg);
+      const std::uint32_t p2 = secondary_prime(p1);
+      const EdgeIndex off = 2 * g_.offset(v);
+      Vertex* keys = buf_k_.data() + off;
+      V* values = buf_v_.data() + off;
+
+      // Phase 1: parallel clear (Algorithm 1 line 19).
+      for (std::uint32_t s = tid; s < p1; s += bdim) {
+        keys[s] = kEmptyKey;
+        values[s] = V{};
+        lane.count_store(2);
+      }
+      lane.syncthreads();
+
+      // Phase 2: parallel accumulate over the adjacency list.
+      const auto nbrs = g_.neighbors(v);
+      const auto wts = g_.weights_of(v);
+      for (std::uint32_t e = tid; e < deg; e += bdim) {
+        if (nbrs[e] == v) continue;
+        lane.count_load(3);
+        shared_accumulate(lane, keys, values, p1, p2, labels_[nbrs[e]],
+                          static_cast<V>(wts[e]), cfg_.probing, &hstats_);
+      }
+      if (tid == 0) ctr_.edges_scanned += deg;
+      lane.syncthreads();
+
+      // Phase 3: parallel max-reduce (Algorithm 1 line 27).
+      auto* best_w =
+          reinterpret_cast<double*>(lane.shared() + scratch_.best_w_off);
+      auto* best_k =
+          reinterpret_cast<Vertex*>(lane.shared() + scratch_.best_k_off);
+      Vertex lk = kEmptyKey;
+      double lw = -1.0;
+      for (std::uint32_t s = tid; s < p1; s += bdim) {
+        lane.count_load(2);
+        if (keys[s] != kEmptyKey && static_cast<double>(values[s]) > lw) {
+          lk = keys[s];
+          lw = static_cast<double>(values[s]);
+        }
+      }
+      const Vertex cstar =
+          simt::block_argmax(lane, lk, lw, best_k, best_w, kEmptyKey);
+
+      if (tid == 0) {
+        *moved = 0;
+        lane.count_load(1);
+        if (cstar != kEmptyKey && cstar != labels_[v] &&
+            (!pick_less_ || cstar < labels_[v])) {
+          labels_[v] = cstar;
+          lane.count_store(1);
+          lane.atomic_add(delta_n_, std::uint32_t{1});
+          *moved = 1;
+        }
+      }
+      lane.syncthreads();
+
+      // Phase 4: parallel neighbour re-activation on a move.
+      if (*moved && cfg_.pruning) {
+        for (std::uint32_t e = tid; e < deg; e += bdim) {
+          unprocessed_[nbrs[e]] = 1;
+          lane.count_store(1);
+        }
+      }
+    });
+  }
+
+  // ---- Cross-Check kernel (Section 4.1): a community change is "good" iff
+  // the new community's leader vertex carries its own id as label; bad
+  // changes revert to the pre-iteration label via atomicCAS.
+  void launch_cross_check() {
+    const Vertex n = g_.num_vertices();
+    const auto grid =
+        static_cast<std::uint32_t>(ceil_div(n, cfg_.launch.block_dim));
+
+    simt::launch(grid, cfg_.launch, ctr_, [&](simt::Lane& lane) {
+      const std::uint32_t v = lane.global_thread();
+      if (v >= n) return;
+      lane.count_load(2);
+      const Vertex cstar = labels_[v];
+      if (cstar == prev_labels_[v]) return;
+      lane.count_load(1);
+      if (labels_[cstar] != cstar) {
+        // Bad change: the adopted community has no leader. Revert, but let
+        // at most one side of a swap do so (CAS against the adopted label).
+        const Vertex old = lane.atomic_cas(labels_[v], cstar, prev_labels_[v]);
+        if (old == cstar) lane.atomic_add(delta_n_, std::uint32_t{1});
+      }
+    });
+  }
+
+  const Graph& g_;
+  NuLpaConfig cfg_;
+  DegreePartition part_;
+  BlockScratchLayout scratch_;
+
+  std::vector<Vertex> labels_;
+  std::vector<Vertex> prev_labels_;
+  std::vector<std::uint8_t> unprocessed_;
+  std::vector<Vertex> buf_k_;
+  std::vector<V> buf_v_;
+  std::vector<std::uint32_t> buf_n_;  // coalesced-chaining links (optional)
+
+  // Shared-memory table layout (only when cfg_.shared_memory_tables).
+  std::uint32_t shared_cap_ = 0;
+  std::size_t shared_keys_off_ = 0;
+  std::size_t shared_slice_ = 0;
+
+  simt::PerfCounters ctr_;
+  HashStats hstats_;
+  std::uint32_t delta_n_ = 0;
+  bool pick_less_ = false;
+};
+
+}  // namespace
+
+NuLpaResult nu_lpa(const Graph& g, const NuLpaConfig& cfg) {
+  if (cfg.use_double_values) {
+    return Engine<double>(g, cfg).run();
+  }
+  return Engine<float>(g, cfg).run();
+}
+
+NuLpaResult nu_lpa(const Graph& g) { return nu_lpa(g, NuLpaConfig{}); }
+
+}  // namespace nulpa

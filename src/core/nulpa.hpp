@@ -1,0 +1,30 @@
+// ν-LPA — the paper's GPU Label Propagation Algorithm, executed on the
+// SIMT simulator (src/simt). Algorithm 1 (host loop + lpaMove) and
+// Algorithm 2 (hashtable accumulate) are implemented in nulpa.cpp and
+// kernels.hpp; this header is the public entry point.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/csr.hpp"
+#include "hash/vertex_table.hpp"
+#include "simt/counters.hpp"
+
+namespace nulpa {
+
+struct NuLpaResult {
+  std::vector<Vertex> labels;  // community of each vertex (a vertex id)
+  int iterations = 0;          // LPA iterations executed
+  double seconds = 0.0;        // host wall-clock of the simulated run
+  std::uint64_t edges_scanned = 0;
+  simt::PerfCounters counters;  // simulated hardware events (cost model in)
+  HashStats hash_stats;         // probe/fallback totals
+};
+
+/// Runs ν-LPA on `g`. Deterministic for a fixed graph and configuration
+/// (the simulator schedules warps in a fixed order).
+NuLpaResult nu_lpa(const Graph& g, const NuLpaConfig& cfg);
+NuLpaResult nu_lpa(const Graph& g);
+
+}  // namespace nulpa

@@ -1,0 +1,53 @@
+// The shared (multi-lane) path of Algorithm 2: several lanes of a block
+// accumulate into one vertex's hashtable concurrently, so slot claims go
+// through atomicCAS and weight updates through atomicAdd. Probe sequences
+// are identical to the unshared path (hash/probing.hpp), which tests verify.
+#pragma once
+
+#include "hash/probing.hpp"
+#include "hash/vertex_table.hpp"
+#include "simt/grid.hpp"
+#include "util/bits.hpp"
+
+namespace nulpa {
+
+/// hashtableAccumulate, shared scenario (Algorithm 2 lines 11-16).
+/// Returns true on success; falls back to an exhaustive CAS scan after
+/// kMaxRetries so the operation never fails while distinct keys <= p1.
+template <typename V>
+bool shared_accumulate(simt::Lane& lane, Vertex* keys, V* values,
+                       std::uint32_t p1, std::uint32_t p2, Vertex k, V v,
+                       Probing probing, HashStats* stats) {
+  if (stats) ++stats->inserts;
+  std::uint64_t i = k;
+  std::uint64_t di = initial_step(probing, k, p1, p2);
+  for (int t = 0; t < kMaxRetries; ++t) {
+    const auto s = static_cast<std::uint32_t>(i % p1);
+    lane.count_load(1);
+    if (keys[s] == k || keys[s] == kEmptyKey) {
+      const Vertex old = lane.atomic_cas(keys[s], kEmptyKey, k);
+      if (old == kEmptyKey || old == k) {
+        lane.atomic_add(values[s], v);
+        return true;
+      }
+    }
+    if (stats) ++stats->probes;
+    i += di;
+    di = next_step(probing, di, k, p2);
+  }
+  // Exhaustive rescue scan (see hash/probing.hpp on why this exists).
+  if (stats) ++stats->fallbacks;
+  for (std::uint32_t s = 0; s < p1; ++s) {
+    lane.count_load(1);
+    if (keys[s] == k || keys[s] == kEmptyKey) {
+      const Vertex old = lane.atomic_cas(keys[s], kEmptyKey, k);
+      if (old == kEmptyKey || old == k) {
+        lane.atomic_add(values[s], v);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace nulpa

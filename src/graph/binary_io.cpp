@@ -1,0 +1,91 @@
+#include "graph/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nulpa {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'U', 'L', 'P', 'A', 'C', 'S', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void write_array(std::ostream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("binary CSR: truncated header");
+  return value;
+}
+
+template <typename T>
+std::vector<T> read_array(std::istream& in, std::size_t count) {
+  std::vector<T> data(count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("binary CSR: truncated payload");
+  return data;
+}
+
+}  // namespace
+
+void write_binary_csr(std::ostream& out, const Graph& g) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, g.num_vertices());
+  write_pod(out, g.num_edges());
+  write_array(out, g.offsets().data(), g.offsets().size());
+  write_array(out, g.targets().data(), g.targets().size());
+  write_array(out, g.weights().data(), g.weights().size());
+  if (!out) throw std::runtime_error("binary CSR: write failed");
+}
+
+void write_binary_csr_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_binary_csr(out, g);
+}
+
+Graph read_binary_csr(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("binary CSR: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("binary CSR: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto n = read_pod<Vertex>(in);
+  const auto m = read_pod<EdgeIndex>(in);
+  auto offsets = read_array<EdgeIndex>(in, static_cast<std::size_t>(n) + 1);
+  auto targets = read_array<Vertex>(in, m);
+  auto weights = read_array<Weight>(in, m);
+  Graph g(std::move(offsets), std::move(targets), std::move(weights));
+  if (!g.is_well_formed()) {
+    throw std::runtime_error("binary CSR: validation failed");
+  }
+  return g;
+}
+
+Graph read_binary_csr_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_binary_csr(in);
+}
+
+}  // namespace nulpa

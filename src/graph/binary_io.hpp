@@ -1,0 +1,24 @@
+// Binary CSR serialization: loading a multi-hundred-megabyte Matrix Market
+// file dominates end-to-end time for the paper's workloads, so production
+// pipelines convert once and reload the raw CSR arrays. Format:
+//   magic "NULPACSR" | u32 version | u32 |V| | u64 |E| |
+//   offsets (|V|+1 x u64) | targets (|E| x u32) | weights (|E| x f32)
+// Little-endian, no padding. Version bumps on any layout change.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+void write_binary_csr(std::ostream& out, const Graph& g);
+void write_binary_csr_file(const std::string& path, const Graph& g);
+
+/// Throws std::runtime_error on bad magic, version, truncation, or a CSR
+/// that fails validation.
+Graph read_binary_csr(std::istream& in);
+Graph read_binary_csr_file(const std::string& path);
+
+}  // namespace nulpa

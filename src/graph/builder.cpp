@@ -1,0 +1,50 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nulpa {
+
+Graph GraphBuilder::build(const Options& opts) const {
+  std::vector<EdgeTriple> arcs;
+  arcs.reserve(edges_.size() * (opts.symmetrize ? 2 : 1));
+  for (const EdgeTriple& e : edges_) {
+    if (e.u >= n_ || e.v >= n_) {
+      throw std::out_of_range("GraphBuilder: endpoint exceeds num_vertices");
+    }
+    if (opts.drop_self_loops && e.u == e.v) continue;
+    arcs.push_back(e);
+    if (opts.symmetrize && e.u != e.v) arcs.push_back({e.v, e.u, e.w});
+  }
+
+  std::sort(arcs.begin(), arcs.end(), [](const EdgeTriple& a,
+                                         const EdgeTriple& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+
+  if (opts.combine_duplicates && !arcs.empty()) {
+    std::size_t out = 0;
+    for (std::size_t i = 1; i < arcs.size(); ++i) {
+      if (arcs[i].u == arcs[out].u && arcs[i].v == arcs[out].v) {
+        arcs[out].w += arcs[i].w;
+      } else {
+        arcs[++out] = arcs[i];
+      }
+    }
+    arcs.resize(out + 1);
+  }
+
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  for (const EdgeTriple& a : arcs) ++offsets[a.u + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<Vertex> targets(arcs.size());
+  std::vector<Weight> weights(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    targets[i] = arcs[i].v;
+    weights[i] = arcs[i].w;
+  }
+  return Graph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+}  // namespace nulpa

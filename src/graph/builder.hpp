@@ -1,0 +1,56 @@
+// COO -> CSR construction with the clean-up steps the paper applies to its
+// SuiteSparse inputs: drop self-loops, symmetrize (add reverse edges),
+// de-duplicate parallel edges (summing weights), default weight 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+struct EdgeTriple {
+  Vertex u;
+  Vertex v;
+  Weight w;
+};
+
+class GraphBuilder {
+ public:
+  /// `num_vertices == 0` lets the builder infer |V| from the max endpoint.
+  explicit GraphBuilder(Vertex num_vertices = 0) : n_(num_vertices) {}
+
+  GraphBuilder& reserve(std::size_t edges) {
+    edges_.reserve(edges);
+    return *this;
+  }
+
+  /// Records an undirected edge; the reverse arc is added at build time.
+  GraphBuilder& add_edge(Vertex u, Vertex v, Weight w = 1.0f) {
+    edges_.push_back({u, v, w});
+    n_ = std::max(n_, std::max(u, v) + 1);
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  struct Options {
+    bool drop_self_loops = true;
+    bool symmetrize = true;       // add (v, u) for every (u, v)
+    bool combine_duplicates = true;  // sum weights of parallel edges
+  };
+
+  /// Sorts, symmetrizes, dedupes, and emits a CSR graph. The builder can be
+  /// reused afterwards (its edge list is preserved).
+  [[nodiscard]] Graph build(const Options& opts) const;
+  [[nodiscard]] Graph build() const { return build(Options{}); }
+
+ private:
+  Vertex n_ = 0;
+  std::vector<EdgeTriple> edges_;
+};
+
+}  // namespace nulpa

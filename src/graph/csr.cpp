@@ -1,0 +1,72 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nulpa {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<Vertex> targets,
+             std::vector<Weight> weights)
+    : offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      weights_(std::move(weights)) {
+  if (offsets_.empty()) offsets_.push_back(0);
+  if (offsets_.front() != 0 || offsets_.back() != targets_.size() ||
+      targets_.size() != weights_.size()) {
+    throw std::invalid_argument("Graph: inconsistent CSR arrays");
+  }
+}
+
+double Graph::weighted_degree(Vertex v) const noexcept {
+  double k = 0.0;
+  for (const Weight w : weights_of(v)) k += w;
+  return k;
+}
+
+double Graph::total_weight() const noexcept {
+  double total = 0.0;
+  for (const Weight w : weights_) total += w;
+  return total / 2.0;
+}
+
+std::uint32_t Graph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool Graph::is_symmetric() const {
+  // For each arc (u, v, w), binary-search the reverse arc. Requires sorted
+  // adjacency lists, which the builder guarantees.
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    const auto nbrs = neighbors(u);
+    const auto wts = weights_of(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const Vertex v = nbrs[k];
+      const auto rn = neighbors(v);
+      const auto rw = weights_of(v);
+      const auto it = std::lower_bound(rn.begin(), rn.end(), u);
+      if (it == rn.end() || *it != u) return false;
+      const auto pos = static_cast<std::size_t>(it - rn.begin());
+      if (rw[pos] != wts[k]) return false;
+    }
+  }
+  return true;
+}
+
+bool Graph::is_well_formed() const {
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    if (offsets_[i] > offsets_[i + 1]) return false;
+  }
+  const Vertex n = num_vertices();
+  for (const Vertex t : targets_) {
+    if (t >= n) return false;
+  }
+  for (const Weight w : weights_) {
+    if (!std::isfinite(w) || w < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace nulpa

@@ -1,0 +1,84 @@
+// Compressed Sparse Row graph — the storage format every algorithm in this
+// library consumes. Vertices are 32-bit ids and edge weights 32-bit floats,
+// matching the configuration in Section 5.1.2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nulpa {
+
+using Vertex = std::uint32_t;
+using EdgeIndex = std::uint64_t;
+using Weight = float;
+
+/// An undirected weighted graph in CSR form. Every undirected edge {u, v}
+/// is stored twice (u->v and v->u), so `num_edges()` counts directed arcs —
+/// the same convention as the paper's |E| "after adding reverse edges".
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<EdgeIndex> offsets, std::vector<Vertex> targets,
+        std::vector<Weight> weights);
+
+  [[nodiscard]] Vertex num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<Vertex>(offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeIndex num_edges() const noexcept {
+    return static_cast<EdgeIndex>(targets_.size());
+  }
+
+  [[nodiscard]] EdgeIndex offset(Vertex v) const noexcept {
+    return offsets_[v];
+  }
+  [[nodiscard]] std::uint32_t degree(Vertex v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbour ids of `v` (parallel to `weights_of(v)`).
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return {targets_.data() + offsets_[v], degree(v)};
+  }
+  [[nodiscard]] std::span<const Weight> weights_of(Vertex v) const noexcept {
+    return {weights_.data() + offsets_[v], degree(v)};
+  }
+
+  [[nodiscard]] std::span<const EdgeIndex> offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const Vertex> targets() const noexcept {
+    return targets_;
+  }
+  [[nodiscard]] std::span<const Weight> weights() const noexcept {
+    return weights_;
+  }
+
+  /// Sum of all edge weights incident to `v` (the weighted degree K_i).
+  [[nodiscard]] double weighted_degree(Vertex v) const noexcept;
+
+  /// Total undirected edge weight m = sum_{ij} w_ij / 2.
+  [[nodiscard]] double total_weight() const noexcept;
+
+  [[nodiscard]] double average_degree() const noexcept {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_vertices();
+  }
+
+  [[nodiscard]] std::uint32_t max_degree() const noexcept;
+
+  /// True when every arc (u, v) has a matching reverse arc (v, u) with the
+  /// same weight — i.e. the CSR really encodes an undirected graph.
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// True when offsets are monotone, targets in range, and weights finite.
+  [[nodiscard]] bool is_well_formed() const;
+
+ private:
+  std::vector<EdgeIndex> offsets_{0};  // size |V|+1
+  std::vector<Vertex> targets_;        // size |E| (directed arcs)
+  std::vector<Weight> weights_;        // size |E|
+};
+
+}  // namespace nulpa

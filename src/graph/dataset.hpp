@@ -1,0 +1,47 @@
+// Scaled-down synthetic analogues of the 13 SuiteSparse graphs in Table 1.
+// Every benchmark sweeps this suite, so relative comparisons land on the
+// same workload mix the paper used: 7 web crawls, 2 social networks, 2 road
+// networks, and 2 protein k-mer graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+enum class DatasetCategory { kWeb, kSocial, kRoad, kKmer };
+
+struct DatasetSpec {
+  std::string name;          // name of the SuiteSparse graph it stands in for
+  DatasetCategory category;
+  double scale = 1.0;        // relative size within the suite
+};
+
+struct DatasetInstance {
+  DatasetSpec spec;
+  Graph graph;
+};
+
+/// The 13 dataset specs mirroring Table 1, in the paper's order.
+const std::vector<DatasetSpec>& dataset_specs();
+
+/// Builds one synthetic analogue. `base_vertices` controls the overall suite
+/// size (each instance is base_vertices * spec.scale vertices, category
+/// average degree per Table 1).
+DatasetInstance make_dataset(const DatasetSpec& spec, Vertex base_vertices,
+                             std::uint64_t seed);
+
+/// Builds the whole suite. `base_vertices` defaults small enough that the
+/// full 13-graph sweep runs in seconds on a laptop.
+std::vector<DatasetInstance> make_dataset_suite(Vertex base_vertices = 4000,
+                                                std::uint64_t seed = 42);
+
+/// The "large graphs" subset the paper's tuning figures (Figs. 2, 4-6) use.
+std::vector<DatasetInstance> make_large_subset(Vertex base_vertices = 4000,
+                                               std::uint64_t seed = 42);
+
+std::string to_string(DatasetCategory c);
+
+}  // namespace nulpa

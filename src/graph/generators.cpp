@@ -1,0 +1,268 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace nulpa {
+
+Graph generate_erdos_renyi(Vertex n, double avg_degree, std::uint64_t seed) {
+  if (n == 0) return Graph();
+  Xoshiro256 rng(seed);
+  // Sample the expected number of undirected edges and draw endpoints
+  // uniformly. For sparse graphs this matches G(n, p) closely and is O(|E|).
+  const auto edges = static_cast<EdgeIndex>(avg_degree * n / 2.0);
+  GraphBuilder builder(n);
+  builder.reserve(edges);
+  for (EdgeIndex e = 0; e < edges; ++e) {
+    const auto u = static_cast<Vertex>(rng.next_bounded(n));
+    const auto v = static_cast<Vertex>(rng.next_bounded(n));
+    if (u != v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph generate_rmat(Vertex n_pow2, EdgeIndex undirected_edges,
+                    std::uint64_t seed, const RmatParams& params) {
+  if (!is_pow2(n_pow2)) {
+    throw std::invalid_argument("generate_rmat: n must be a power of two");
+  }
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (d < 0.0) throw std::invalid_argument("generate_rmat: a+b+c must be <= 1");
+
+  Xoshiro256 rng(seed);
+  const int levels = std::bit_width(static_cast<std::uint64_t>(n_pow2)) - 1;
+  GraphBuilder builder(n_pow2);
+  builder.reserve(undirected_edges);
+  for (EdgeIndex e = 0; e < undirected_edges; ++e) {
+    Vertex u = 0, v = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph generate_web(Vertex n, std::uint32_t out_degree, double intra_host_prob,
+                   std::uint64_t seed, std::uint32_t avg_host_size,
+                   double hub_bias) {
+  if (n == 0) return Graph();
+  Xoshiro256 rng(seed);
+
+  // Carve [0, n) into hosts: geometric sizes around avg_host_size, stored
+  // as the host id of every page. Contiguous ids mirror crawl order, where
+  // a host's pages are fetched together.
+  std::vector<Vertex> host_begin;  // first page of each host
+  for (Vertex v = 0; v < n;) {
+    host_begin.push_back(v);
+    // Geometric-ish size in [avg/4, ~2*avg]; at least 2 so intra links exist.
+    const auto span = static_cast<Vertex>(
+        2 + avg_host_size / 4 + rng.next_bounded(std::max(1u, 7 * avg_host_size / 4)));
+    v = (v > n - span) ? n : v + span;  // guard against overflow at the tail
+  }
+  host_begin.push_back(n);  // sentinel
+
+  GraphBuilder builder(n);
+  builder.reserve(static_cast<std::size_t>(n) * out_degree);
+  // Cross-host targets follow preferential attachment (a page appears in
+  // `popular` once per cross-host link it has), reproducing the heavy
+  // in-degree tail of real crawls — a few hub pages of very high degree,
+  // which is what makes the two-kernel split of Section 4.3 matter.
+  std::vector<Vertex> popular;
+  popular.reserve(static_cast<std::size_t>(n) * out_degree / 4);
+  std::size_t h = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    while (host_begin[h + 1] <= v) ++h;
+    const Vertex lo = host_begin[h];
+    const Vertex hi = host_begin[h + 1];
+    const Vertex host_size = hi - lo;
+    for (std::uint32_t k = 0; k < out_degree; ++k) {
+      Vertex target;
+      if (host_size > 1 && rng.next_bool(intra_host_prob)) {
+        target = lo + static_cast<Vertex>(rng.next_bounded(host_size));
+      } else if (v > 0) {
+        // Cross-host link to an earlier page: mostly degree-
+        // proportional (hubs), occasionally uniform (fresh discovery).
+        if (!popular.empty() && rng.next_bool(hub_bias)) {
+          target = popular[rng.next_bounded(popular.size())];
+        } else {
+          target = static_cast<Vertex>(rng.next_bounded(v));
+        }
+        popular.push_back(target);
+        popular.push_back(v);
+      } else {
+        continue;
+      }
+      if (target != v) builder.add_edge(v, target);
+    }
+  }
+  return builder.build();
+}
+
+Graph generate_road(Vertex width, Vertex height, double extra_edge_prob,
+                    std::uint64_t seed) {
+  const std::uint64_t n64 = static_cast<std::uint64_t>(width) * height;
+  if (n64 > 0xFFFFFFFFull) {
+    throw std::invalid_argument("generate_road: grid too large for 32-bit ids");
+  }
+  const auto n = static_cast<Vertex>(n64);
+  if (n == 0) return Graph();
+  Xoshiro256 rng(seed);
+  GraphBuilder builder(n);
+  auto id = [width](Vertex x, Vertex y) { return y * width + x; };
+  // A road network is close to a sparse planar subgraph: keep each lattice
+  // segment with probability tuned so the average degree lands near the
+  // 2.1 of asia_osm/europe_osm (arcs per vertex). Each kept segment adds 2
+  // arcs, so keep_prob ~ 2.1 / (2 * 2 segments per vertex).
+  const double keep_prob = 0.525 + extra_edge_prob;
+  for (Vertex y = 0; y < height; ++y) {
+    for (Vertex x = 0; x < width; ++x) {
+      if (x + 1 < width && rng.next_bool(keep_prob)) {
+        builder.add_edge(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < height && rng.next_bool(keep_prob)) {
+        builder.add_edge(id(x, y), id(x, y + 1));
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph generate_kmer(Vertex n, double branch_prob, std::uint64_t seed) {
+  if (n == 0) return Graph();
+  Xoshiro256 rng(seed);
+  GraphBuilder builder(n);
+  // Chains of successive k-mers with occasional branch points: walk the
+  // vertex ids, linking i -> i+1 unless a chain break occurs; at branch
+  // points attach a link to a random earlier vertex (a shared k-mer).
+  const double break_prob = 0.045;  // mean chain length ~ 22, like GenBank
+  for (Vertex v = 0; v + 1 < n; ++v) {
+    if (!rng.next_bool(break_prob)) builder.add_edge(v, v + 1);
+    if (v > 0 && rng.next_bool(branch_prob)) {
+      const auto other = static_cast<Vertex>(rng.next_bounded(v));
+      if (other != v) builder.add_edge(v, other);
+    }
+  }
+  return builder.build();
+}
+
+PlantedPartition generate_planted_partition(Vertex n, Vertex communities,
+                                            double avg_degree_in,
+                                            double avg_degree_out,
+                                            std::uint64_t seed) {
+  if (communities == 0 || n < communities) {
+    throw std::invalid_argument("generate_planted_partition: bad sizes");
+  }
+  Xoshiro256 rng(seed);
+  PlantedPartition result;
+  result.ground_truth.resize(n);
+  for (Vertex v = 0; v < n; ++v) result.ground_truth[v] = v % communities;
+
+  std::vector<std::vector<Vertex>> members(communities);
+  for (Vertex v = 0; v < n; ++v) members[v % communities].push_back(v);
+
+  GraphBuilder builder(n);
+  // Intra-community edges: per community, sample expected count.
+  for (Vertex c = 0; c < communities; ++c) {
+    const auto& m = members[c];
+    if (m.size() < 2) continue;
+    const auto count =
+        static_cast<EdgeIndex>(avg_degree_in * static_cast<double>(m.size()) / 2.0);
+    for (EdgeIndex e = 0; e < count; ++e) {
+      const Vertex u = m[rng.next_bounded(m.size())];
+      const Vertex v = m[rng.next_bounded(m.size())];
+      if (u != v) builder.add_edge(u, v);
+    }
+  }
+  // Inter-community edges.
+  const auto inter =
+      static_cast<EdgeIndex>(avg_degree_out * static_cast<double>(n) / 2.0);
+  for (EdgeIndex e = 0; e < inter; ++e) {
+    const auto u = static_cast<Vertex>(rng.next_bounded(n));
+    const auto v = static_cast<Vertex>(rng.next_bounded(n));
+    if (u != v && result.ground_truth[u] != result.ground_truth[v]) {
+      builder.add_edge(u, v);
+    }
+  }
+  result.graph = builder.build();
+  return result;
+}
+
+Graph generate_ring_of_cliques(Vertex cliques, Vertex clique_size) {
+  if (cliques == 0 || clique_size < 2) {
+    throw std::invalid_argument("generate_ring_of_cliques: bad sizes");
+  }
+  GraphBuilder builder(cliques * clique_size);
+  for (Vertex c = 0; c < cliques; ++c) {
+    const Vertex base = c * clique_size;
+    for (Vertex i = 0; i < clique_size; ++i) {
+      for (Vertex j = i + 1; j < clique_size; ++j) {
+        builder.add_edge(base + i, base + j);
+      }
+    }
+    // Bridge from this clique's last vertex to the next clique's first.
+    const Vertex next_base = ((c + 1) % cliques) * clique_size;
+    if (cliques > 1) builder.add_edge(base + clique_size - 1, next_base);
+  }
+  return builder.build();
+}
+
+Graph generate_clique(Vertex n) {
+  GraphBuilder builder(n);
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = i + 1; j < n; ++j) builder.add_edge(i, j);
+  }
+  return builder.build();
+}
+
+Graph generate_path(Vertex n) {
+  GraphBuilder builder(n);
+  for (Vertex i = 0; i + 1 < n; ++i) builder.add_edge(i, i + 1);
+  return builder.build();
+}
+
+Graph generate_barabasi_albert(Vertex n, std::uint32_t m, std::uint64_t seed) {
+  if (n == 0) return Graph();
+  Xoshiro256 rng(seed);
+  GraphBuilder builder(n);
+  // Target list with repetition implements preferential attachment: a
+  // vertex appears once per incident edge, so sampling uniformly from the
+  // list is degree-proportional sampling.
+  std::vector<Vertex> targets;
+  const Vertex bootstrap = std::min<Vertex>(n, m + 1);
+  for (Vertex v = 1; v < bootstrap; ++v) {
+    builder.add_edge(v, v - 1);
+    targets.push_back(v);
+    targets.push_back(v - 1);
+  }
+  for (Vertex v = bootstrap; v < n; ++v) {
+    for (std::uint32_t k = 0; k < m; ++k) {
+      const Vertex t = targets[rng.next_bounded(targets.size())];
+      if (t != v) {
+        builder.add_edge(v, t);
+        targets.push_back(v);
+        targets.push_back(t);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace nulpa

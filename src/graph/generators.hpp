@@ -1,0 +1,77 @@
+// Synthetic graph generators standing in for the paper's SuiteSparse inputs
+// (Table 1). One generator per dataset category; each matches the category's
+// structural signature (degree distribution, locality, community structure)
+// at laptop scale. See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+/// G(n, p)-style random graph specified by expected average degree.
+Graph generate_erdos_renyi(Vertex n, double avg_degree, std::uint64_t seed);
+
+/// Recursive-matrix (R-MAT) generator; the default (a,b,c,d) produces the
+/// heavy-tailed degree distributions of social networks such as com-Orkut.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+Graph generate_rmat(Vertex n_pow2, EdgeIndex undirected_edges,
+                    std::uint64_t seed, const RmatParams& params = {});
+
+/// Host-structured web crawl. Pages are grouped into hosts of geometric
+/// size (contiguous id ranges, matching crawl order); each page links
+/// within its host with probability `intra_host_prob` and to a random
+/// earlier page otherwise. This reproduces the property that makes the LAW
+/// crawls LPA-friendly: the overwhelming majority of links are host-local,
+/// so modularity of the natural clustering is high (~0.9).
+/// `hub_bias` is the fraction of cross-host links drawn preferentially
+/// (degree-proportional) instead of uniformly; it controls how heavy the
+/// in-degree tail gets.
+Graph generate_web(Vertex n, std::uint32_t out_degree, double intra_host_prob,
+                   std::uint64_t seed, std::uint32_t avg_host_size = 40,
+                   double hub_bias = 0.85);
+
+/// Road network: a jittered 2-D lattice where each junction keeps only a
+/// couple of incident segments, giving the ~2.1 average degree of
+/// asia_osm / europe_osm.
+Graph generate_road(Vertex width, Vertex height, double extra_edge_prob,
+                    std::uint64_t seed);
+
+/// Protein k-mer graph: long chains (k-mer successions) with sparse branch
+/// points, matching the ~2.1 average degree and huge community counts of
+/// kmer_A2a / kmer_V1r.
+Graph generate_kmer(Vertex n, double branch_prob, std::uint64_t seed);
+
+/// Planted-partition (stochastic block model): `communities` equal-sized
+/// groups with intra-/inter-community edge probabilities derived from
+/// `avg_degree_in` / `avg_degree_out`. Used as ground truth for quality
+/// tests (NMI) because the true membership is known.
+struct PlantedPartition {
+  Graph graph;
+  std::vector<Vertex> ground_truth;  // community of each vertex
+};
+PlantedPartition generate_planted_partition(Vertex n, Vertex communities,
+                                            double avg_degree_in,
+                                            double avg_degree_out,
+                                            std::uint64_t seed);
+
+/// Ring of `k`-cliques joined by single bridge edges — the classic
+/// community-detection stress test with a known optimal clustering.
+Graph generate_ring_of_cliques(Vertex cliques, Vertex clique_size);
+
+/// Complete graph on n vertices (unit weights).
+Graph generate_clique(Vertex n);
+
+/// Simple path 0-1-2-...-(n-1).
+Graph generate_path(Vertex n);
+
+/// Barabasi–Albert preferential attachment with `m` edges per new vertex.
+Graph generate_barabasi_albert(Vertex n, std::uint32_t m, std::uint64_t seed);
+
+}  // namespace nulpa

@@ -1,0 +1,137 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace nulpa {
+
+namespace {
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  return in;
+}
+
+}  // namespace
+
+Graph read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || !line.starts_with("%%MatrixMarket")) {
+    throw std::runtime_error("MatrixMarket: missing banner");
+  }
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (format != "coordinate") {
+    throw std::runtime_error("MatrixMarket: only coordinate format supported");
+  }
+  const bool has_values = field == "real" || field == "integer";
+  if (!has_values && field != "pattern") {
+    throw std::runtime_error("MatrixMarket: unsupported field " + field);
+  }
+
+  // Skip comments, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::uint64_t rows = 0, cols = 0, entries = 0;
+  {
+    std::istringstream ss(line);
+    if (!(ss >> rows >> cols >> entries)) {
+      throw std::runtime_error("MatrixMarket: bad size line");
+    }
+  }
+  if (rows != cols) {
+    throw std::runtime_error("MatrixMarket: adjacency matrix must be square");
+  }
+
+  GraphBuilder builder(static_cast<Vertex>(rows));
+  builder.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    std::uint64_t u = 0, v = 0;
+    double w = 1.0;
+    if (!(in >> u >> v)) throw std::runtime_error("MatrixMarket: truncated");
+    if (has_values && !(in >> w)) {
+      throw std::runtime_error("MatrixMarket: missing value");
+    }
+    if (u == 0 || v == 0 || u > rows || v > rows) {
+      throw std::runtime_error("MatrixMarket: index out of range");
+    }
+    builder.add_edge(static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1),
+                     static_cast<Weight>(w));
+  }
+  return builder.build();
+}
+
+Graph read_matrix_market_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Graph& g) {
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  std::uint64_t undirected = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (u >= v) ++undirected;
+    }
+  }
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << undirected
+      << '\n';
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (u >= nbrs[k]) {
+        out << (u + 1) << ' ' << (nbrs[k] + 1) << ' ' << wts[k] << '\n';
+      }
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for write: " + path);
+  write_matrix_market(out, g);
+}
+
+Graph read_edge_list(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    std::uint64_t u = 0, v = 0;
+    double w = 1.0;
+    if (!(ss >> u >> v)) {
+      throw std::runtime_error("edge list: malformed line: " + line);
+    }
+    ss >> w;  // optional weight
+    builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v),
+                     static_cast<Weight>(w));
+  }
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (u <= nbrs[k]) {
+        out << u << ' ' << nbrs[k] << ' ' << wts[k] << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace nulpa

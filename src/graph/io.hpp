@@ -1,0 +1,33 @@
+// Matrix Market and whitespace edge-list readers/writers. The paper's inputs
+// come from the SuiteSparse Matrix Collection, which distributes Matrix
+// Market files; these routines let users run the library on the exact same
+// files when they have them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+/// Reads a Matrix Market coordinate file (`pattern` or `real`, `general` or
+/// `symmetric`) as an undirected graph: self-loops dropped, reverse arcs
+/// added, duplicates combined, missing weights defaulted to 1 — mirroring
+/// Section 5.1.3. Throws std::runtime_error on malformed input.
+Graph read_matrix_market(std::istream& in);
+Graph read_matrix_market_file(const std::string& path);
+
+/// Writes the graph as a symmetric real coordinate Matrix Market file.
+/// Only the lower triangle (u >= v) is emitted.
+void write_matrix_market(std::ostream& out, const Graph& g);
+void write_matrix_market_file(const std::string& path, const Graph& g);
+
+/// Reads `u v [w]` lines (0-based ids, '#'/'%' comments) as an undirected
+/// graph with the same clean-up as the Matrix Market reader.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+void write_edge_list(std::ostream& out, const Graph& g);
+
+}  // namespace nulpa

@@ -1,0 +1,102 @@
+#include "graph/metis_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace nulpa {
+
+namespace {
+
+/// Fetches the next non-comment line. Empty lines are legal vertex lines
+/// (isolated vertices) but not a legal header, hence the flag.
+bool next_content_line(std::istream& in, std::string& line,
+                       bool allow_empty) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    if (!line.empty() || allow_empty) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_metis(std::istream& in) {
+  std::string line;
+  if (!next_content_line(in, line, /*allow_empty=*/false)) {
+    throw std::runtime_error("METIS: missing header");
+  }
+  std::istringstream header(line);
+  std::uint64_t n = 0, m = 0;
+  std::string fmt = "0";
+  if (!(header >> n >> m)) throw std::runtime_error("METIS: bad header");
+  header >> fmt;
+  const bool edge_weights = fmt.size() >= 1 && fmt.back() == '1';
+  if (fmt.size() >= 2 && fmt[fmt.size() - 2] == '1') {
+    throw std::runtime_error("METIS: vertex weights not supported");
+  }
+
+  GraphBuilder builder(static_cast<Vertex>(n));
+  builder.reserve(m);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    if (!next_content_line(in, line, /*allow_empty=*/true)) {
+      throw std::runtime_error("METIS: truncated at vertex " +
+                               std::to_string(u + 1));
+    }
+    std::istringstream ss(line);
+    std::uint64_t v = 0;
+    while (ss >> v) {
+      if (v == 0 || v > n) {
+        throw std::runtime_error("METIS: neighbour id out of range");
+      }
+      double w = 1.0;
+      if (edge_weights && !(ss >> w)) {
+        throw std::runtime_error("METIS: missing edge weight");
+      }
+      // Each undirected edge appears in both endpoint lines; keep one.
+      if (u < v - 1) {
+        builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v - 1),
+                         static_cast<Weight>(w));
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph read_metis_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_metis(in);
+}
+
+void write_metis(std::ostream& out, const Graph& g) {
+  bool weighted = false;
+  for (const Weight w : g.weights()) {
+    if (w != 1.0f) {
+      weighted = true;
+      break;
+    }
+  }
+  out << g.num_vertices() << ' ' << g.num_edges() / 2
+      << (weighted ? " 001" : "") << '\n';
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (e > 0) out << ' ';
+      out << (nbrs[e] + 1);
+      if (weighted) out << ' ' << wts[e];
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_metis(out, g);
+}
+
+}  // namespace nulpa

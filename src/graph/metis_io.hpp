@@ -1,0 +1,24 @@
+// METIS graph-file format (.graph) reader/writer. The paper's conclusion
+// positions ν-LPA for graph partitioning; METIS format is the lingua franca
+// of that ecosystem (METIS, KaHIP, PuLP, Mt-KaHyPar all speak it).
+//
+// Format: header "<#vertices> <#edges> [fmt]" where fmt 1 = edge weights;
+// line i (1-based) lists vertex i's neighbours (1-based ids), optionally
+// interleaved with weights. '%' starts a comment line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+Graph read_metis(std::istream& in);
+Graph read_metis_file(const std::string& path);
+
+/// Writes with edge weights (fmt 001) when any weight differs from 1.
+void write_metis(std::ostream& out, const Graph& g);
+void write_metis_file(const std::string& path, const Graph& g);
+
+}  // namespace nulpa

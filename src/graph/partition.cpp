@@ -1,0 +1,20 @@
+#include "graph/partition.hpp"
+
+namespace nulpa {
+
+DegreePartition partition_by_degree(const Graph& g,
+                                    std::uint32_t switch_degree) {
+  DegreePartition p;
+  const Vertex n = g.num_vertices();
+  p.low.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    if (g.degree(v) < switch_degree) {
+      p.low.push_back(v);
+    } else {
+      p.high.push_back(v);
+    }
+  }
+  return p;
+}
+
+}  // namespace nulpa

@@ -1,0 +1,23 @@
+// Degree-based vertex partitioning for the two-kernel strategy (Section 4.3):
+// vertices below the switch degree go to the thread-per-vertex kernel, the
+// rest to the block-per-vertex kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+struct DegreePartition {
+  std::vector<Vertex> low;   // degree <  switch_degree
+  std::vector<Vertex> high;  // degree >= switch_degree
+};
+
+/// Splits the vertex set by degree. Both lists preserve ascending id order,
+/// which keeps warp assignments deterministic.
+DegreePartition partition_by_degree(const Graph& g,
+                                    std::uint32_t switch_degree);
+
+}  // namespace nulpa

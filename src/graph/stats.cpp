@@ -1,0 +1,28 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+namespace nulpa {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.vertices = g.num_vertices();
+  s.edges = g.num_edges();
+  s.avg_degree = g.average_degree();
+  s.max_degree = g.max_degree();
+  s.total_weight = g.total_weight();
+  return s;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Graph& g,
+                                            std::uint32_t buckets) {
+  std::vector<std::uint64_t> hist(buckets, 0);
+  if (buckets == 0) return hist;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t d = std::min(g.degree(v), buckets - 1);
+    ++hist[d];
+  }
+  return hist;
+}
+
+}  // namespace nulpa

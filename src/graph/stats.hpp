@@ -1,0 +1,26 @@
+// Descriptive statistics used by the dataset table bench and the examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+struct GraphStats {
+  Vertex vertices = 0;
+  EdgeIndex edges = 0;  // directed arcs, as in Table 1
+  double avg_degree = 0.0;
+  std::uint32_t max_degree = 0;
+  double total_weight = 0.0;  // m
+};
+
+GraphStats compute_stats(const Graph& g);
+
+/// Degree histogram: result[d] = number of vertices of degree d
+/// (capped at `max_degree` buckets; the final bucket aggregates the tail).
+std::vector<std::uint64_t> degree_histogram(const Graph& g,
+                                            std::uint32_t buckets);
+
+}  // namespace nulpa

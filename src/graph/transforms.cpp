@@ -1,0 +1,145 @@
+#include "graph/transforms.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace nulpa {
+
+namespace {
+
+/// Local label compaction (quality/communities.hpp has the public variant;
+/// duplicating three lines here keeps the graph library free of a
+/// dependency cycle with the quality library).
+Vertex compact_in_place(std::vector<Vertex>& labels) {
+  std::unordered_map<Vertex, Vertex> remap;
+  remap.reserve(labels.size() / 4 + 1);
+  for (Vertex& c : labels) {
+    c = remap.emplace(c, static_cast<Vertex>(remap.size())).first->second;
+  }
+  return static_cast<Vertex>(remap.size());
+}
+
+}  // namespace
+
+std::vector<Vertex> connected_components(const Graph& g, Vertex* out_count) {
+  const Vertex n = g.num_vertices();
+  constexpr Vertex kUnseen = 0xFFFFFFFFu;
+  std::vector<Vertex> component(n, kUnseen);
+  std::vector<Vertex> frontier;
+  Vertex count = 0;
+  for (Vertex start = 0; start < n; ++start) {
+    if (component[start] != kUnseen) continue;
+    const Vertex c = count++;
+    component[start] = c;
+    frontier.assign(1, start);
+    while (!frontier.empty()) {
+      const Vertex u = frontier.back();
+      frontier.pop_back();
+      for (const Vertex v : g.neighbors(u)) {
+        if (component[v] == kUnseen) {
+          component[v] = c;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  if (out_count != nullptr) *out_count = count;
+  return component;
+}
+
+Graph coarsen_by_membership(const Graph& g, std::span<const Vertex> membership,
+                            std::vector<Vertex>* out_coarse_id) {
+  if (membership.size() != g.num_vertices()) {
+    throw std::invalid_argument("coarsen_by_membership: size mismatch");
+  }
+  std::vector<Vertex> compact(membership.begin(), membership.end());
+  const Vertex k = compact_in_place(compact);
+
+  GraphBuilder builder(k);
+  builder.reserve(g.num_edges() / 2 + k);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (u > nbrs[e]) continue;  // one direction; builder symmetrizes
+      const Vertex cu = compact[u];
+      const Vertex cv = compact[nbrs[e]];
+      // An intra-community edge {u, v} becomes self-loop weight 2w: a CSR
+      // stores a self-loop arc once, so doubling keeps the community's
+      // weighted degree and the graph's total weight exact. Pre-existing
+      // self-loops (u == v) already carry that convention.
+      const Weight w = (cu == cv && u != nbrs[e]) ? 2 * wts[e] : wts[e];
+      builder.add_edge(cu, cv, w);
+    }
+  }
+  if (out_coarse_id != nullptr) *out_coarse_id = std::move(compact);
+  GraphBuilder::Options opts;
+  opts.drop_self_loops = false;  // intra-community weight must survive
+  return builder.build(opts);
+}
+
+Graph permute_vertices(const Graph& g, std::span<const Vertex> perm) {
+  const Vertex n = g.num_vertices();
+  if (perm.size() != n) {
+    throw std::invalid_argument("permute_vertices: size mismatch");
+  }
+  std::vector<std::uint8_t> seen(n, 0);
+  for (const Vertex p : perm) {
+    if (p >= n || seen[p]) {
+      throw std::invalid_argument("permute_vertices: not a permutation");
+    }
+    seen[p] = 1;
+  }
+  GraphBuilder builder(n);
+  builder.reserve(g.num_edges() / 2);
+  for (Vertex u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (u > nbrs[e]) continue;
+      builder.add_edge(perm[u], perm[nbrs[e]], wts[e]);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<Vertex> degree_order_permutation(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    return g.degree(a) > g.degree(b);
+  });
+  // order[i] = old vertex placed at new slot i; invert into perm[old] = new.
+  std::vector<Vertex> perm(n);
+  for (Vertex i = 0; i < n; ++i) perm[order[i]] = i;
+  return perm;
+}
+
+Graph induced_subgraph(const Graph& g, std::span<const Vertex> vertices) {
+  std::unordered_map<Vertex, Vertex> remap;
+  remap.reserve(vertices.size());
+  for (const Vertex v : vertices) {
+    if (v >= g.num_vertices()) {
+      throw std::out_of_range("induced_subgraph: vertex out of range");
+    }
+    remap.emplace(v, static_cast<Vertex>(remap.size()));
+  }
+  GraphBuilder builder(static_cast<Vertex>(remap.size()));
+  for (const auto& [old_u, new_u] : remap) {
+    const auto nbrs = g.neighbors(old_u);
+    const auto wts = g.weights_of(old_u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      const auto it = remap.find(nbrs[e]);
+      if (it == remap.end() || old_u > nbrs[e]) continue;
+      builder.add_edge(new_u, it->second, wts[e]);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace nulpa

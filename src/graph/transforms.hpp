@@ -1,0 +1,43 @@
+// Structural graph transforms used by community pipelines: connected
+// components (sanity analysis of detected communities), membership-driven
+// coarsening (the super-vertex graph Louvain-style methods iterate on, and
+// the contraction step of LPA-based partitioners the paper's conclusion
+// motivates), vertex permutation (degree/label reordering a la Layered
+// Label Propagation), and subgraph extraction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+/// Connected components by BFS; returns the component id of every vertex
+/// (ids are dense, ordered by first-seen vertex) and the component count
+/// via `out_count` when non-null.
+std::vector<Vertex> connected_components(const Graph& g,
+                                         Vertex* out_count = nullptr);
+
+/// Collapses each community of `membership` into a super-vertex. Edge
+/// weights between communities are summed; intra-community weight becomes a
+/// self-loop so total weight (and modularity) is preserved. `membership`
+/// may be any labelling; it is compacted internally. Returns the coarse
+/// graph and writes the compacted community of each original vertex into
+/// `out_coarse_id` when non-null.
+Graph coarsen_by_membership(const Graph& g, std::span<const Vertex> membership,
+                            std::vector<Vertex>* out_coarse_id = nullptr);
+
+/// Renumbers vertices: new id of v = perm[v]. `perm` must be a permutation
+/// of [0, |V|).
+Graph permute_vertices(const Graph& g, std::span<const Vertex> perm);
+
+/// Permutation ordering vertices by descending degree (hubs first) —
+/// improves locality for the block-per-vertex kernel.
+std::vector<Vertex> degree_order_permutation(const Graph& g);
+
+/// Induced subgraph on `vertices` (need not be sorted; duplicates are
+/// ignored). Vertex i of the result corresponds to the i-th distinct entry.
+Graph induced_subgraph(const Graph& g, std::span<const Vertex> vertices);
+
+}  // namespace nulpa

@@ -1,0 +1,102 @@
+// Coalesced-chaining hashtable view — the alternative design the paper's
+// appendix evaluates (and rejects). Collisions are linked into chains whose
+// nodes live in the same slot array, via an extra `nexts` array H_n.
+#pragma once
+
+#include <cstdint>
+
+#include "hash/probing.hpp"
+#include "hash/vertex_table.hpp"
+
+namespace nulpa {
+
+template <typename V>
+class CoalescedTableView {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  CoalescedTableView(Vertex* keys, V* values, std::uint32_t* nexts,
+                     std::uint32_t capacity, HashStats* stats = nullptr) noexcept
+      : keys_(keys),
+        values_(values),
+        nexts_(nexts),
+        p1_(capacity),
+        cursor_(capacity),
+        stats_(stats) {}
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return p1_; }
+
+  void clear() noexcept {
+    for (std::uint32_t s = 0; s < p1_; ++s) {
+      keys_[s] = kEmptyKey;
+      values_[s] = V{};
+      nexts_[s] = kNil;
+    }
+    cursor_ = p1_;
+  }
+
+  /// Adds `v` to the weight of `k`. Walks the chain rooted at the home slot;
+  /// on a miss, claims the highest-numbered free slot (the classic coalesced
+  /// "cellar-less" policy) and links it onto the chain tail.
+  std::uint32_t accumulate(Vertex k, V v) noexcept {
+    if (stats_) ++stats_->inserts;
+    const auto home = static_cast<std::uint32_t>(k % p1_);
+    if (keys_[home] == kEmptyKey) {
+      keys_[home] = k;
+      values_[home] = v;
+      return home;
+    }
+    // Walk the chain through this slot looking for the key.
+    std::uint32_t s = home;
+    for (;;) {
+      if (keys_[s] == k) {
+        values_[s] += v;
+        return s;
+      }
+      if (nexts_[s] == kNil) break;
+      if (stats_) ++stats_->probes;
+      s = nexts_[s];
+    }
+    // Key absent: claim a free slot scanning down from the cursor.
+    while (cursor_ > 0) {
+      --cursor_;
+      if (stats_) ++stats_->probes;
+      if (keys_[cursor_] == kEmptyKey) {
+        keys_[cursor_] = k;
+        values_[cursor_] = v;
+        nexts_[s] = cursor_;
+        return cursor_;
+      }
+    }
+    return p1_;  // table full — unreachable while distinct keys <= p1
+  }
+
+  [[nodiscard]] Vertex max_key() const noexcept {
+    Vertex best = kEmptyKey;
+    V best_w = V{};
+    for (std::uint32_t s = 0; s < p1_; ++s) {
+      if (keys_[s] != kEmptyKey && (best == kEmptyKey || values_[s] > best_w)) {
+        best = keys_[s];
+        best_w = values_[s];
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] V weight_of(Vertex k) const noexcept {
+    for (std::uint32_t s = 0; s < p1_; ++s) {
+      if (keys_[s] == k) return values_[s];
+    }
+    return V{};
+  }
+
+ private:
+  Vertex* keys_;
+  V* values_;
+  std::uint32_t* nexts_;
+  std::uint32_t p1_;
+  std::uint32_t cursor_;
+  HashStats* stats_;
+};
+
+}  // namespace nulpa

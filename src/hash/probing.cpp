@@ -1,0 +1,21 @@
+#include "hash/probing.hpp"
+
+namespace nulpa {
+
+std::string to_string(Probing p) {
+  switch (p) {
+    case Probing::kLinear:
+      return "linear";
+    case Probing::kQuadratic:
+      return "quadratic";
+    case Probing::kDouble:
+      return "double";
+    case Probing::kQuadDouble:
+      return "quadratic-double";
+    case Probing::kCoalesced:
+      return "coalesced";
+  }
+  return "?";
+}
+
+}  // namespace nulpa

@@ -1,0 +1,73 @@
+// Collision-resolution policies for the per-vertex hashtables (Section 4.2,
+// Algorithm 2). The probe position is i mod p1 where i advances by a step
+// di; the policies differ only in how di evolves:
+//   linear:      di stays 1
+//   quadratic:   di doubles after every collision
+//   double:      di is fixed at 1 + (k mod p2)      (second hash function)
+//   quad-double: di <- 2*di + (k mod p2)            (the paper's hybrid)
+// p1 is the table capacity (nextPow2-1 style, odd); p2 > p1 is the secondary
+// "prime" nextPow2(p1+1)*2 - 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+enum class Probing : std::uint8_t {
+  kLinear,
+  kQuadratic,
+  kDouble,
+  kQuadDouble,
+  kCoalesced,  // chaining hybrid; handled by CoalescedTable, not probe_step
+};
+
+/// Initial step for the first collision of key `k`. For double hashing the
+/// fixed stride must not be a multiple of the capacity p1, or the probe
+/// sequence would revisit a single slot forever; the +1 adjustment is the
+/// standard guard.
+constexpr std::uint64_t initial_step(Probing p, std::uint32_t k,
+                                     std::uint32_t p1,
+                                     std::uint32_t p2) noexcept {
+  switch (p) {
+    case Probing::kDouble: {
+      std::uint64_t d = 1 + (k % p2);
+      if (p1 > 1 && d % p1 == 0) ++d;
+      return d;
+    }
+    default:
+      return 1;
+  }
+}
+
+/// Step after a collision, given the previous step `di`.
+constexpr std::uint64_t next_step(Probing p, std::uint64_t di, std::uint32_t k,
+                                  std::uint32_t p2) noexcept {
+  switch (p) {
+    case Probing::kLinear:
+      return 1;
+    case Probing::kQuadratic:
+      return 2 * di;
+    case Probing::kDouble:
+      return di;  // fixed second-hash stride
+    case Probing::kQuadDouble:
+      return 2 * di + (k % p2);
+    case Probing::kCoalesced:
+      return 1;
+  }
+  return 1;
+}
+
+std::string to_string(Probing p);
+
+/// Maximum probe attempts before the implementation falls back to an
+/// exhaustive scan. The fallback guarantees correctness at 100% load; the
+/// paper instead sizes tables so this "scenario is avoided".
+inline constexpr int kMaxRetries = 64;
+
+/// Empty-slot sentinel (phi in Algorithm 2). Vertex ids are < 2^32 - 1.
+inline constexpr Vertex kEmptyKey = 0xFFFFFFFFu;
+
+}  // namespace nulpa

@@ -1,0 +1,141 @@
+// A non-owning view over one vertex's slice of the global hashtable buffers
+// (Figure 3): keys live in buf_k[2*O_i ...] and values in buf_v[2*O_i ...],
+// capacity p1 = nextPow2(degree+1) - 1 within the reserved 2*degree slots.
+//
+// This header implements the *unshared* operations of Algorithm 2 (one
+// thread owns the table — the thread-per-vertex kernel and the host-side
+// reference use these). The shared/atomic variant lives with the SIMT
+// kernels, which reuse the probe-step policies from probing.hpp so both
+// paths walk identical probe sequences.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hash/probing.hpp"
+#include "util/bits.hpp"
+
+namespace nulpa {
+
+/// Statistics a table view reports into (optional). `probes` counts slot
+/// inspections beyond the first; `fallbacks` counts exhaustive-scan rescues.
+struct HashStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+template <typename V>
+class VertexTableView {
+ public:
+  /// `keys`/`values` must both have at least `capacity` elements.
+  VertexTableView(Vertex* keys, V* values, std::uint32_t capacity,
+                  HashStats* stats = nullptr) noexcept
+      : keys_(keys),
+        values_(values),
+        p1_(capacity),
+        p2_(secondary_prime(capacity)),
+        stats_(stats) {}
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return p1_; }
+  [[nodiscard]] std::uint32_t secondary() const noexcept { return p2_; }
+
+  /// Resets every slot to empty. O(p1).
+  void clear() noexcept {
+    for (std::uint32_t s = 0; s < p1_; ++s) {
+      keys_[s] = kEmptyKey;
+      values_[s] = V{};
+    }
+  }
+
+  /// hashtableAccumulate (Algorithm 2, unshared path): adds `v` to the
+  /// weight of key `k`, inserting the key on first sight. Returns the slot
+  /// used. Falls back to an exhaustive scan after kMaxRetries probes, which
+  /// always succeeds while distinct keys <= capacity.
+  std::uint32_t accumulate(Vertex k, V v, Probing probing) noexcept {
+    if (stats_) ++stats_->inserts;
+    std::uint64_t i = k;
+    std::uint64_t di = initial_step(probing, k, p1_, p2_);
+    for (int t = 0; t < kMaxRetries; ++t) {
+      const auto s = static_cast<std::uint32_t>(i % p1_);
+      if (keys_[s] == k) {
+        values_[s] += v;
+        return s;
+      }
+      if (keys_[s] == kEmptyKey) {
+        keys_[s] = k;
+        values_[s] = v;
+        return s;
+      }
+      if (stats_) ++stats_->probes;
+      i += di;
+      di = next_step(probing, di, k, p2_);
+    }
+    return accumulate_fallback(k, v);
+  }
+
+  /// hashtableMaxKey: the key with the largest accumulated weight. Strict
+  /// LPA: the *first* slot (in slot order) holding the maximum wins, giving
+  /// deterministic tie-breaks. Returns kEmptyKey on an empty table.
+  [[nodiscard]] Vertex max_key() const noexcept {
+    Vertex best = kEmptyKey;
+    V best_w = V{};
+    for (std::uint32_t s = 0; s < p1_; ++s) {
+      if (keys_[s] != kEmptyKey && (best == kEmptyKey || values_[s] > best_w)) {
+        best = keys_[s];
+        best_w = values_[s];
+      }
+    }
+    return best;
+  }
+
+  /// Weight currently stored for `k` (0 when absent). Linear scan — only
+  /// used by tests.
+  [[nodiscard]] V weight_of(Vertex k) const noexcept {
+    for (std::uint32_t s = 0; s < p1_; ++s) {
+      if (keys_[s] == k) return values_[s];
+    }
+    return V{};
+  }
+
+  [[nodiscard]] std::uint32_t occupied() const noexcept {
+    std::uint32_t n = 0;
+    for (std::uint32_t s = 0; s < p1_; ++s) {
+      if (keys_[s] != kEmptyKey) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::span<const Vertex> keys() const noexcept {
+    return {keys_, p1_};
+  }
+  [[nodiscard]] std::span<const V> values() const noexcept {
+    return {values_, p1_};
+  }
+
+ private:
+  std::uint32_t accumulate_fallback(Vertex k, V v) noexcept {
+    if (stats_) ++stats_->fallbacks;
+    for (std::uint32_t s = 0; s < p1_; ++s) {
+      if (keys_[s] == k) {
+        values_[s] += v;
+        return s;
+      }
+      if (keys_[s] == kEmptyKey) {
+        keys_[s] = k;
+        values_[s] = v;
+        return s;
+      }
+    }
+    // Unreachable while the capacity invariant (distinct keys <= p1) holds.
+    return p1_;
+  }
+
+  Vertex* keys_;
+  V* values_;
+  std::uint32_t p1_;
+  std::uint32_t p2_;
+  HashStats* stats_;
+};
+
+}  // namespace nulpa

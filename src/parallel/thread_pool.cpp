@@ -1,0 +1,66 @@
+#include "parallel/thread_pool.hpp"
+
+namespace nulpa {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (unsigned id = 1; id < threads; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& fn) {
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    remaining_ = static_cast<unsigned>(workers_.size());
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+
+  fn(0);  // caller participates as worker 0
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace nulpa

@@ -1,0 +1,52 @@
+// A small fork-join thread pool with OpenMP-style loop schedules. The
+// multicore baselines (NetworKit-style PLP, GVE-LPA) are written against
+// this runtime so their scheduling behaviour (static / dynamic / guided)
+// matches the implementations the paper compares against.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nulpa {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` picks the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;  // +1: caller thread
+  }
+
+  /// Runs `fn(worker_id)` on every worker (including the calling thread,
+  /// which acts as worker 0) and blocks until all complete. Exceptions in
+  /// workers terminate (parallel regions must not throw), matching OpenMP.
+  void run(const std::function<void(unsigned)>& fn);
+
+  /// A process-wide pool sized to the hardware; used by baselines unless a
+  /// specific pool is supplied.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned remaining_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace nulpa

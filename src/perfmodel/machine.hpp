@@ -1,0 +1,60 @@
+// Analytic machine models that turn simulator counters into modeled wall-
+// clock time. This is the documented substitution for running on the
+// paper's A100 / dual-Xeon testbed — see DESIGN.md ("Hardware
+// substitutions") and EXPERIMENTS.md for how modeled times are reported.
+#pragma once
+
+#include <string>
+
+#include "simt/counters.hpp"
+
+namespace nulpa {
+
+/// Throughput-oriented description of a machine. Rates are deliberately
+/// round, spec-sheet-derived numbers; the model is for *relative* shape,
+/// not absolute prediction.
+struct MachineModel {
+  std::string name;
+  double mem_bandwidth_Bps;    // streaming global/DRAM bandwidth
+  double random_access_per_s;  // independent random word accesses / s
+  double atomic_per_s;         // global atomic RMWs / s
+  double kernel_launch_s;      // host->device launch latency
+  unsigned hardware_threads;   // cores (CPU) or SMs*warps heuristic (GPU)
+};
+
+/// NVIDIA A100-SXM4-80GB: 1935 GB/s HBM2e, 108 SMs (Section 5.1.1).
+MachineModel a100();
+
+/// Dual Intel Xeon Gold 6226R (2 x 16 cores @ 2.9 GHz), the paper's CPU box.
+MachineModel xeon_gold_6226r_dual();
+
+/// Modeled GPU kernel time from simulator counters: launch overhead plus
+/// the largest of the bandwidth, random-access, and atomic bottlenecks
+/// (graph kernels are memory-bound, so the binding resource dominates).
+/// Hash probes beyond the first slot serialize divergent warps, so they are
+/// charged as additional random accesses with a divergence factor.
+double modeled_gpu_seconds(const MachineModel& m,
+                           const simt::PerfCounters& c);
+
+/// Scales a single-thread CPU measurement to `threads` workers with the
+/// given parallel efficiency — how we model the paper's 32-core runs of
+/// NetworKit / GVE-LPA from this host's one core.
+double modeled_cpu_seconds(double single_thread_seconds, unsigned threads,
+                           double efficiency);
+
+/// Modeled GPU time for an algorithm we only have as host code (the
+/// Gunrock-style LPA and the Louvain stand-in for cuGraph): derives memory
+/// traffic from the algorithm-level work counters. `words_per_edge` is the
+/// average global-memory words touched per scanned edge (≈3 for LPA's
+/// read-label/read-weight/update pattern; ~16 for Gunrock's segmented-sort
+/// label aggregation — several radix passes over the edge list; ~16+ for
+/// Louvain, which also builds aggregated graphs). `random_per_edge` is the
+/// average dependent random accesses per edge (per-edge hashmap work in
+/// Louvain's local moving).
+double modeled_gpu_seconds_from_work(const MachineModel& m,
+                                     std::uint64_t edges_scanned,
+                                     int kernel_launches,
+                                     double words_per_edge,
+                                     double random_per_edge = 0.0);
+
+}  // namespace nulpa

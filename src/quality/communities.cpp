@@ -1,0 +1,58 @@
+#include "quality/communities.hpp"
+
+#include <unordered_map>
+
+namespace nulpa {
+
+bool is_valid_membership(const Graph& g, std::span<const Vertex> labels) {
+  if (labels.size() != g.num_vertices()) return false;
+  for (const Vertex c : labels) {
+    if (c >= g.num_vertices()) return false;
+  }
+  return true;
+}
+
+Vertex count_communities(std::span<const Vertex> labels) {
+  std::unordered_map<Vertex, Vertex> seen;
+  seen.reserve(labels.size() / 4 + 1);
+  for (const Vertex c : labels) seen.emplace(c, 0);
+  return static_cast<Vertex>(seen.size());
+}
+
+Vertex compact_labels(std::span<Vertex> labels) {
+  std::unordered_map<Vertex, Vertex> remap;
+  remap.reserve(labels.size() / 4 + 1);
+  for (Vertex& c : labels) {
+    const auto [it, inserted] =
+        remap.emplace(c, static_cast<Vertex>(remap.size()));
+    c = it->second;
+  }
+  return static_cast<Vertex>(remap.size());
+}
+
+std::vector<Vertex> community_sizes(std::span<const Vertex> labels) {
+  std::vector<Vertex> compact(labels.begin(), labels.end());
+  const Vertex k = compact_labels(compact);
+  std::vector<Vertex> sizes(k, 0);
+  for (const Vertex c : compact) ++sizes[c];
+  return sizes;
+}
+
+bool same_partition(std::span<const Vertex> a, std::span<const Vertex> b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<Vertex, Vertex> a_to_b;
+  std::unordered_map<Vertex, Vertex> b_to_a;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (const auto [it, ins] = a_to_b.emplace(a[i], b[i]);
+        !ins && it->second != b[i]) {
+      return false;
+    }
+    if (const auto [it, ins] = b_to_a.emplace(b[i], a[i]);
+        !ins && it->second != a[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nulpa

@@ -1,0 +1,32 @@
+// Community-membership utilities shared by the algorithms, tests, and
+// benches: validation, compaction, size statistics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+/// True when `labels` has one entry per vertex and every label is a valid
+/// vertex id (LPA labels are always vertex ids of community "leaders").
+bool is_valid_membership(const Graph& g, std::span<const Vertex> labels);
+
+/// Number of distinct communities.
+Vertex count_communities(std::span<const Vertex> labels);
+
+/// Renumbers labels to the dense range [0, k) preserving community identity;
+/// returns k. Order of first appearance determines the new ids, so the
+/// mapping is deterministic.
+Vertex compact_labels(std::span<Vertex> labels);
+
+/// Vertices per community, indexed by compacted label id.
+std::vector<Vertex> community_sizes(std::span<const Vertex> labels);
+
+/// True when both memberships induce the same partition of the vertex set
+/// (label values may differ).
+bool same_partition(std::span<const Vertex> a, std::span<const Vertex> b);
+
+}  // namespace nulpa

@@ -1,0 +1,102 @@
+#include "quality/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "quality/communities.hpp"
+
+namespace nulpa {
+
+double adjusted_rand_index(std::span<const Vertex> a,
+                           std::span<const Vertex> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("ARI: size mismatch");
+  }
+  const auto n = static_cast<double>(a.size());
+  if (a.size() < 2) return 1.0;
+
+  std::vector<Vertex> ca(a.begin(), a.end());
+  std::vector<Vertex> cb(b.begin(), b.end());
+  const Vertex ka = compact_labels(ca);
+  const Vertex kb = compact_labels(cb);
+
+  std::vector<double> row(ka, 0.0), col(kb, 0.0);
+  std::map<std::pair<Vertex, Vertex>, double> cell;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    row[ca[i]] += 1.0;
+    col[cb[i]] += 1.0;
+    cell[{ca[i], cb[i]}] += 1.0;
+  }
+
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_cells = 0.0;
+  for (const auto& [key, c] : cell) sum_cells += choose2(c);
+  double sum_rows = 0.0;
+  for (const double r : row) sum_rows += choose2(r);
+  double sum_cols = 0.0;
+  for (const double c : col) sum_cols += choose2(c);
+
+  const double expected = sum_rows * sum_cols / choose2(n);
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+double coverage(const Graph& g, std::span<const Vertex> labels) {
+  if (!is_valid_membership(g, labels)) {
+    throw std::invalid_argument("coverage: invalid membership");
+  }
+  const double total = 2.0 * g.total_weight();
+  if (total == 0.0) return 1.0;
+  double intra = 0.0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (labels[u] == labels[nbrs[e]]) intra += wts[e];
+    }
+  }
+  return intra / total;
+}
+
+double edge_cut(const Graph& g, std::span<const Vertex> labels) {
+  if (!is_valid_membership(g, labels)) {
+    throw std::invalid_argument("edge_cut: invalid membership");
+  }
+  double cut = 0.0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (labels[u] != labels[nbrs[e]]) cut += wts[e];
+    }
+  }
+  return cut / 2.0;  // each undirected edge visited from both endpoints
+}
+
+double max_conductance(const Graph& g, std::span<const Vertex> labels) {
+  if (!is_valid_membership(g, labels)) {
+    throw std::invalid_argument("max_conductance: invalid membership");
+  }
+  std::vector<Vertex> compact(labels.begin(), labels.end());
+  const Vertex k = compact_labels(compact);
+  std::vector<double> volume(k, 0.0), cut(k, 0.0);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      volume[compact[u]] += wts[e];
+      if (compact[u] != compact[nbrs[e]]) cut[compact[u]] += wts[e];
+    }
+  }
+  const double total = 2.0 * g.total_weight();
+  double worst = 0.0;
+  for (Vertex c = 0; c < k; ++c) {
+    const double denom = std::min(volume[c], total - volume[c]);
+    if (denom > 0.0) worst = std::max(worst, cut[c] / denom);
+  }
+  return worst;
+}
+
+}  // namespace nulpa

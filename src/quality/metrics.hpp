@@ -1,0 +1,33 @@
+// Additional clustering-quality metrics beyond modularity and NMI:
+// adjusted Rand index against ground truth, and the structural metrics
+// (coverage, conductance, edge cut) partitioner users care about — the
+// application the paper's conclusion targets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+/// Adjusted Rand Index between two memberships, in [-1, 1]; 1 for
+/// identical partitions, ~0 for independent ones. Chance-corrected, so it
+/// is stricter than NMI on skewed community sizes.
+double adjusted_rand_index(std::span<const Vertex> a,
+                           std::span<const Vertex> b);
+
+/// Fraction of edge weight falling inside communities (modularity's first
+/// term, without the degree-tax). In [0, 1]; 1 means no cut edges.
+double coverage(const Graph& g, std::span<const Vertex> labels);
+
+/// Total weight of edges crossing community boundaries (each undirected
+/// edge counted once).
+double edge_cut(const Graph& g, std::span<const Vertex> labels);
+
+/// Maximum conductance over all communities: cut(C) / min(vol(C),
+/// vol(V \ C)). Lower is better; in [0, 1]. Communities with zero volume
+/// are skipped.
+double max_conductance(const Graph& g, std::span<const Vertex> labels);
+
+}  // namespace nulpa

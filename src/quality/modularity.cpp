@@ -1,0 +1,47 @@
+#include "quality/modularity.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "quality/communities.hpp"
+
+namespace nulpa {
+
+double modularity(const Graph& g, std::span<const Vertex> labels) {
+  if (!is_valid_membership(g, labels)) {
+    throw std::invalid_argument("modularity: invalid membership vector");
+  }
+  const double m = g.total_weight();
+  if (m <= 0.0) return 0.0;
+
+  // sigma_c: weight of intra-community arcs (each undirected edge counted
+  // twice, cancelling one factor of 2). Sigma_c: community total degree.
+  std::vector<double> sigma(g.num_vertices(), 0.0);
+  std::vector<double> big_sigma(g.num_vertices(), 0.0);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const Vertex cu = labels[u];
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights_of(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      big_sigma[cu] += wts[k];
+      if (labels[nbrs[k]] == cu) sigma[cu] += wts[k];
+    }
+  }
+
+  double q = 0.0;
+  const double inv2m = 1.0 / (2.0 * m);
+  for (Vertex c = 0; c < g.num_vertices(); ++c) {
+    if (big_sigma[c] == 0.0) continue;
+    const double frac = big_sigma[c] * inv2m;
+    q += sigma[c] * inv2m - frac * frac;
+  }
+  return q;
+}
+
+double delta_modularity(double k_i_to_c, double k_i_to_d, double k_i,
+                        double sigma_total_c, double sigma_total_d, double m) {
+  return (k_i_to_c - k_i_to_d) / m -
+         k_i * (k_i + sigma_total_c - sigma_total_d) / (2.0 * m * m);
+}
+
+}  // namespace nulpa

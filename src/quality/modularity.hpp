@@ -1,0 +1,23 @@
+// Modularity (Equation 1) and delta-modularity (Equation 2) — the fitness
+// metric every experiment in the paper reports.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+
+namespace nulpa {
+
+/// Q = sum_c [ sigma_c / 2m - (Sigma_c / 2m)^2 ]  (Equation 1).
+/// `labels` must be a valid membership for `g`. Runs in O(|V| + |E|).
+double modularity(const Graph& g, std::span<const Vertex> labels);
+
+/// Delta modularity of moving vertex `i` from community `d` to `c`
+/// (Equation 2): (K_i->c - K_i->d)/m - K_i (K_i + Sigma_c - Sigma_d)/(2 m^2).
+/// Conventions follow the equation's derivation: Sigma_d includes vertex
+/// i's degree (i is still a member of d), Sigma_c does not (i has not
+/// joined c yet). Verified against direct modularity recomputation in tests.
+double delta_modularity(double k_i_to_c, double k_i_to_d, double k_i,
+                        double sigma_total_c, double sigma_total_d, double m);
+
+}  // namespace nulpa

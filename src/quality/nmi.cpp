@@ -1,0 +1,57 @@
+#include "quality/nmi.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "quality/communities.hpp"
+
+namespace nulpa {
+
+double normalized_mutual_information(std::span<const Vertex> a,
+                                     std::span<const Vertex> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("NMI: size mismatch");
+  }
+  const auto n = static_cast<double>(a.size());
+  if (a.empty()) return 1.0;
+
+  std::vector<Vertex> ca(a.begin(), a.end());
+  std::vector<Vertex> cb(b.begin(), b.end());
+  const Vertex ka = compact_labels(ca);
+  const Vertex kb = compact_labels(cb);
+
+  std::vector<double> pa(ka, 0.0), pb(kb, 0.0);
+  std::map<std::pair<Vertex, Vertex>, double> joint;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    pa[ca[i]] += 1.0;
+    pb[cb[i]] += 1.0;
+    joint[{ca[i], cb[i]}] += 1.0;
+  }
+
+  auto entropy = [n](const std::vector<double>& counts) {
+    double h = 0.0;
+    for (const double c : counts) {
+      if (c > 0.0) h -= (c / n) * std::log(c / n);
+    }
+    return h;
+  };
+  const double ha = entropy(pa);
+  const double hb = entropy(pb);
+
+  double mi = 0.0;
+  for (const auto& [cell, count] : joint) {
+    const double pxy = count / n;
+    const double px = pa[cell.first] / n;
+    const double py = pb[cell.second] / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+
+  // Identical single-community partitions have zero entropy; treat them as
+  // perfectly matched.
+  if (ha + hb == 0.0) return 1.0;
+  return 2.0 * mi / (ha + hb);
+}
+
+}  // namespace nulpa

@@ -1,0 +1,85 @@
+// Block- and warp-level cooperative collectives built on the simulator's
+// barrier primitives — the equivalents of the CUB/cooperative-groups
+// helpers real CUDA kernels lean on. All participants of the block must
+// call these together (like __syncthreads-based collectives on hardware).
+#pragma once
+
+#include <cstdint>
+
+#include "simt/grid.hpp"
+
+namespace nulpa::simt {
+
+/// Block-wide argmax reduce: each lane contributes (key, weight); lanes
+/// receive the key of the maximal weight (ties: the lowest-indexed
+/// contributing lane wins, matching a left-to-right tree reduce). The
+/// caller provides `scratch_keys`/`scratch_weights` spanning block_dim
+/// entries of shared memory. `invalid_key` marks non-contributing lanes.
+template <typename Key, typename W>
+Key block_argmax(Lane& lane, Key key, W weight, Key* scratch_keys,
+                 W* scratch_weights, Key invalid_key) {
+  const std::uint32_t tid = lane.thread_idx();
+  scratch_keys[tid] = key;
+  scratch_weights[tid] = weight;
+  lane.syncthreads();
+
+  // Binary tree reduce in shared memory — log2(block_dim) rounds, exactly
+  // the shape a CUDA kernel would use.
+  for (std::uint32_t stride = 1; stride < lane.block_dim(); stride *= 2) {
+    const std::uint32_t peer = tid + stride;
+    if (tid % (2 * stride) == 0 && peer < lane.block_dim()) {
+      const bool take_peer =
+          scratch_keys[peer] != invalid_key &&
+          (scratch_keys[tid] == invalid_key ||
+           scratch_weights[peer] > scratch_weights[tid]);
+      if (take_peer) {
+        scratch_keys[tid] = scratch_keys[peer];
+        scratch_weights[tid] = scratch_weights[peer];
+      }
+    }
+    lane.syncthreads();
+  }
+  const Key winner = scratch_keys[0];
+  lane.syncthreads();  // everyone reads slot 0 before it is reused
+  return winner;
+}
+
+/// Block-wide sum over one value per lane; every lane receives the total.
+template <typename T>
+T block_sum(Lane& lane, T value, T* scratch) {
+  const std::uint32_t tid = lane.thread_idx();
+  scratch[tid] = value;
+  lane.syncthreads();
+  for (std::uint32_t stride = 1; stride < lane.block_dim(); stride *= 2) {
+    const std::uint32_t peer = tid + stride;
+    if (tid % (2 * stride) == 0 && peer < lane.block_dim()) {
+      scratch[tid] += scratch[peer];
+    }
+    lane.syncthreads();
+  }
+  const T total = scratch[0];
+  lane.syncthreads();
+  return total;
+}
+
+/// Warp-wide broadcast: every lane of the warp receives `value` from the
+/// warp's lane `src`. Uses one shared slot per warp.
+template <typename T>
+T warp_broadcast(Lane& lane, T value, std::uint32_t src, T* warp_scratch) {
+  if (lane.lane_in_warp() == src) {
+    warp_scratch[lane.warp()] = value;
+  }
+  lane.syncwarp();
+  const T out = warp_scratch[lane.warp()];
+  lane.syncwarp();
+  return out;
+}
+
+/// Block-wide ballot: counts lanes whose predicate is true (the collective
+/// CUDA's __ballot_sync + popc idiom computes).
+inline std::uint32_t block_count_if(Lane& lane, bool predicate,
+                                    std::uint32_t* scratch) {
+  return block_sum<std::uint32_t>(lane, predicate ? 1u : 0u, scratch);
+}
+
+}  // namespace nulpa::simt

@@ -1,0 +1,16 @@
+#include "simt/counters.hpp"
+
+#include <ostream>
+
+namespace nulpa::simt {
+
+std::ostream& operator<<(std::ostream& os, const PerfCounters& c) {
+  os << "loads=" << c.global_loads << " stores=" << c.global_stores
+     << " atomics=" << c.atomic_ops << " probes=" << c.hash_probes
+     << " inserts=" << c.hash_inserts << " fallbacks=" << c.hash_fallbacks
+     << " edges=" << c.edges_scanned << " launches=" << c.kernel_launches
+     << " switches=" << c.fiber_switches;
+  return os;
+}
+
+}  // namespace nulpa::simt

@@ -1,0 +1,55 @@
+// Hardware-event counters the simulator gathers while kernels run. These
+// are the inputs to the analytic cost model (src/perfmodel) that stands in
+// for A100 wall-clock time — see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace nulpa::simt {
+
+struct PerfCounters {
+  // Memory traffic the kernels declare (words touched).
+  std::uint64_t global_loads = 0;
+  std::uint64_t global_stores = 0;
+  std::uint64_t shared_loads = 0;   // per-SM shared memory (fast path)
+  std::uint64_t shared_stores = 0;
+  // Atomic RMW operations (CAS + add).
+  std::uint64_t atomic_ops = 0;
+  // Hashtable activity (probe = extra slot inspection after a collision).
+  std::uint64_t hash_inserts = 0;
+  std::uint64_t hash_probes = 0;
+  std::uint64_t hash_fallbacks = 0;
+  // Control flow.
+  std::uint64_t warp_syncs = 0;
+  std::uint64_t block_syncs = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t fiber_switches = 0;
+  // Algorithm-level work.
+  std::uint64_t edges_scanned = 0;
+  std::uint64_t threads_run = 0;
+
+  void reset() { *this = PerfCounters{}; }
+
+  PerfCounters& operator+=(const PerfCounters& o) {
+    global_loads += o.global_loads;
+    global_stores += o.global_stores;
+    shared_loads += o.shared_loads;
+    shared_stores += o.shared_stores;
+    atomic_ops += o.atomic_ops;
+    hash_inserts += o.hash_inserts;
+    hash_probes += o.hash_probes;
+    hash_fallbacks += o.hash_fallbacks;
+    warp_syncs += o.warp_syncs;
+    block_syncs += o.block_syncs;
+    kernel_launches += o.kernel_launches;
+    fiber_switches += o.fiber_switches;
+    edges_scanned += o.edges_scanned;
+    threads_run += o.threads_run;
+    return *this;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const PerfCounters& c);
+
+}  // namespace nulpa::simt

@@ -1,0 +1,84 @@
+#include "simt/fiber.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+extern "C" void nulpa_fiber_switch(void** save_sp, void* new_sp);
+
+namespace nulpa::simt {
+
+namespace {
+constexpr std::uint64_t kCanary = 0xdeadbeefcafef00dULL;
+thread_local Fiber* t_current = nullptr;
+}  // namespace
+
+void fiber_trampoline_entry() {
+  Fiber* f = t_current;
+  // Kernels must not throw: an exception escaping a fiber would unwind into
+  // a hand-crafted stack frame. Fail fast with a diagnostic instead.
+  try {
+    f->entry_(f->arg_);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "simt: exception escaped kernel fiber: %s\n",
+                 e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr, "simt: unknown exception escaped kernel fiber\n");
+    std::abort();
+  }
+  f->finished_ = true;
+  nulpa_fiber_switch(&f->sp_, f->sched_sp_);
+  // A finished fiber must never be resumed.
+  std::fprintf(stderr, "simt: finished fiber resumed\n");
+  std::abort();
+}
+
+namespace {
+// The trampoline is entered via `ret`, i.e. as if it were a function with
+// no caller; it reads its Fiber from the thread-local set by resume().
+void trampoline_thunk() { fiber_trampoline_entry(); }
+}  // namespace
+
+void Fiber::init(void* stack_base, std::size_t stack_bytes, Entry entry,
+                 void* arg) {
+  entry_ = entry;
+  arg_ = arg;
+  finished_ = false;
+
+  // Guard word at the low end of the stack (stacks grow down).
+  canary_ = static_cast<std::uint64_t*>(stack_base);
+  *canary_ = kCanary;
+
+  // Build the initial frame fiber_switch() will consume: six callee-saved
+  // register slots, then the return address (our trampoline) at a
+  // 16-byte-aligned position so the trampoline observes the standard
+  // rsp % 16 == 8 at function entry.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_bytes;
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* frame = reinterpret_cast<std::uint64_t*>(top);
+  frame[-1] = 0;  // fake caller frame keeps the retaddr slot 16-aligned
+  frame[-2] = reinterpret_cast<std::uint64_t>(&trampoline_thunk);
+  for (int i = 3; i <= 8; ++i) frame[-i] = 0;  // rbp, rbx, r12..r15
+  sp_ = frame - 8;
+}
+
+void Fiber::resume() {
+  Fiber* prev = t_current;
+  t_current = this;
+  nulpa_fiber_switch(&sched_sp_, sp_);
+  t_current = prev;
+}
+
+void Fiber::yield() {
+  Fiber* f = t_current;
+  nulpa_fiber_switch(&f->sp_, f->sched_sp_);
+}
+
+Fiber* Fiber::current() noexcept { return t_current; }
+
+bool Fiber::stack_intact() const noexcept {
+  return canary_ == nullptr || *canary_ == kCanary;
+}
+
+}  // namespace nulpa::simt

@@ -1,0 +1,53 @@
+// User-level cooperative fibers — one per simulated GPU thread. A fiber
+// runs until it yields (at a simulated barrier) or its entry returns; the
+// scheduler in grid.cpp decides who runs next. The context switch is ~20
+// instructions of assembly (fiber_switch.S), fast enough to simulate tens
+// of millions of warp-synchronous steps per second on one host core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nulpa::simt {
+
+class Fiber {
+ public:
+  using Entry = void (*)(void*);
+
+  Fiber() = default;
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Arms the fiber to run `entry(arg)` on the given stack (not owned).
+  /// May be called again after the fiber finishes to reuse the stack.
+  void init(void* stack_base, std::size_t stack_bytes, Entry entry, void* arg);
+
+  /// Transfers control into the fiber until it yields or finishes.
+  /// Must not be called on a finished or never-initialized fiber.
+  void resume();
+
+  /// Called from inside the fiber: suspends it and returns to resume()'s
+  /// caller. The next resume() continues after the yield.
+  static void yield();
+
+  /// The fiber currently executing on this OS thread (nullptr outside).
+  static Fiber* current() noexcept;
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Canary check: returns false if the guard word at the stack base was
+  /// overwritten (stack overflow).
+  [[nodiscard]] bool stack_intact() const noexcept;
+
+ private:
+  friend void fiber_trampoline_entry();
+
+  void* sp_ = nullptr;        // fiber's saved stack pointer while suspended
+  void* sched_sp_ = nullptr;  // scheduler's stack pointer while fiber runs
+  Entry entry_ = nullptr;
+  void* arg_ = nullptr;
+  std::uint64_t* canary_ = nullptr;
+  bool finished_ = true;
+};
+
+}  // namespace nulpa::simt

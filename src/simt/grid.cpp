@@ -1,0 +1,224 @@
+#include "simt/grid.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nulpa::simt {
+
+/// Runs one grid. Blocks are scheduled onto `resident_blocks` slots (the
+/// simulated SMs); within a slot, lanes are resumed in thread-id order and
+/// each runs until its next barrier — so every lane of a warp finishes the
+/// segment before any lane crosses the warp barrier, which is the lockstep
+/// property the algorithms rely on.
+class Scheduler {
+ public:
+  Scheduler(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
+            const Kernel& kernel)
+      : grid_dim_(grid_dim), cfg_(cfg), ctr_(ctr), kernel_(kernel) {
+    // Never allocate more residency than the grid can use; fiber stacks
+    // dominate the scheduler's memory footprint.
+    const std::uint32_t slots =
+        std::min(std::max(1u, cfg.resident_blocks), std::max(1u, grid_dim));
+    const std::size_t lanes = static_cast<std::size_t>(slots) * cfg.block_dim;
+    stacks_ = std::make_unique_for_overwrite<std::byte[]>(
+        lanes * cfg.stack_bytes);
+    lanes_ = std::make_unique<Lane[]>(lanes);
+    blocks_.resize(slots);
+    lane_order_.resize(cfg.block_dim);
+    std::iota(lane_order_.begin(), lane_order_.end(), 0u);
+    if (cfg.schedule_seed != 0) {
+      shuffle_rng_ = Xoshiro256(cfg.schedule_seed);
+    }
+  }
+
+  void run() {
+    std::uint32_t next_block = 0;
+    for (auto& rb : blocks_) {
+      rb.active = false;
+      if (next_block < grid_dim_) init_block(rb, next_block++);
+    }
+
+    for (;;) {
+      bool any_active = false;
+      bool progress = false;
+      for (std::size_t s = 0; s < blocks_.size(); ++s) {
+        ResidentBlock& rb = blocks_[s];
+        if (!rb.active) continue;
+        any_active = true;
+        if (cfg_.schedule_seed != 0) {
+          // Fuzzed warp scheduling: resume lanes in a fresh random order
+          // each pass. Fisher-Yates with the seeded generator.
+          for (std::size_t i = lane_order_.size(); i > 1; --i) {
+            std::swap(lane_order_[i - 1],
+                      lane_order_[shuffle_rng_.next_bounded(i)]);
+          }
+        }
+        for (const std::uint32_t t : lane_order_) {
+          Lane& lane = lanes_[rb.first_lane + t];
+          if (lane.state_ != Lane::State::kReady) continue;
+          step(rb, lane);
+          progress = true;
+        }
+        if (rb.live == 0) {
+          rb.active = false;
+          if (next_block < grid_dim_) {
+            init_block(rb, next_block++);
+            progress = true;
+          }
+        }
+      }
+      if (!any_active) return;
+      if (!progress) {
+        throw std::runtime_error(
+            "simt: barrier deadlock — lanes waiting on a barrier no peer "
+            "will reach");
+      }
+    }
+  }
+
+ private:
+  struct ResidentBlock {
+    bool active = false;
+    std::uint32_t block_idx = 0;
+    std::uint32_t first_lane = 0;
+    std::uint32_t live = 0;  // lanes not yet Done
+    std::vector<std::byte> shared;
+  };
+
+  static void lane_entry(void* arg) {
+    auto* lane = static_cast<Lane*>(arg);
+    auto* self = static_cast<Scheduler*>(lane->runner_context_);
+    self->kernel_(*lane);
+  }
+
+  void init_block(ResidentBlock& rb, std::uint32_t block_idx) {
+    const auto slot = static_cast<std::uint32_t>(&rb - blocks_.data());
+    rb.active = true;
+    rb.block_idx = block_idx;
+    rb.first_lane = slot * cfg_.block_dim;
+    rb.live = cfg_.block_dim;
+    rb.shared.assign(cfg_.shared_bytes, std::byte{0});
+    for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
+      Lane& lane = lanes_[rb.first_lane + t];
+      lane.runner_context_ = this;
+      lane.counters_ = &ctr_;
+      lane.shared_ = rb.shared.data();
+      lane.thread_idx_ = t;
+      lane.block_idx_ = block_idx;
+      lane.block_dim_ = cfg_.block_dim;
+      lane.grid_dim_ = grid_dim_;
+      lane.state_ = Lane::State::kReady;
+      std::byte* stack =
+          stacks_.get() +
+          static_cast<std::size_t>(rb.first_lane + t) * cfg_.stack_bytes;
+      lane.fiber_.init(stack, cfg_.stack_bytes, &lane_entry, &lane);
+      ctr_.threads_run++;
+    }
+  }
+
+  void step(ResidentBlock& rb, Lane& lane) {
+    ctr_.fiber_switches++;
+    lane.fiber_.resume();
+    if (!lane.fiber_.stack_intact()) {
+      throw std::runtime_error(
+          "simt: fiber stack overflow (raise LaunchConfig::stack_bytes)");
+    }
+    if (lane.fiber_.finished()) {
+      lane.state_ = Lane::State::kDone;
+      --rb.live;
+    }
+    // The lane either finished or parked at a barrier; in both cases a
+    // barrier it participates in may now be complete.
+    try_release_warp(rb, lane.thread_idx_ / kWarpSize);
+    try_release_block(rb);
+  }
+
+  void try_release_warp(ResidentBlock& rb, std::uint32_t warp) {
+    const std::uint32_t lo = warp * kWarpSize;
+    const std::uint32_t hi = std::min(lo + kWarpSize, cfg_.block_dim);
+    bool any_waiting = false;
+    for (std::uint32_t t = lo; t < hi; ++t) {
+      const Lane& lane = lanes_[rb.first_lane + t];
+      switch (lane.state_) {
+        case Lane::State::kReady:
+          return;  // a peer is still running its segment
+        case Lane::State::kAtWarpBar:
+          any_waiting = true;
+          break;
+        case Lane::State::kAtBlockBar:  // suspended beyond the warp barrier
+        case Lane::State::kDone:        // exited lanes do not participate
+          break;
+      }
+    }
+    if (!any_waiting) return;
+    for (std::uint32_t t = lo; t < hi; ++t) {
+      Lane& lane = lanes_[rb.first_lane + t];
+      if (lane.state_ == Lane::State::kAtWarpBar) {
+        lane.state_ = Lane::State::kReady;
+      }
+    }
+  }
+
+  void try_release_block(ResidentBlock& rb) {
+    bool any_waiting = false;
+    for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
+      const Lane& lane = lanes_[rb.first_lane + t];
+      if (lane.state_ == Lane::State::kReady ||
+          lane.state_ == Lane::State::kAtWarpBar) {
+        return;  // someone has not reached the block barrier yet
+      }
+      if (lane.state_ == Lane::State::kAtBlockBar) any_waiting = true;
+    }
+    if (!any_waiting) return;
+    for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
+      Lane& lane = lanes_[rb.first_lane + t];
+      if (lane.state_ == Lane::State::kAtBlockBar) {
+        lane.state_ = Lane::State::kReady;
+      }
+    }
+  }
+
+  std::uint32_t grid_dim_;
+  LaunchConfig cfg_;
+  PerfCounters& ctr_;
+  const Kernel& kernel_;
+  std::unique_ptr<std::byte[]> stacks_;
+  std::unique_ptr<Lane[]> lanes_;
+  std::vector<ResidentBlock> blocks_;
+  std::vector<std::uint32_t> lane_order_;
+  nulpa::Xoshiro256 shuffle_rng_;
+};
+
+void Lane::syncwarp() {
+  counters().warp_syncs++;
+  state_ = State::kAtWarpBar;
+  Fiber::yield();
+}
+
+void Lane::syncthreads() {
+  counters().block_syncs++;
+  state_ = State::kAtBlockBar;
+  Fiber::yield();
+}
+
+std::byte* Lane::shared() const noexcept { return shared_; }
+
+PerfCounters& Lane::counters() const noexcept { return *counters_; }
+
+void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
+            const Kernel& kernel) {
+  if (cfg.block_dim == 0) {
+    throw std::invalid_argument("simt::launch: block_dim must be > 0");
+  }
+  ctr.kernel_launches++;
+  if (grid_dim == 0) return;
+  Scheduler scheduler(grid_dim, cfg, ctr, kernel);
+  scheduler.run();
+}
+
+}  // namespace nulpa::simt

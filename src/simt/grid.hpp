@@ -1,0 +1,135 @@
+// Kernel launch machinery: grids of thread blocks, warps of 32 lanes, and
+// the barrier semantics of SIMT hardware. Kernels are C++ callables taking
+// a `Lane&` (the equivalent of CUDA's implicit threadIdx/blockIdx context).
+//
+// Lockstep model: lanes run cooperatively; between two sync points every
+// lane of a warp (syncwarp) or block (syncthreads) executes its segment
+// before any lane proceeds past the barrier. Kernels place a syncwarp()
+// between their gather phase (reading neighbour labels) and commit phase
+// (writing the new label) — exactly the implicit lockstep of real warps
+// that causes the community-swap livelock of Section 4.1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simt/counters.hpp"
+#include "simt/fiber.hpp"
+
+namespace nulpa::simt {
+
+inline constexpr std::uint32_t kWarpSize = 32;
+
+struct LaunchConfig {
+  std::uint32_t block_dim = 256;       // threads per block
+  std::uint32_t resident_blocks = 4;   // blocks co-scheduled (SM residency)
+  std::uint32_t shared_bytes = 0;      // per-block shared memory arena
+  std::size_t stack_bytes = 1 << 14;   // per-fiber stack
+  // 0 = deterministic lane order (lane 0 first — the default, reproducible
+  // schedule). Non-zero seeds a per-pass shuffle of the lane resume order,
+  // the simulator equivalent of fuzzing warp-scheduler interleavings: any
+  // kernel that relies on a specific lane order between barriers (rather
+  // than on the barriers themselves) will break under some seed. Barrier
+  // semantics are unchanged.
+  std::uint64_t schedule_seed = 0;
+};
+
+class Scheduler;
+
+/// Per-thread kernel context — the CUDA built-ins plus barriers, atomics,
+/// and counter hooks. Only valid inside a running kernel.
+class Lane {
+ public:
+  [[nodiscard]] std::uint32_t thread_idx() const noexcept { return thread_idx_; }
+  [[nodiscard]] std::uint32_t block_idx() const noexcept { return block_idx_; }
+  [[nodiscard]] std::uint32_t block_dim() const noexcept { return block_dim_; }
+  [[nodiscard]] std::uint32_t grid_dim() const noexcept { return grid_dim_; }
+  [[nodiscard]] std::uint32_t global_thread() const noexcept {
+    return block_idx_ * block_dim_ + thread_idx_;
+  }
+  [[nodiscard]] std::uint32_t warp() const noexcept {
+    return thread_idx_ / kWarpSize;
+  }
+  [[nodiscard]] std::uint32_t lane_in_warp() const noexcept {
+    return thread_idx_ % kWarpSize;
+  }
+
+  /// __syncwarp(): no lane of this warp passes until all live lanes arrive.
+  void syncwarp();
+  /// __syncthreads(): block-wide barrier.
+  void syncthreads();
+
+  /// Per-block shared memory arena (cfg.shared_bytes long, zeroed at block
+  /// start).
+  [[nodiscard]] std::byte* shared() const noexcept;
+
+  [[nodiscard]] PerfCounters& counters() const noexcept;
+
+  // ---- Device atomics. The simulator is single-threaded, so these are
+  // plain read-modify-writes, but kernels must still use them wherever the
+  // CUDA code would: they are counted and they document the races the real
+  // hardware resolves.
+  template <typename T>
+  T atomic_add(T& slot, T v) const noexcept {
+    counters().atomic_ops++;
+    const T old = slot;
+    slot = old + v;
+    return old;
+  }
+
+  std::uint32_t atomic_cas(std::uint32_t& slot, std::uint32_t expected,
+                           std::uint32_t desired) const noexcept {
+    counters().atomic_ops++;
+    const std::uint32_t old = slot;
+    if (old == expected) slot = desired;
+    return old;
+  }
+
+  std::uint32_t atomic_max(std::uint32_t& slot, std::uint32_t v) const noexcept {
+    counters().atomic_ops++;
+    const std::uint32_t old = slot;
+    if (v > old) slot = v;
+    return old;
+  }
+
+  // ---- Memory-traffic accounting hooks (words, not bytes).
+  void count_load(std::uint64_t n = 1) const noexcept {
+    counters().global_loads += n;
+  }
+  void count_store(std::uint64_t n = 1) const noexcept {
+    counters().global_stores += n;
+  }
+  void count_shared_load(std::uint64_t n = 1) const noexcept {
+    counters().shared_loads += n;
+  }
+  void count_shared_store(std::uint64_t n = 1) const noexcept {
+    counters().shared_stores += n;
+  }
+
+ private:
+  friend class Scheduler;
+
+  enum class State : std::uint8_t { kReady, kAtWarpBar, kAtBlockBar, kDone };
+
+  void* runner_context_ = nullptr;  // owning Scheduler
+  PerfCounters* counters_ = nullptr;
+  std::byte* shared_ = nullptr;
+  Fiber fiber_;
+  State state_ = State::kDone;
+  std::uint32_t thread_idx_ = 0;
+  std::uint32_t block_idx_ = 0;
+  std::uint32_t block_dim_ = 0;
+  std::uint32_t grid_dim_ = 0;
+};
+
+using Kernel = std::function<void(Lane&)>;
+
+/// Launches `grid_dim` blocks of `cfg.block_dim` threads running `kernel`,
+/// and blocks until the grid drains. Counter totals accumulate into `ctr`.
+/// Throws std::runtime_error on barrier deadlock or stack overflow.
+void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
+            const Kernel& kernel);
+
+}  // namespace nulpa::simt

@@ -1,0 +1,44 @@
+// Small integer helpers used by the hashtable sizing logic (Section 4.2 of
+// the paper sizes each per-vertex table as nextPow2(degree) - 1).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace nulpa {
+
+/// Smallest power of two >= x (x = 0 maps to 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return x <= 1 ? 1 : std::bit_ceil(x);
+}
+
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Hashtable capacity for a vertex of degree `d`. The paper writes
+/// nextPow2(d) - 1, but that under-allocates when d is an exact power of
+/// two (d distinct neighbour labels would not fit in d-1 slots); we use
+/// nextPow2(d + 1) - 1, which is always in [d, 2d] — it holds every
+/// distinct label and fits the paper's reserved block of 2d slots. The
+/// Mersenne-style capacity keeps `mod` cheap and is always odd, hence
+/// co-prime with the power-of-two-derived secondary step.
+constexpr std::uint32_t hashtable_capacity(std::uint32_t degree) noexcept {
+  if (degree == 0) return 1;
+  const std::uint64_t cap = next_pow2(static_cast<std::uint64_t>(degree) + 1) - 1;
+  return static_cast<std::uint32_t>(cap);
+}
+
+/// Secondary "prime" for double hashing: p2 = nextPow2(p1) - 1, which is
+/// > p1 and odd, hence co-prime with any power-of-two stride and with p1.
+constexpr std::uint32_t secondary_prime(std::uint32_t p1) noexcept {
+  const std::uint64_t p = next_pow2(static_cast<std::uint64_t>(p1) + 1);
+  return static_cast<std::uint32_t>(2 * p - 1);
+}
+
+/// Integer ceil-division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace nulpa

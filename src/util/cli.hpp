@@ -1,0 +1,72 @@
+// Minimal command-line option parsing for the examples and bench harnesses.
+// Supports `--key value` and `--key=value`; unknown keys are reported.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nulpa {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (!arg.starts_with("--")) {
+        positional_.emplace_back(arg);
+        continue;
+      }
+      arg.remove_prefix(2);
+      if (auto eq = arg.find('='); eq != std::string_view::npos) {
+        options_[std::string(arg.substr(0, eq))] =
+            std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1])[0] != '-') {
+        options_[std::string(arg)] = argv[++i];
+      } else {
+        options_[std::string(arg)] = "true";  // bare flag
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options_.contains(key);
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const {
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::stoll(it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::stod(it->second);
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nulpa

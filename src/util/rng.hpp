@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation for graph generators and
+// randomized tests. We avoid std::mt19937 in hot paths: xoshiro256** is
+// ~4x faster and has well-understood statistical quality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace nulpa {
+
+/// SplitMix64 — used to seed other generators from a single 64-bit seed.
+/// Every distinct input produces a well-mixed output; passes BigCrush when
+/// used as a stream.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — general-purpose generator for all randomized code in
+/// this library. Satisfies the C++ UniformRandomBitGenerator requirements so
+/// it can drive <random> distributions where convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the modulo bias is negligible for the bounds used in this library
+  /// (bound << 2^64), which keeps the hot path branch-free.
+  std::uint64_t next_bounded(std::uint64_t bound) noexcept {
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() noexcept {
+    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+  }
+
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// A statistically independent generator for a worker identified by
+  /// `stream`; used to give each thread / fiber its own stream.
+  Xoshiro256 split(std::uint64_t stream) const noexcept {
+    SplitMix64 sm(state_[0] ^ (0x5851f42d4c957f2dULL * (stream + 1)));
+    Xoshiro256 out(sm.next());
+    return out;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace nulpa

@@ -1,0 +1,86 @@
+// Fixed-width text table printer: the bench harnesses use this to emit the
+// same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nulpa {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  TextTable& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "|";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : empty_;
+        os << ' ' << v << std::string(width[c] - v.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+    auto rule = [&] {
+      os << "|";
+      for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(width[c] + 2, '-') << '|';
+      os << '\n';
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_) line(row);
+    rule();
+  }
+
+ private:
+  inline static const std::string empty_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` significant decimals, trimming wide exponents
+/// the way the paper's tables do.
+inline std::string fmt(double v, int prec = 4) {
+  std::ostringstream ss;
+  ss << std::setprecision(prec) << v;
+  return ss.str();
+}
+
+/// Human-readable large count, e.g. 7.41M, 1.21B (used by the Table 1 bench).
+inline std::string fmt_count(double v) {
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "B";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "K";
+  }
+  std::ostringstream ss;
+  ss << std::setprecision(3) << v << suffix;
+  return ss.str();
+}
+
+}  // namespace nulpa

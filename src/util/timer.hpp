@@ -1,0 +1,38 @@
+// Wall-clock timing for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace nulpa {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` `repeats` times and returns the mean wall-clock seconds.
+template <typename Fn>
+double time_mean_seconds(int repeats, Fn&& fn) {
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    fn();
+    total += t.seconds();
+  }
+  return total / repeats;
+}
+
+}  // namespace nulpa

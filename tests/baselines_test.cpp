@@ -1,0 +1,205 @@
+// Tests for the comparison baselines: each must recover planted community
+// structure, and their relative quality ordering must match the paper's
+// findings (Louvain > async LPA > synchronous Gunrock-style LPA).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/flpa.hpp"
+#include "baselines/gunrock_lpa.hpp"
+#include "baselines/gve_lpa.hpp"
+#include "baselines/louvain.hpp"
+#include "baselines/plp.hpp"
+#include "baselines/seq_lpa.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+#include "quality/nmi.hpp"
+
+namespace nulpa {
+namespace {
+
+const Graph& ring() {
+  static const Graph g = generate_ring_of_cliques(10, 6);
+  return g;
+}
+
+std::vector<Vertex> ring_truth() {
+  std::vector<Vertex> t(ring().num_vertices());
+  for (Vertex v = 0; v < t.size(); ++v) t[v] = v / 6;
+  return t;
+}
+
+TEST(SeqLpa, FindsRingCliques) {
+  const auto res = seq_lpa(ring(), SeqLpaConfig{});
+  EXPECT_TRUE(is_valid_membership(ring(), res.labels));
+  EXPECT_GT(normalized_mutual_information(res.labels, ring_truth()), 0.95);
+  EXPECT_GT(res.edges_scanned, 0u);
+}
+
+TEST(SeqLpa, SynchronousVariantOscillatesOnBipartite) {
+  // Complete bipartite K_{8,8}: synchronous LPA famously flip-flops.
+  GraphBuilder b(16);
+  for (Vertex u = 0; u < 8; ++u) {
+    for (Vertex v = 8; v < 16; ++v) b.add_edge(u, v);
+  }
+  const Graph g = b.build();
+  SeqLpaConfig sync;
+  sync.asynchronous = false;
+  sync.tolerance = 0.0;
+  const auto res = seq_lpa(g, sync);
+  EXPECT_EQ(res.iterations, sync.max_iterations) << "should not converge";
+}
+
+TEST(SeqLpa, AsynchronousConvergesOnBipartite) {
+  GraphBuilder b(16);
+  for (Vertex u = 0; u < 8; ++u) {
+    for (Vertex v = 8; v < 16; ++v) b.add_edge(u, v);
+  }
+  const auto res = seq_lpa(b.build(), SeqLpaConfig{});
+  EXPECT_LT(res.iterations, 20);
+}
+
+TEST(Flpa, FindsRingCliques) {
+  const auto res = flpa(ring(), FlpaConfig{});
+  EXPECT_GT(normalized_mutual_information(res.labels, ring_truth()), 0.95);
+}
+
+TEST(Flpa, TerminatesOnPathGraph) {
+  const auto res = flpa(generate_path(500), FlpaConfig{});
+  EXPECT_TRUE(is_valid_membership(generate_path(500), res.labels));
+}
+
+TEST(Flpa, SeedChangesTieBreaksButStaysValid) {
+  FlpaConfig a, b;
+  a.seed = 1;
+  b.seed = 99;
+  const auto ra = flpa(ring(), a);
+  const auto rb = flpa(ring(), b);
+  EXPECT_TRUE(is_valid_membership(ring(), ra.labels));
+  EXPECT_TRUE(is_valid_membership(ring(), rb.labels));
+}
+
+TEST(Plp, FindsHostCommunitiesOnWebGraph) {
+  // PLP's smallest-dominant tie-break cannot untangle the all-tie first
+  // iteration of the ring-of-cliques, so test it on a host-structured web
+  // graph, its natural workload.
+  const Graph g = generate_web(2000, 6, 0.85, 3);
+  ThreadPool pool(2);
+  const auto res = plp(g, pool, PlpConfig{});
+  EXPECT_TRUE(is_valid_membership(g, res.labels));
+  EXPECT_GT(modularity(g, res.labels), 0.5);
+}
+
+TEST(Plp, RespectsToleranceKnob) {
+  const Graph g = generate_web(1000, 6, 0.7, 3);
+  ThreadPool pool(1);
+  PlpConfig tight;  // 1e-5, NetworKit default
+  PlpConfig loose;
+  loose.tolerance = 1e-2;  // the paper's suggested faster setting
+  const auto rt = plp(g, pool, tight);
+  const auto rl = plp(g, pool, loose);
+  EXPECT_LE(rl.iterations, rt.iterations);
+  EXPECT_NEAR(modularity(g, rl.labels), modularity(g, rt.labels), 0.05);
+}
+
+TEST(GveLpa, FindsHostCommunitiesOnWebGraph) {
+  const Graph g = generate_web(2000, 6, 0.85, 3);
+  ThreadPool pool(2);
+  const auto res = gve_lpa(g, pool, GveLpaConfig{});
+  EXPECT_TRUE(is_valid_membership(g, res.labels));
+  EXPECT_GT(modularity(g, res.labels), 0.5);
+}
+
+TEST(GveLpa, DeterministicWithOneWorker) {
+  ThreadPool pool(1);
+  const Graph g = generate_web(800, 5, 0.7, 7);
+  const auto a = gve_lpa(g, pool, GveLpaConfig{});
+  const auto b = gve_lpa(g, pool, GveLpaConfig{});
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(GunrockLpa, RunsFixedIterations) {
+  const auto res = gunrock_lpa(ring(), GunrockLpaConfig{});
+  EXPECT_EQ(res.iterations, 5);
+  EXPECT_TRUE(is_valid_membership(ring(), res.labels));
+}
+
+TEST(Louvain, FindsRingCliquesExactly) {
+  const auto res = louvain(ring(), LouvainConfig{});
+  EXPECT_GT(normalized_mutual_information(res.labels, ring_truth()), 0.99);
+}
+
+TEST(Louvain, EmptyAndTinyGraphs) {
+  EXPECT_NO_THROW(louvain(Graph{}, LouvainConfig{}));
+  const auto res = louvain(generate_clique(2), LouvainConfig{});
+  EXPECT_EQ(res.labels.size(), 2u);
+}
+
+TEST(Louvain, AggregationPreservesModularityMonotonicity) {
+  const Graph g = generate_web(1200, 6, 0.7, 11);
+  LouvainConfig one_pass;
+  one_pass.max_passes = 1;
+  LouvainConfig multi;
+  multi.max_passes = 10;
+  const double q1 = modularity(g, louvain(g, one_pass).labels);
+  const double qn = modularity(g, louvain(g, multi).labels);
+  EXPECT_GE(qn, q1 - 1e-9) << "more passes must not lose quality";
+}
+
+// The quality ordering underlying Figure 7c: Louvain above async LPA above
+// the synchronous fixed-iteration Gunrock formulation.
+TEST(QualityOrdering, MatchesPaper) {
+  const auto pp = generate_planted_partition(800, 8, 12.0, 2.0, 17);
+  const Graph& g = pp.graph;
+  const double q_louvain = modularity(g, louvain(g, LouvainConfig{}).labels);
+  const double q_lpa = modularity(g, seq_lpa(g, SeqLpaConfig{}).labels);
+  const double q_gunrock =
+      modularity(g, gunrock_lpa(g, GunrockLpaConfig{}).labels);
+  EXPECT_GE(q_louvain, q_lpa - 0.02);
+  EXPECT_GT(q_lpa, q_gunrock);
+}
+
+struct BaselineCase {
+  std::string name;
+  ClusteringResult (*run)(const Graph& g);
+};
+
+class BaselineProperty : public ::testing::TestWithParam<BaselineCase> {};
+
+// Every algorithm must produce a valid membership and decent NMI on an
+// easy planted partition.
+TEST_P(BaselineProperty, RecoversEasyPlantedPartition) {
+  const auto pp = generate_planted_partition(500, 5, 14.0, 1.0, 29);
+  const auto res = GetParam().run(pp.graph);
+  ASSERT_TRUE(is_valid_membership(pp.graph, res.labels));
+  EXPECT_GT(normalized_mutual_information(res.labels, pp.ground_truth), 0.7)
+      << GetParam().name;
+}
+
+TEST_P(BaselineProperty, HandlesEdgelessGraph) {
+  GraphBuilder b(10);
+  const Graph g = b.build();
+  const auto res = GetParam().run(g);
+  EXPECT_EQ(res.labels.size(), 10u);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(res.labels[v], v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineProperty,
+    ::testing::Values(
+        BaselineCase{"seq_lpa",
+                     [](const Graph& g) { return seq_lpa(g, SeqLpaConfig{}); }},
+        BaselineCase{"flpa",
+                     [](const Graph& g) { return flpa(g, FlpaConfig{}); }},
+        BaselineCase{"plp",
+                     [](const Graph& g) { return plp(g, PlpConfig{}); }},
+        BaselineCase{"gve_lpa",
+                     [](const Graph& g) { return gve_lpa(g, GveLpaConfig{}); }},
+        BaselineCase{"louvain",
+                     [](const Graph& g) { return louvain(g, LouvainConfig{}); }}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace nulpa

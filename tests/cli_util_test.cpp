@@ -1,0 +1,143 @@
+// Tests for the remaining util surfaces: command-line parsing (the `nulpa`
+// tool and every bench depend on it), the text-table printer, the numeric
+// formatters, and counter stream output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "simt/counters.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace nulpa {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()));
+}
+
+TEST(CliArgs, KeyValuePairs) {
+  const auto args = parse({"--scale", "4000", "--name", "web"});
+  EXPECT_EQ(args.get_int("scale", 0), 4000);
+  EXPECT_EQ(args.get("name", ""), "web");
+  EXPECT_TRUE(args.has("scale"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, EqualsSyntax) {
+  const auto args = parse({"--tolerance=0.25", "--algo=flpa"});
+  EXPECT_DOUBLE_EQ(args.get_double("tolerance", 0.0), 0.25);
+  EXPECT_EQ(args.get("algo", ""), "flpa");
+}
+
+TEST(CliArgs, BareFlagsAreTrue) {
+  const auto args = parse({"--verbose", "--count", "3"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("count", 0), 3);
+}
+
+TEST(CliArgs, BoolSpellings) {
+  const auto args = parse({"--a", "true", "--b", "1", "--c", "yes", "--d",
+                           "no"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_TRUE(args.get_bool("b", false));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get("x", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_TRUE(args.get_bool("x", true));
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const auto args = parse({"input.mtx", "--algo", "plp", "more.bin"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.mtx");
+  EXPECT_EQ(args.positional()[1], "more.bin");
+}
+
+TEST(TextTable, AlignsColumnsAndPadsShortRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name"});  // short row: second cell empty
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| long-name"), std::string::npos);
+  // Every line has the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Format, SignificantDigits) {
+  EXPECT_EQ(fmt(1.23456, 3), "1.23");
+  EXPECT_EQ(fmt(1000.0, 4), "1000");
+}
+
+TEST(Format, HumanCounts) {
+  EXPECT_EQ(fmt_count(950), "950");
+  EXPECT_EQ(fmt_count(7410000), "7.41M");
+  EXPECT_EQ(fmt_count(1210000000), "1.21B");
+  EXPECT_EQ(fmt_count(2500), "2.5K");
+}
+
+TEST(Timer, MeasuresElapsedAndResets) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double first = t.seconds();
+  EXPECT_GT(first, 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), first + 1.0);
+  EXPECT_NEAR(t.millis(), t.seconds() * 1e3, 1.0);
+}
+
+TEST(Timer, MeanOverRepeats) {
+  int calls = 0;
+  const double mean = time_mean_seconds(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_GE(mean, 0.0);
+}
+
+TEST(Counters, StreamOutputMentionsEveryField) {
+  simt::PerfCounters c;
+  c.global_loads = 11;
+  c.atomic_ops = 22;
+  c.hash_probes = 33;
+  std::ostringstream os;
+  os << c;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("loads=11"), std::string::npos);
+  EXPECT_NE(s.find("atomics=22"), std::string::npos);
+  EXPECT_NE(s.find("probes=33"), std::string::npos);
+}
+
+TEST(Counters, AccumulateAndReset) {
+  simt::PerfCounters a, b;
+  a.global_loads = 5;
+  a.shared_stores = 2;
+  b.global_loads = 7;
+  b.shared_stores = 1;
+  a += b;
+  EXPECT_EQ(a.global_loads, 12u);
+  EXPECT_EQ(a.shared_stores, 3u);
+  a.reset();
+  EXPECT_EQ(a.global_loads, 0u);
+}
+
+}  // namespace
+}  // namespace nulpa

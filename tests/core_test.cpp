@@ -1,0 +1,273 @@
+// Tests for ν-LPA itself: correctness on graphs with known community
+// structure, the community-swap livelock and its PL/CC mitigations
+// (Section 4.1), kernel-partitioning equivalence (Section 4.3), float vs
+// double values (Section 4.4), determinism, and counter plumbing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/nulpa.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+#include "quality/nmi.hpp"
+
+namespace nulpa {
+namespace {
+
+/// A perfect matching: k disjoint edges. Every pair is symmetric, so under
+/// lockstep execution both endpoints adopt each other's label each
+/// iteration — the canonical swap-livelock workload.
+Graph matching_graph(Vertex pairs) {
+  GraphBuilder b(2 * pairs);
+  for (Vertex p = 0; p < pairs; ++p) b.add_edge(2 * p, 2 * p + 1);
+  return b.build();
+}
+
+NuLpaConfig no_swap_prevention() {
+  NuLpaConfig cfg;
+  cfg.swap.pick_less_every = 0;
+  cfg.swap.cross_check_every = 0;
+  return cfg;
+}
+
+TEST(NuLpa, EmptyGraph) {
+  const auto res = nu_lpa(Graph{});
+  EXPECT_TRUE(res.labels.empty());
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(NuLpa, SingletonAndIsolatedVerticesKeepOwnLabel) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);  // 2 and 3 are isolated
+  const auto res = nu_lpa(b.build());
+  EXPECT_EQ(res.labels[2], 2u);
+  EXPECT_EQ(res.labels[3], 3u);
+  EXPECT_EQ(res.labels[0], res.labels[1]);
+}
+
+TEST(NuLpa, CliqueCollapsesToOneCommunity) {
+  const auto res = nu_lpa(generate_clique(16));
+  EXPECT_EQ(count_communities(res.labels), 1u);
+}
+
+TEST(NuLpa, RingOfCliquesFindsTheCliques) {
+  const Graph g = generate_ring_of_cliques(12, 6);
+  const auto res = nu_lpa(g);
+  ASSERT_TRUE(is_valid_membership(g, res.labels));
+
+  std::vector<Vertex> truth(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) truth[v] = v / 6;
+  EXPECT_GT(normalized_mutual_information(res.labels, truth), 0.95);
+  EXPECT_GT(modularity(g, res.labels), 0.7);
+}
+
+// The heart of Section 4.1: without any symmetry breaking the matching
+// graph livelocks (every pair swaps forever, ΔN never drops), so the run
+// exhausts MAX_ITERATIONS without converging. PL4 breaks the symmetry.
+TEST(SwapPrevention, LivelockWithoutMitigation) {
+  const Graph g = matching_graph(64);
+  const auto res = nu_lpa(g, no_swap_prevention());
+  EXPECT_EQ(res.iterations, 20) << "expected to hit MAX_ITERATIONS";
+  // Pairs are still split: both endpoints carry different labels.
+  int split = 0;
+  for (Vertex p = 0; p < 64; ++p) {
+    split += res.labels[2 * p] != res.labels[2 * p + 1];
+  }
+  EXPECT_GT(split, 0) << "livelocked pairs should remain unmerged";
+}
+
+TEST(SwapPrevention, PickLessResolvesSwaps) {
+  const Graph g = matching_graph(64);
+  NuLpaConfig cfg;  // default PL4
+  const auto res = nu_lpa(g, cfg);
+  EXPECT_LT(res.iterations, 20) << "PL4 should converge";
+  for (Vertex p = 0; p < 64; ++p) {
+    EXPECT_EQ(res.labels[2 * p], res.labels[2 * p + 1]) << "pair " << p;
+    // Pick-Less favours the smaller id, which is the pair's leader.
+    EXPECT_EQ(res.labels[2 * p], 2 * p);
+  }
+}
+
+TEST(SwapPrevention, CrossCheckResolvesSwaps) {
+  const Graph g = matching_graph(64);
+  NuLpaConfig cfg;
+  cfg.swap.pick_less_every = 0;
+  cfg.swap.cross_check_every = 1;
+  const auto res = nu_lpa(g, cfg);
+  for (Vertex p = 0; p < 64; ++p) {
+    EXPECT_EQ(res.labels[2 * p], res.labels[2 * p + 1]) << "pair " << p;
+  }
+}
+
+TEST(SwapPrevention, HybridResolvesSwaps) {
+  const Graph g = matching_graph(32);
+  NuLpaConfig cfg;
+  cfg.swap.pick_less_every = 2;
+  cfg.swap.cross_check_every = 3;
+  const auto res = nu_lpa(g, cfg);
+  for (Vertex p = 0; p < 32; ++p) {
+    EXPECT_EQ(res.labels[2 * p], res.labels[2 * p + 1]);
+  }
+}
+
+TEST(SwapPrevention, LabelFormatting) {
+  SwapPrevention s;
+  EXPECT_EQ(s.label(), "PL4");
+  s = {.pick_less_every = 0, .cross_check_every = 2};
+  EXPECT_EQ(s.label(), "CC2");
+  s = {.pick_less_every = 1, .cross_check_every = 3};
+  EXPECT_EQ(s.label(), "H(PL1,CC3)");
+  s = {.pick_less_every = 0, .cross_check_every = 0};
+  EXPECT_EQ(s.label(), "none");
+}
+
+TEST(NuLpa, DeterministicAcrossRuns) {
+  const Graph g = generate_web(2000, 6, 0.82, 9);
+  const auto a = nu_lpa(g);
+  const auto b = nu_lpa(g);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.counters.global_loads, b.counters.global_loads);
+}
+
+// Section 4.3: forcing every vertex through either kernel must produce
+// communities of the same quality (tie-break order may differ slightly).
+TEST(KernelPartition, BothKernelsProduceEquivalentQuality) {
+  const Graph g = generate_web(1500, 8, 0.82, 4);
+
+  NuLpaConfig all_tpv;
+  all_tpv.switch_degree = 0xFFFFFFFF;  // everything thread-per-vertex
+  NuLpaConfig all_bpv;
+  all_bpv.switch_degree = 0;  // everything block-per-vertex
+  NuLpaConfig mixed;          // default 32
+
+  const auto r_tpv = nu_lpa(g, all_tpv);
+  const auto r_bpv = nu_lpa(g, all_bpv);
+  const auto r_mix = nu_lpa(g, mixed);
+
+  const double q_tpv = modularity(g, r_tpv.labels);
+  const double q_bpv = modularity(g, r_bpv.labels);
+  const double q_mix = modularity(g, r_mix.labels);
+  EXPECT_NEAR(q_tpv, q_bpv, 0.08);
+  EXPECT_NEAR(q_mix, q_tpv, 0.08);
+  EXPECT_TRUE(is_valid_membership(g, r_bpv.labels));
+}
+
+TEST(KernelPartition, HighDegreeVerticesGoThroughBlockKernel) {
+  // A star graph: hub degree 99 -> block kernel; leaves -> thread kernel.
+  GraphBuilder b(100);
+  for (Vertex v = 1; v < 100; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  const auto res = nu_lpa(g);
+  EXPECT_TRUE(is_valid_membership(g, res.labels));
+  EXPECT_EQ(count_communities(res.labels), 1u);  // star is one community
+  EXPECT_GT(res.counters.block_syncs, 0u) << "block kernel must have run";
+}
+
+TEST(Datatype, FloatAndDoubleValuesAgreeOnQuality) {
+  const Graph g = generate_web(1500, 6, 0.82, 21);
+  NuLpaConfig f32, f64;
+  f64.use_double_values = true;
+  const auto rf = nu_lpa(g, f32);
+  const auto rd = nu_lpa(g, f64);
+  EXPECT_NEAR(modularity(g, rf.labels), modularity(g, rd.labels), 0.02);
+}
+
+TEST(Pruning, DoesNotDegradeQuality) {
+  const Graph g = generate_web(1500, 6, 0.82, 33);
+  NuLpaConfig with_pruning;
+  NuLpaConfig without;
+  without.pruning = false;
+  const auto a = nu_lpa(g, with_pruning);
+  const auto b = nu_lpa(g, without);
+  EXPECT_NEAR(modularity(g, a.labels), modularity(g, b.labels), 0.05);
+  // Pruning must reduce work after the first iteration.
+  EXPECT_LT(a.edges_scanned, b.edges_scanned);
+}
+
+TEST(Counters, ArePopulated) {
+  const Graph g = generate_ring_of_cliques(8, 5);
+  const auto res = nu_lpa(g);
+  EXPECT_GT(res.counters.global_loads, 0u);
+  EXPECT_GT(res.counters.global_stores, 0u);
+  EXPECT_GT(res.counters.kernel_launches, 0u);
+  EXPECT_GT(res.counters.edges_scanned, 0u);
+  EXPECT_GT(res.hash_stats.inserts, 0u);
+  EXPECT_EQ(res.edges_scanned, res.counters.edges_scanned);
+}
+
+TEST(Tolerance, LooserToleranceConvergesNoSlower) {
+  const Graph g = generate_web(2000, 6, 0.82, 8);
+  NuLpaConfig tight;
+  tight.tolerance = 1e-6;
+  NuLpaConfig loose;
+  loose.tolerance = 0.2;
+  const auto rt = nu_lpa(g, tight);
+  const auto rl = nu_lpa(g, loose);
+  EXPECT_LE(rl.iterations, rt.iterations);
+}
+
+class ProbingQuality : public ::testing::TestWithParam<Probing> {};
+
+// Figure 4 is about speed; quality must be unaffected by probing choice.
+TEST_P(ProbingQuality, CommunityQualityIndependentOfProbing) {
+  const Graph g = generate_web(1200, 6, 0.82, 13);
+  NuLpaConfig cfg;
+  cfg.probing = GetParam();
+  const auto res = nu_lpa(g, cfg);
+  ASSERT_TRUE(is_valid_membership(g, res.labels));
+  EXPECT_GT(modularity(g, res.labels), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ProbingQuality,
+                         ::testing::Values(Probing::kLinear,
+                                           Probing::kQuadratic,
+                                           Probing::kDouble,
+                                           Probing::kQuadDouble),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+class SwitchDegreeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SwitchDegreeSweep, AllSwitchDegreesAreCorrect) {
+  const Graph g = generate_web(800, 6, 0.82, 17);
+  NuLpaConfig cfg;
+  cfg.switch_degree = GetParam();
+  const auto res = nu_lpa(g, cfg);
+  ASSERT_TRUE(is_valid_membership(g, res.labels));
+  // Tiny switch degrees route nearly every vertex through one-vertex
+  // blocks; when the graph far exceeds the simulated number of resident
+  // blocks, that over-serializes execution relative to real hardware and
+  // label epidemics cost quality. The paper's operating point (32) and its
+  // neighbourhood must deliver full quality.
+  if (GetParam() >= 16) {
+    EXPECT_GT(modularity(g, res.labels), 0.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig5Sweep, SwitchDegreeSweep,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u, 128u,
+                                           256u));
+
+TEST(NuLpa, PlantedPartitionRecovered) {
+  const auto pp = generate_planted_partition(600, 6, 16.0, 1.0, 5);
+  const auto res = nu_lpa(pp.graph);
+  EXPECT_GT(normalized_mutual_information(res.labels, pp.ground_truth), 0.8);
+}
+
+TEST(NuLpa, LabelsAreAlwaysCommunityLeaders) {
+  // Every final label must be a real vertex id (LPA invariant).
+  const Graph g = generate_web(1000, 5, 0.82, 3);
+  const auto res = nu_lpa(g);
+  for (const Vertex c : res.labels) EXPECT_LT(c, g.num_vertices());
+}
+
+}  // namespace
+}  // namespace nulpa

@@ -1,0 +1,207 @@
+// Equivalence suites: the optimized kernels must agree with slow,
+// obviously-correct reference computations. These are the tests that caught
+// the block-uniform pruning race during development (DESIGN.md, decision 4).
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "baselines/seq_lpa.hpp"
+#include "core/nulpa.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+#include "util/rng.hpp"
+
+namespace nulpa {
+namespace {
+
+/// Random graph with strictly distinct edge weights, so every vertex has a
+/// unique best label and tie-break order cannot mask differences.
+Graph distinct_weight_graph(Vertex n, int edges, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  GraphBuilder b(n);
+  for (int e = 0; e < edges; ++e) {
+    const auto u = static_cast<Vertex>(rng.next_bounded(n));
+    const auto v = static_cast<Vertex>(rng.next_bounded(n));
+    if (u != v) {
+      b.add_edge(u, v, 1.0f + 0.001f * static_cast<float>(e));
+    }
+  }
+  return b.build();
+}
+
+/// One reference LPA iteration over `order`, asynchronous, strict
+/// first-max (scan order). With distinct weights the winner is unique, so
+/// this matches any sequentially-processed implementation exactly.
+std::vector<Vertex> reference_iteration_ordered(
+    const Graph& g, const std::vector<Vertex>& order) {
+  std::vector<Vertex> labels(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) labels[v] = v;
+  std::unordered_map<Vertex, double> acc;
+  for (const Vertex v : order) {
+    acc.clear();
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.weights_of(v);
+    Vertex best = labels[v];
+    double best_w = -1.0;
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (nbrs[e] == v) continue;
+      const double w = (acc[labels[nbrs[e]]] += wts[e]);
+      if (w > best_w) {
+        best_w = w;
+        best = labels[nbrs[e]];
+      }
+    }
+    labels[v] = best;
+  }
+  return labels;
+}
+
+std::vector<Vertex> ascending_order(const Graph& g) {
+  std::vector<Vertex> order(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  return order;
+}
+
+std::vector<Vertex> reference_iteration(const Graph& g) {
+  return reference_iteration_ordered(g, ascending_order(g));
+}
+
+NuLpaConfig sequentialized(std::uint32_t switch_degree) {
+  NuLpaConfig cfg;
+  cfg.switch_degree = switch_degree;
+  cfg.max_iterations = 1;
+  cfg.swap.pick_less_every = 0;
+  cfg.pruning = false;
+  // One lane/block in flight => strictly sequential ascending processing.
+  cfg.launch.block_dim = 1;
+  cfg.launch.resident_blocks = 1;
+  cfg.bpv_block_dim = 4;
+  cfg.bpv_resident_blocks = 1;
+  return cfg;
+}
+
+TEST(Equivalence, ThreadPerVertexMatchesReference) {
+  const Graph g = distinct_weight_graph(300, 2500, 7);
+  const auto ref = reference_iteration(g);
+  const auto r = nu_lpa(g, sequentialized(0xFFFFFFFFu));
+  EXPECT_EQ(r.labels, ref);
+}
+
+TEST(Equivalence, BlockPerVertexMatchesReference) {
+  const Graph g = distinct_weight_graph(300, 2500, 8);
+  const auto ref = reference_iteration(g);
+  const auto r = nu_lpa(g, sequentialized(0));
+  EXPECT_EQ(r.labels, ref);
+}
+
+TEST(Equivalence, MixedKernelsMatchReference) {
+  // The engine launches the thread-per-vertex kernel (low-degree vertices)
+  // before the block-per-vertex kernel, so the asynchronous processing
+  // order is low-partition-then-high-partition, each ascending.
+  const Graph g = distinct_weight_graph(300, 2500, 9);
+  std::vector<Vertex> order;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) < 16) order.push_back(v);
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) >= 16) order.push_back(v);
+  }
+  const auto ref = reference_iteration_ordered(g, order);
+  const auto r = nu_lpa(g, sequentialized(16));
+  EXPECT_EQ(r.labels, ref);
+}
+
+TEST(Equivalence, PruningIsTransparentOnDistinctWeights) {
+  // With unique maxima and no Pick-Less, pruning must not change any label
+  // decision: a skipped vertex has an unchanged neighbourhood, so a
+  // recompute would pick the same label. (With PL enabled this does not
+  // hold — a vertex blocked by PL and then pruned misses the later non-PL
+  // iteration in which it could have moved; that documented interplay is
+  // why both configs here disable PL.)
+  const Graph g = distinct_weight_graph(400, 3000, 10);
+  NuLpaConfig with_p;
+  with_p.swap.pick_less_every = 0;
+  NuLpaConfig without = with_p;
+  without.pruning = false;
+  EXPECT_EQ(nu_lpa(g, with_p).labels, nu_lpa(g, without).labels);
+}
+
+TEST(Equivalence, SharedAndGlobalTablesBitIdentical) {
+  const Graph g = distinct_weight_graph(400, 3000, 11);
+  NuLpaConfig global_cfg;
+  NuLpaConfig shared_cfg;
+  shared_cfg.shared_memory_tables = true;
+  EXPECT_EQ(nu_lpa(g, global_cfg).labels, nu_lpa(g, shared_cfg).labels);
+}
+
+TEST(Equivalence, ProbingPoliciesAgreeOnDistinctWeights) {
+  // The probe sequence decides *where* a key lives, never what the max is.
+  const Graph g = distinct_weight_graph(350, 2800, 12);
+  std::vector<Vertex> first;
+  for (const Probing p : {Probing::kLinear, Probing::kQuadratic,
+                          Probing::kDouble, Probing::kQuadDouble,
+                          Probing::kCoalesced}) {
+    NuLpaConfig cfg;
+    cfg.probing = p;
+    cfg.switch_degree = 0xFFFFFFFFu;  // coalesced is TPV-only
+    const auto r = nu_lpa(g, cfg);
+    if (first.empty()) {
+      first = r.labels;
+    } else {
+      EXPECT_EQ(r.labels, first) << to_string(p);
+    }
+  }
+}
+
+TEST(Equivalence, WeightsAreRespected) {
+  // Vertex 0 has two neighbours; the heavier edge must win regardless of
+  // label ids.
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0f);
+  b.add_edge(0, 2, 5.0f);
+  NuLpaConfig cfg;
+  cfg.max_iterations = 1;
+  cfg.swap.pick_less_every = 0;
+  const auto r = nu_lpa(b.build(), cfg);
+  EXPECT_EQ(r.labels[0], 2u);
+}
+
+TEST(Equivalence, SeqLpaStrictMatchesReferenceOneIteration) {
+  const Graph g = distinct_weight_graph(300, 2500, 13);
+  SeqLpaConfig cfg;
+  cfg.max_iterations = 1;
+  cfg.random_tie_break = false;
+  cfg.tolerance = 0.0;
+  EXPECT_EQ(seq_lpa(g, cfg).labels, reference_iteration(g));
+}
+
+TEST(Equivalence, ConvergedStateIsAFixedPoint) {
+  // Running ν-LPA again from its own output must change nothing: every
+  // vertex already holds a maximal-weight label. (Feed labels back via a
+  // one-iteration reference sweep.)
+  const Graph g = generate_web(800, 6, 0.85, 14);
+  const auto r = nu_lpa(g);
+  std::unordered_map<Vertex, double> acc;
+  int improvable = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    acc.clear();
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.weights_of(v);
+    if (nbrs.empty()) continue;
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (nbrs[e] != v) acc[r.labels[nbrs[e]]] += wts[e];
+    }
+    double best = -1.0;
+    for (const auto& [c, w] : acc) best = std::max(best, w);
+    const auto mine = acc.find(r.labels[v]);
+    const double my_w = mine == acc.end() ? -1.0 : mine->second;
+    if (my_w < best) ++improvable;
+  }
+  // Tolerance 0.05 allows a small residue of improvable vertices.
+  EXPECT_LT(improvable, static_cast<int>(0.10 * g.num_vertices()));
+}
+
+}  // namespace
+}  // namespace nulpa

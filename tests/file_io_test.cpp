@@ -1,0 +1,92 @@
+// File-level IO tests (the stream-level round-trips live in graph_test /
+// transforms_test): real temp files, error paths for missing/corrupt files,
+// and CLI-relevant format detection invariants.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/binary_io.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace nulpa {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nulpa_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, MatrixMarketFileRoundTrip) {
+  const Graph g = generate_web(300, 5, 0.85, 2);
+  const std::string p = path("g.mtx");
+  write_matrix_market_file(p, g);
+  const Graph h = read_matrix_market_file(p);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST_F(FileIoTest, BinaryCsrFileRoundTrip) {
+  const Graph g = generate_kmer(500, 0.03, 3);
+  const std::string p = path("g.bin");
+  write_binary_csr_file(p, g);
+  const Graph h = read_binary_csr_file(p);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_TRUE(h.is_symmetric());
+}
+
+TEST_F(FileIoTest, BinaryIsSmallerToLoadAndLossless) {
+  const Graph g = generate_web(1000, 6, 0.85, 4);
+  write_matrix_market_file(path("g.mtx"), g);
+  write_binary_csr_file(path("g.bin"), g);
+  const Graph a = read_matrix_market_file(path("g.mtx"));
+  const Graph b = read_binary_csr_file(path("g.bin"));
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v));
+  }
+}
+
+TEST_F(FileIoTest, MissingFilesThrow) {
+  EXPECT_THROW(read_matrix_market_file(path("absent.mtx")),
+               std::runtime_error);
+  EXPECT_THROW(read_edge_list_file(path("absent.txt")), std::runtime_error);
+  EXPECT_THROW(read_binary_csr_file(path("absent.bin")), std::runtime_error);
+}
+
+TEST_F(FileIoTest, CorruptBinaryThrows) {
+  const std::string p = path("corrupt.bin");
+  {
+    std::ofstream out(p, std::ios::binary);
+    out << "NULPACSR";  // valid magic, then garbage
+    out << "xxxxxxxxxxxxxxxx";
+  }
+  EXPECT_THROW(read_binary_csr_file(p), std::runtime_error);
+}
+
+TEST_F(FileIoTest, EdgeListFileWithWeights) {
+  const std::string p = path("weighted.txt");
+  {
+    std::ofstream out(p);
+    out << "# weighted edge list\n0 1 2.5\n1 2 0.5\n";
+  }
+  const Graph g = read_edge_list_file(p);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_FLOAT_EQ(g.weights_of(0)[0], 2.5f);
+}
+
+}  // namespace
+}  // namespace nulpa

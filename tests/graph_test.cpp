@@ -1,0 +1,327 @@
+// Tests for src/graph: CSR invariants, builder clean-up rules, IO
+// round-trips, and generator structural properties (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/partition.hpp"
+#include "graph/stats.hpp"
+
+namespace nulpa {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  return b.build();
+}
+
+TEST(Csr, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.is_well_formed());
+}
+
+TEST(Csr, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 6u);  // arcs
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 2.0);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_TRUE(g.is_well_formed());
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(Csr, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.add_edge(0, 4).add_edge(0, 2).add_edge(0, 1).add_edge(0, 3);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (std::size_t i = 1; i < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i - 1], nbrs[i]);
+  }
+}
+
+TEST(Csr, RejectsInconsistentArrays) {
+  EXPECT_THROW(Graph({0, 2}, {1}, {1.0f}), std::invalid_argument);
+  EXPECT_THROW(Graph({1, 2}, {1, 0}, {1.0f, 1.0f}), std::invalid_argument);
+}
+
+TEST(Builder, SymmetrizeAddsReverseArcs) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+}
+
+TEST(Builder, DropsSelfLoopsByDefault) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0).add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Builder, KeepsSelfLoopsWhenAsked) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0, 3.0f).add_edge(0, 1);
+  GraphBuilder::Options opts;
+  opts.drop_self_loops = false;
+  const Graph g = b.build(opts);
+  EXPECT_EQ(g.degree(0), 2u);  // self-loop stored once plus the edge
+  EXPECT_FLOAT_EQ(g.weights_of(0)[0], 3.0f);
+}
+
+TEST(Builder, CombinesDuplicateEdgeWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0f).add_edge(0, 1, 2.0f).add_edge(1, 0, 4.0f);
+  const Graph g = b.build();
+  ASSERT_EQ(g.degree(0), 1u);
+  EXPECT_FLOAT_EQ(g.weights_of(0)[0], 7.0f);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Builder, InfersVertexCount) {
+  GraphBuilder b;
+  b.add_edge(3, 9);
+  EXPECT_EQ(b.build().num_vertices(), 10u);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  // Adding through add_edge grows n_, so force the error via explicit n.
+  GraphBuilder small(1);
+  EXPECT_NO_THROW(small.add_edge(0, 5));  // grows
+  EXPECT_EQ(small.build().num_vertices(), 6u);
+}
+
+TEST(Io, MatrixMarketRoundTrip) {
+  const Graph g = generate_ring_of_cliques(4, 5);
+  std::stringstream ss;
+  write_matrix_market(ss, g);
+  const Graph h = read_matrix_market(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(h.degree(v), g.degree(v)) << v;
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(Io, MatrixMarketPatternSymmetric) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% comment line\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 2\n");
+  const Graph g = read_matrix_market(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Io, MatrixMarketRejectsGarbage) {
+  std::stringstream no_banner("1 1 0\n");
+  EXPECT_THROW(read_matrix_market(no_banner), std::runtime_error);
+  std::stringstream bad_format(
+      "%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market(bad_format), std::runtime_error);
+  std::stringstream truncated(
+      "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n");
+  EXPECT_THROW(read_matrix_market(truncated), std::runtime_error);
+  std::stringstream out_of_range(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 5\n");
+  EXPECT_THROW(read_matrix_market(out_of_range), std::runtime_error);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = generate_erdos_renyi(100, 6.0, 7);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_TRUE(h.is_symmetric());
+}
+
+TEST(Io, EdgeListSkipsComments) {
+  std::stringstream ss("# a comment\n0 1\n% another\n1 2 2.5\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_FLOAT_EQ(g.weights_of(1)[1], 2.5f);
+}
+
+TEST(Generators, CliqueIsComplete) {
+  const Graph g = generate_clique(6);
+  EXPECT_EQ(g.num_edges(), 30u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, PathIsAPath) {
+  const Graph g = generate_path(5);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, RingOfCliquesStructure) {
+  const Graph g = generate_ring_of_cliques(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // Each clique contributes 6 undirected edges; 3 bridges.
+  EXPECT_EQ(g.num_edges(), 2u * (3 * 6 + 3));
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Generators, RmatRequiresPowerOfTwo) {
+  EXPECT_THROW(generate_rmat(100, 10, 1), std::invalid_argument);
+}
+
+TEST(Generators, PlantedPartitionGroundTruthShape) {
+  const auto pp = generate_planted_partition(100, 5, 8.0, 1.0, 3);
+  EXPECT_EQ(pp.ground_truth.size(), 100u);
+  for (const Vertex c : pp.ground_truth) EXPECT_LT(c, 5u);
+  EXPECT_TRUE(pp.graph.is_symmetric());
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  const Graph a = generate_erdos_renyi(500, 8.0, 42);
+  const Graph b = generate_erdos_renyi(500, 8.0, 42);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  const Graph c = generate_erdos_renyi(500, 8.0, 43);
+  EXPECT_NE(a.num_edges(), c.num_edges());
+}
+
+struct GenCase {
+  std::string name;
+  Graph (*make)(std::uint64_t seed);
+  double min_avg_degree;
+  double max_avg_degree;
+};
+
+class GeneratorProperty : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorProperty, ProducesWellFormedSymmetricGraph) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = GetParam().make(seed);
+    ASSERT_GT(g.num_vertices(), 0u);
+    EXPECT_TRUE(g.is_well_formed());
+    EXPECT_TRUE(g.is_symmetric());
+    EXPECT_GE(g.average_degree(), GetParam().min_avg_degree);
+    EXPECT_LE(g.average_degree(), GetParam().max_avg_degree);
+    // No self loops.
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      for (const Vertex u : g.neighbors(v)) ASSERT_NE(u, v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorProperty,
+    ::testing::Values(
+        GenCase{"erdos_renyi",
+                [](std::uint64_t s) { return generate_erdos_renyi(2000, 8.0, s); },
+                6.0, 10.0},
+        GenCase{"rmat",
+                [](std::uint64_t s) {
+                  return generate_rmat(2048, 8192, s);
+                },
+                4.0, 9.0},
+        GenCase{"web",
+                [](std::uint64_t s) { return generate_web(2000, 6, 0.7, s); },
+                6.0, 13.0},
+        GenCase{"road",
+                [](std::uint64_t s) { return generate_road(50, 50, 0.0, s); },
+                1.6, 2.6},
+        GenCase{"kmer",
+                [](std::uint64_t s) { return generate_kmer(3000, 0.03, s); },
+                1.5, 2.6},
+        GenCase{"barabasi",
+                [](std::uint64_t s) {
+                  return generate_barabasi_albert(2000, 4, s);
+                },
+                5.0, 9.0}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Dataset, SuiteHasThirteenGraphsMirroringTable1) {
+  const auto suite = make_dataset_suite(500, 1);
+  ASSERT_EQ(suite.size(), 13u);
+  int web = 0, social = 0, road = 0, kmer = 0;
+  for (const auto& d : suite) {
+    EXPECT_TRUE(d.graph.is_well_formed()) << d.spec.name;
+    EXPECT_GT(d.graph.num_vertices(), 0u) << d.spec.name;
+    switch (d.spec.category) {
+      case DatasetCategory::kWeb: ++web; break;
+      case DatasetCategory::kSocial: ++social; break;
+      case DatasetCategory::kRoad: ++road; break;
+      case DatasetCategory::kKmer: ++kmer; break;
+    }
+  }
+  EXPECT_EQ(web, 7);
+  EXPECT_EQ(social, 2);
+  EXPECT_EQ(road, 2);
+  EXPECT_EQ(kmer, 2);
+}
+
+TEST(Dataset, RoadAndKmerMatchTable1AverageDegrees) {
+  const auto suite = make_dataset_suite(2000, 1);
+  for (const auto& d : suite) {
+    if (d.spec.category == DatasetCategory::kRoad ||
+        d.spec.category == DatasetCategory::kKmer) {
+      EXPECT_NEAR(d.graph.average_degree(), 2.1, 0.5) << d.spec.name;
+    }
+  }
+}
+
+TEST(Partition, SplitsByDegreeAndPreservesOrder) {
+  const Graph g = generate_web(1000, 6, 0.7, 5);
+  const auto part = partition_by_degree(g, 32);
+  EXPECT_EQ(part.low.size() + part.high.size(), g.num_vertices());
+  for (const Vertex v : part.low) EXPECT_LT(g.degree(v), 32u);
+  for (const Vertex v : part.high) EXPECT_GE(g.degree(v), 32u);
+  for (std::size_t i = 1; i < part.low.size(); ++i) {
+    EXPECT_LT(part.low[i - 1], part.low[i]);
+  }
+  for (std::size_t i = 1; i < part.high.size(); ++i) {
+    EXPECT_LT(part.high[i - 1], part.high[i]);
+  }
+}
+
+TEST(Partition, ExtremeSwitchDegrees) {
+  const Graph g = triangle();
+  EXPECT_EQ(partition_by_degree(g, 0).low.size(), 0u);
+  EXPECT_EQ(partition_by_degree(g, 1000).high.size(), 0u);
+}
+
+TEST(Stats, ComputesBasics) {
+  const GraphStats s = compute_stats(triangle());
+  EXPECT_EQ(s.vertices, 3u);
+  EXPECT_EQ(s.edges, 6u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.total_weight, 3.0);
+}
+
+TEST(Stats, DegreeHistogramTailBucket) {
+  const Graph g = generate_clique(10);  // all degree 9
+  const auto hist = degree_histogram(g, 5);
+  EXPECT_EQ(hist[4], 10u);  // everything lands in the tail bucket
+}
+
+}  // namespace
+}  // namespace nulpa

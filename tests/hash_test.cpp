@@ -1,0 +1,251 @@
+// Tests for the per-vertex hashtables: every probing policy must agree with
+// a reference std::unordered_map accumulator on randomized workloads, the
+// probe-step recurrences must match Algorithm 2, and the coalesced variant
+// must behave identically from the outside.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/coalesced.hpp"
+#include "hash/probing.hpp"
+#include "hash/vertex_table.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace nulpa {
+namespace {
+
+struct TableFixture {
+  std::vector<Vertex> keys;
+  std::vector<double> values;
+  HashStats stats;
+
+  explicit TableFixture(std::uint32_t capacity)
+      : keys(capacity, kEmptyKey), values(capacity, 0.0) {}
+
+  VertexTableView<double> view() {
+    return VertexTableView<double>(keys.data(), values.data(),
+                                   static_cast<std::uint32_t>(keys.size()),
+                                   &stats);
+  }
+};
+
+TEST(ProbeStep, LinearIsAlwaysOne) {
+  EXPECT_EQ(initial_step(Probing::kLinear, 42, 15, 31), 1u);
+  EXPECT_EQ(next_step(Probing::kLinear, 1, 42, 31), 1u);
+  EXPECT_EQ(next_step(Probing::kLinear, 99, 42, 31), 1u);
+}
+
+TEST(ProbeStep, QuadraticDoubles) {
+  std::uint64_t di = initial_step(Probing::kQuadratic, 5, 15, 31);
+  EXPECT_EQ(di, 1u);
+  di = next_step(Probing::kQuadratic, di, 5, 31);
+  EXPECT_EQ(di, 2u);
+  di = next_step(Probing::kQuadratic, di, 5, 31);
+  EXPECT_EQ(di, 4u);
+}
+
+TEST(ProbeStep, DoubleHashIsFixedPerKey) {
+  const std::uint32_t p2 = 31;
+  const std::uint64_t d0 = initial_step(Probing::kDouble, 40, 15, p2);
+  EXPECT_EQ(d0, 1u + 40 % 31);
+  EXPECT_EQ(next_step(Probing::kDouble, d0, 40, p2), d0);
+}
+
+TEST(ProbeStep, QuadDoubleMatchesAlgorithm2Recurrence) {
+  // Algorithm 2 line 20: di <- 2*di + (k mod p2), starting from di = 1.
+  const std::uint32_t k = 77, p2 = 31;
+  std::uint64_t di = initial_step(Probing::kQuadDouble, k, 15, p2);
+  EXPECT_EQ(di, 1u);
+  std::uint64_t expected = 1;
+  for (int i = 0; i < 5; ++i) {
+    expected = 2 * expected + (k % p2);
+    di = next_step(Probing::kQuadDouble, di, k, p2);
+    EXPECT_EQ(di, expected);
+  }
+}
+
+TEST(VertexTable, ClearEmptiesEverySlot) {
+  TableFixture f(7);
+  auto t = f.view();
+  t.accumulate(3, 1.0, Probing::kQuadDouble);
+  t.clear();
+  EXPECT_EQ(t.occupied(), 0u);
+  EXPECT_EQ(t.max_key(), kEmptyKey);
+}
+
+TEST(VertexTable, AccumulateSumsRepeatedKeys) {
+  TableFixture f(7);
+  auto t = f.view();
+  t.clear();
+  t.accumulate(5, 1.5, Probing::kQuadDouble);
+  t.accumulate(5, 2.5, Probing::kQuadDouble);
+  EXPECT_DOUBLE_EQ(t.weight_of(5), 4.0);
+  EXPECT_EQ(t.occupied(), 1u);
+}
+
+TEST(VertexTable, MaxKeyPicksHeaviest) {
+  TableFixture f(7);
+  auto t = f.view();
+  t.clear();
+  t.accumulate(1, 1.0, Probing::kQuadDouble);
+  t.accumulate(2, 3.0, Probing::kQuadDouble);
+  t.accumulate(3, 2.0, Probing::kQuadDouble);
+  EXPECT_EQ(t.max_key(), 2u);
+}
+
+TEST(VertexTable, EmptyTableMaxKeyIsSentinel) {
+  TableFixture f(3);
+  auto t = f.view();
+  t.clear();
+  EXPECT_EQ(t.max_key(), kEmptyKey);
+}
+
+TEST(VertexTable, SurvivesFullLoad) {
+  // Capacity-many distinct keys: 100% load. The fallback path must keep
+  // this correct for every policy.
+  for (const Probing p : {Probing::kLinear, Probing::kQuadratic,
+                          Probing::kDouble, Probing::kQuadDouble}) {
+    TableFixture f(15);
+    auto t = f.view();
+    t.clear();
+    for (Vertex k = 0; k < 15; ++k) {
+      t.accumulate(k * 15, 1.0, p);  // all keys collide at slot 0
+    }
+    EXPECT_EQ(t.occupied(), 15u) << to_string(p);
+    for (Vertex k = 0; k < 15; ++k) {
+      EXPECT_DOUBLE_EQ(t.weight_of(k * 15), 1.0) << to_string(p);
+    }
+  }
+}
+
+class ProbingProperty : public ::testing::TestWithParam<Probing> {};
+
+TEST_P(ProbingProperty, AgreesWithReferenceAccumulator) {
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto degree = static_cast<std::uint32_t>(1 + rng.next_bounded(200));
+    const std::uint32_t cap = hashtable_capacity(degree);
+    TableFixture f(cap);
+    auto t = f.view();
+    t.clear();
+    std::unordered_map<Vertex, double> ref;
+    for (std::uint32_t e = 0; e < degree; ++e) {
+      // Keys drawn from a narrow range force many duplicates + collisions.
+      const auto k = static_cast<Vertex>(rng.next_bounded(degree));
+      const double w = 1.0 + rng.next_double();
+      t.accumulate(k, w, GetParam());
+      ref[k] += w;
+    }
+    ASSERT_EQ(t.occupied(), ref.size());
+    for (const auto& [k, w] : ref) {
+      ASSERT_NEAR(t.weight_of(k), w, 1e-9);
+    }
+    // max_key must return a key of maximal weight.
+    double best = -1.0;
+    for (const auto& [k, w] : ref) best = std::max(best, w);
+    ASSERT_NEAR(ref[t.max_key()], best, 1e-9);
+  }
+}
+
+TEST_P(ProbingProperty, NeverLosesInsertsUnderAdversarialKeys) {
+  // All keys equal mod p1: worst-case clustering for every policy.
+  const std::uint32_t cap = hashtable_capacity(64);
+  TableFixture f(cap);
+  auto t = f.view();
+  t.clear();
+  for (Vertex i = 0; i < 64; ++i) {
+    t.accumulate(i * cap + 1, 2.0, GetParam());
+  }
+  EXPECT_EQ(t.occupied(), 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ProbingProperty,
+                         ::testing::Values(Probing::kLinear,
+                                           Probing::kQuadratic,
+                                           Probing::kDouble,
+                                           Probing::kQuadDouble),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ProbingStats, QuadDoubleProbesNoMoreThanLinearOnClustered) {
+  // The paper's Figure 4 rationale: hybrid probing disperses clusters.
+  auto probes_for = [](Probing p) {
+    TableFixture f(hashtable_capacity(128));
+    auto t = f.view();
+    t.clear();
+    for (Vertex i = 0; i < 128; ++i) {
+      t.accumulate(i * t.capacity(), 1.0, p);  // maximal clustering
+    }
+    return f.stats.probes;
+  };
+  EXPECT_LE(probes_for(Probing::kQuadDouble), probes_for(Probing::kLinear));
+}
+
+TEST(Coalesced, AccumulateAndMaxMatchOpenAddressing) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto degree = static_cast<std::uint32_t>(1 + rng.next_bounded(100));
+    const std::uint32_t cap = hashtable_capacity(degree);
+    std::vector<Vertex> keys(cap, kEmptyKey);
+    std::vector<double> values(cap, 0.0);
+    std::vector<std::uint32_t> nexts(cap, CoalescedTableView<double>::kNil);
+    CoalescedTableView<double> t(keys.data(), values.data(), nexts.data(),
+                                 cap);
+    t.clear();
+    std::unordered_map<Vertex, double> ref;
+    for (std::uint32_t e = 0; e < degree; ++e) {
+      const auto k = static_cast<Vertex>(rng.next_bounded(degree));
+      t.accumulate(k, 1.0);
+      ref[k] += 1.0;
+    }
+    for (const auto& [k, w] : ref) {
+      ASSERT_NEAR(t.weight_of(k), w, 1e-9);
+    }
+    double best = -1.0;
+    for (const auto& [k, w] : ref) best = std::max(best, w);
+    ASSERT_NEAR(ref[t.max_key()], best, 1e-9);
+  }
+}
+
+TEST(Coalesced, HandlesFullLoad) {
+  const std::uint32_t cap = 15;
+  std::vector<Vertex> keys(cap, kEmptyKey);
+  std::vector<double> values(cap, 0.0);
+  std::vector<std::uint32_t> nexts(cap, CoalescedTableView<double>::kNil);
+  CoalescedTableView<double> t(keys.data(), values.data(), nexts.data(), cap);
+  t.clear();
+  for (Vertex k = 0; k < cap; ++k) t.accumulate(k * cap, 1.0);
+  for (Vertex k = 0; k < cap; ++k) {
+    EXPECT_DOUBLE_EQ(t.weight_of(k * cap), 1.0);
+  }
+}
+
+TEST(FloatValues, AccumulationMatchesDoubleWithinTolerance) {
+  // Section 4.4's claim: 32-bit accumulation does not change outcomes for
+  // unit-ish weights at graph scales.
+  std::vector<Vertex> fk(31, kEmptyKey), dk(31, kEmptyKey);
+  std::vector<float> fv(31, 0.0f);
+  std::vector<double> dv(31, 0.0);
+  VertexTableView<float> ft(fk.data(), fv.data(), 31);
+  VertexTableView<double> dt(dk.data(), dv.data(), 31);
+  ft.clear();
+  dt.clear();
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const auto k = static_cast<Vertex>(rng.next_bounded(20));
+    ft.accumulate(k, 1.0f, Probing::kQuadDouble);
+    dt.accumulate(k, 1.0, Probing::kQuadDouble);
+  }
+  EXPECT_EQ(ft.max_key(), dt.max_key());
+}
+
+}  // namespace
+}  // namespace nulpa

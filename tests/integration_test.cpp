@@ -1,0 +1,149 @@
+// Cross-module integration tests: full pipelines a downstream user would
+// run — generate -> serialize -> reload -> detect -> score -> coarsen, the
+// shared-memory-table configuration, and cross-algorithm sanity sweeps over
+// the whole dataset suite.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/flpa.hpp"
+#include "baselines/louvain.hpp"
+#include "core/nulpa.hpp"
+#include "graph/binary_io.hpp"
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/transforms.hpp"
+#include "perfmodel/machine.hpp"
+#include "quality/communities.hpp"
+#include "quality/metrics.hpp"
+#include "quality/modularity.hpp"
+#include "quality/nmi.hpp"
+
+namespace nulpa {
+namespace {
+
+TEST(Pipeline, GenerateSerializeDetectScore) {
+  const Graph original = generate_web(1200, 6, 0.85, 77);
+
+  // Round-trip through both serialization formats.
+  std::stringstream mtx;
+  write_matrix_market(mtx, original);
+  const Graph via_mtx = read_matrix_market(mtx);
+  std::stringstream bin(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary_csr(bin, via_mtx);
+  const Graph g = read_binary_csr(bin);
+  ASSERT_EQ(g.num_edges(), original.num_edges());
+
+  // Detect communities and score them every way the library offers.
+  const auto r = nu_lpa(g);
+  ASSERT_TRUE(is_valid_membership(g, r.labels));
+  const double q = modularity(g, r.labels);
+  EXPECT_GT(q, 0.5);
+  EXPECT_GT(coverage(g, r.labels), q);  // coverage has no degree tax
+  // A lone mislabeled degree-1 vertex can have conductance exactly 1, so
+  // only the upper bound is guaranteed.
+  EXPECT_LE(max_conductance(g, r.labels), 1.0);
+
+  // Coarsen by the communities; the coarse graph keeps total weight.
+  const Graph coarse = coarsen_by_membership(g, r.labels);
+  EXPECT_EQ(coarse.num_vertices(), count_communities(r.labels));
+  EXPECT_NEAR(coarse.total_weight(), g.total_weight(), 1e-3);
+}
+
+TEST(Pipeline, DegreeReorderingPreservesCommunities) {
+  const Graph g = generate_web(900, 6, 0.85, 31);
+  const auto perm = degree_order_permutation(g);
+  const Graph reordered = permute_vertices(g, perm);
+
+  const auto r1 = nu_lpa(g);
+  const auto r2 = nu_lpa(reordered);
+  // Communities live on different vertex ids; map r2 back through the
+  // permutation and compare partitions by NMI (tie-breaks may differ).
+  std::vector<Vertex> mapped(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    mapped[v] = r2.labels[perm[v]];
+  }
+  EXPECT_GT(normalized_mutual_information(r1.labels, mapped), 0.8);
+}
+
+TEST(SharedTables, SameQualityLessGlobalTraffic) {
+  const Graph g = generate_web(1500, 6, 0.85, 41);
+  NuLpaConfig global_cfg;
+  NuLpaConfig shared_cfg;
+  shared_cfg.shared_memory_tables = true;
+
+  const auto rg = nu_lpa(g, global_cfg);
+  const auto rs = nu_lpa(g, shared_cfg);
+
+  // Identical run, different table placement: labels must match exactly.
+  EXPECT_EQ(rg.labels, rs.labels);
+  EXPECT_GT(rs.counters.shared_loads + rs.counters.shared_stores, 0u);
+  EXPECT_LT(rs.counters.global_stores, rg.counters.global_stores);
+  // The paper measured "little to no gain": modeled time should improve
+  // only modestly.
+  const double tg = modeled_gpu_seconds(a100(), rg.counters);
+  const double ts = modeled_gpu_seconds(a100(), rs.counters);
+  EXPECT_LT(ts, tg);
+  EXPECT_GT(ts, 0.4 * tg);
+}
+
+TEST(SharedTables, FallsBackForHugeSwitchDegrees) {
+  const Graph g = generate_web(400, 6, 0.85, 2);
+  NuLpaConfig cfg;
+  cfg.shared_memory_tables = true;
+  cfg.switch_degree = 100000;  // cannot fit in shared memory
+  const auto r = nu_lpa(g, cfg);  // must not crash or mis-detect
+  EXPECT_TRUE(is_valid_membership(g, r.labels));
+  EXPECT_EQ(r.counters.shared_loads, 0u) << "should have fallen back";
+}
+
+TEST(Suite, EveryAlgorithmHandlesEveryCategory) {
+  for (const auto& inst : make_dataset_suite(600, 9)) {
+    const auto r_nu = nu_lpa(inst.graph);
+    ASSERT_TRUE(is_valid_membership(inst.graph, r_nu.labels))
+        << inst.spec.name;
+    const auto r_flpa = flpa(inst.graph, FlpaConfig{});
+    ASSERT_TRUE(is_valid_membership(inst.graph, r_flpa.labels))
+        << inst.spec.name;
+    const auto r_lv = louvain(inst.graph, LouvainConfig{});
+    ASSERT_TRUE(is_valid_membership(inst.graph, r_lv.labels))
+        << inst.spec.name;
+    // Louvain should be at least roughly as good as LPA everywhere.
+    EXPECT_GE(modularity(inst.graph, r_lv.labels),
+              modularity(inst.graph, r_nu.labels) - 0.05)
+        << inst.spec.name;
+  }
+}
+
+TEST(Suite, RoadAndKmerFavourNuLpaOverFlpa) {
+  // The paper attributes ν-LPA's +4.7% modularity over FLPA mainly to road
+  // networks and protein k-mer graphs; verify the category-level direction.
+  double nu_sum = 0.0, flpa_sum = 0.0;
+  int count = 0;
+  for (const auto& inst : make_dataset_suite(1500, 4)) {
+    if (inst.spec.category != DatasetCategory::kRoad &&
+        inst.spec.category != DatasetCategory::kKmer) {
+      continue;
+    }
+    nu_sum += modularity(inst.graph, nu_lpa(inst.graph).labels);
+    flpa_sum += modularity(inst.graph, flpa(inst.graph, FlpaConfig{}).labels);
+    ++count;
+  }
+  ASSERT_EQ(count, 4);
+  EXPECT_GT(nu_sum, flpa_sum);
+}
+
+TEST(Determinism, WholeSuiteIsReproducible) {
+  const auto a = make_dataset_suite(400, 5);
+  const auto b = make_dataset_suite(400, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].graph.num_edges(), b[i].graph.num_edges());
+    const auto ra = nu_lpa(a[i].graph);
+    const auto rb = nu_lpa(b[i].graph);
+    ASSERT_EQ(ra.labels, rb.labels) << a[i].spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace nulpa

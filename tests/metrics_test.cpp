@@ -1,0 +1,124 @@
+// Tests for the extended quality metrics: adjusted Rand index, coverage,
+// edge cut, conductance — including the algebraic relationships between
+// them (coverage + cut-fraction = 1, etc.).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "quality/metrics.hpp"
+#include "quality/modularity.hpp"
+#include "util/rng.hpp"
+
+namespace nulpa {
+namespace {
+
+TEST(Ari, IdenticalPartitionsScoreOne) {
+  const std::vector<Vertex> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<Vertex> b = {7, 7, 3, 3, 9, 9};
+  EXPECT_NEAR(adjusted_rand_index(a, b), 1.0, 1e-12);
+}
+
+TEST(Ari, IndependentPartitionsScoreNearZero) {
+  std::vector<Vertex> a(2000), b(2000);
+  Xoshiro256 rng(3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<Vertex>(rng.next_bounded(5));
+    b[i] = static_cast<Vertex>(rng.next_bounded(5));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.05);
+}
+
+TEST(Ari, SymmetricAndBounded) {
+  const std::vector<Vertex> a = {0, 0, 1, 1, 2, 0, 1};
+  const std::vector<Vertex> b = {1, 1, 1, 0, 0, 0, 1};
+  const double ab = adjusted_rand_index(a, b);
+  EXPECT_NEAR(ab, adjusted_rand_index(b, a), 1e-12);
+  EXPECT_GE(ab, -1.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(Ari, SizeMismatchThrows) {
+  EXPECT_THROW(adjusted_rand_index(std::vector<Vertex>{0},
+                                   std::vector<Vertex>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Ari, StricterThanNmiOnSkewedSplit) {
+  // One giant community vs a split of it: ARI must penalize.
+  std::vector<Vertex> truth(100, 0);
+  std::vector<Vertex> split(100);
+  for (std::size_t i = 0; i < 100; ++i) split[i] = i < 50 ? 0 : 1;
+  EXPECT_LT(adjusted_rand_index(truth, split), 0.2);
+}
+
+Graph two_triangles_bridge() {
+  GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  b.add_edge(3, 4).add_edge(4, 5).add_edge(3, 5);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(Coverage, HandExample) {
+  const Graph g = two_triangles_bridge();
+  const std::vector<Vertex> labels = {0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(coverage(g, labels), 6.0 / 7.0, 1e-12);
+}
+
+TEST(Coverage, OneCommunityIsFullCoverage) {
+  const Graph g = generate_clique(5);
+  EXPECT_DOUBLE_EQ(coverage(g, std::vector<Vertex>(5, 0)), 1.0);
+}
+
+TEST(EdgeCut, HandExample) {
+  const Graph g = two_triangles_bridge();
+  const std::vector<Vertex> labels = {0, 0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(edge_cut(g, labels), 1.0);  // only the bridge
+}
+
+TEST(EdgeCut, CoverageAndCutAreComplementary) {
+  const Graph g = generate_web(500, 6, 0.85, 5);
+  std::vector<Vertex> labels(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) labels[v] = v % 7;
+  const double cov = coverage(g, labels);
+  const double cut_fraction = edge_cut(g, labels) / g.total_weight();
+  EXPECT_NEAR(cov + cut_fraction, 1.0, 1e-9);
+}
+
+TEST(Conductance, HandExample) {
+  const Graph g = two_triangles_bridge();
+  const std::vector<Vertex> labels = {0, 0, 0, 1, 1, 1};
+  // Each triangle: cut 1, volume 7 -> conductance 1/7.
+  EXPECT_NEAR(max_conductance(g, labels), 1.0 / 7.0, 1e-12);
+}
+
+TEST(Conductance, SingletonPartitioningIsWorst) {
+  const Graph g = generate_clique(6);
+  std::vector<Vertex> singletons(6);
+  std::iota(singletons.begin(), singletons.end(), 0);
+  EXPECT_DOUBLE_EQ(max_conductance(g, singletons), 1.0);
+}
+
+TEST(Conductance, InvalidMembershipThrows) {
+  EXPECT_THROW(max_conductance(generate_clique(3), std::vector<Vertex>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, BetterClusteringWinsOnAllAxes) {
+  const Graph g = generate_ring_of_cliques(6, 5);
+  std::vector<Vertex> good(g.num_vertices()), bad(g.num_vertices());
+  Xoshiro256 rng(4);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    good[v] = v / 5;
+    bad[v] = static_cast<Vertex>(rng.next_bounded(6));
+  }
+  EXPECT_GT(coverage(g, good), coverage(g, bad));
+  EXPECT_LT(edge_cut(g, good), edge_cut(g, bad));
+  EXPECT_LT(max_conductance(g, good), max_conductance(g, bad));
+  EXPECT_GT(modularity(g, good), modularity(g, bad));
+}
+
+}  // namespace
+}  // namespace nulpa

@@ -1,0 +1,127 @@
+// Tests for multilevel ν-LPA and METIS IO — the partitioning-facing pieces
+// motivated by the paper's conclusion.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/multilevel.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/metis_io.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+
+namespace nulpa {
+namespace {
+
+TEST(Multilevel, OneLevelEqualsPlainNuLpa) {
+  const Graph g = generate_web(800, 6, 0.85, 21);
+  MultilevelConfig cfg;
+  cfg.max_levels = 1;
+  const auto ml = multilevel_lpa(g, cfg);
+  const auto plain = nu_lpa(g, cfg.level_config);
+  EXPECT_TRUE(same_partition(ml.labels, plain.labels));
+  EXPECT_EQ(ml.levels, 1);
+}
+
+TEST(Multilevel, ImprovesOrMatchesPlainModularity) {
+  const Graph g = generate_road(60, 60, 0.0, 7);
+  const auto plain = nu_lpa(g);
+  const auto ml = multilevel_lpa(g);
+  const double q_plain = modularity(g, plain.labels);
+  const double q_ml = modularity(g, ml.labels);
+  EXPECT_GE(q_ml, q_plain - 1e-9);
+  EXPECT_GT(ml.levels, 1) << "road networks should coarsen several times";
+  // Coarsening merges fragments: strictly fewer communities.
+  EXPECT_LT(count_communities(ml.labels), count_communities(plain.labels));
+}
+
+TEST(Multilevel, LabelsAreOriginalVertexIds) {
+  const Graph g = generate_web(500, 6, 0.85, 3);
+  const auto ml = multilevel_lpa(g);
+  ASSERT_TRUE(is_valid_membership(g, ml.labels));
+  // Leader invariant: every label is a vertex that carries its own label.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(ml.labels[ml.labels[v]], ml.labels[v]);
+  }
+}
+
+TEST(Multilevel, EmptyAndTinyGraphs) {
+  EXPECT_NO_THROW(multilevel_lpa(Graph{}));
+  const auto r = multilevel_lpa(generate_clique(3));
+  EXPECT_EQ(count_communities(r.labels), 1u);
+}
+
+TEST(Multilevel, StopsWhenGraphStopsShrinking) {
+  MultilevelConfig cfg;
+  cfg.max_levels = 10;
+  const auto r = multilevel_lpa(generate_clique(16), cfg);
+  // One community after level 1; nothing further to coarsen.
+  EXPECT_LE(r.levels, 2);
+}
+
+TEST(Multilevel, AccumulatesCountersAcrossLevels) {
+  const Graph g = generate_road(40, 40, 0.0, 9);
+  const auto r = multilevel_lpa(g);
+  EXPECT_GT(r.iterations, nu_lpa(g).iterations);
+  EXPECT_GT(r.counters.kernel_launches, 0u);
+}
+
+TEST(MetisIo, RoundTripUnweighted) {
+  const Graph g = generate_ring_of_cliques(5, 4);
+  std::stringstream ss;
+  write_metis(ss, g);
+  const Graph h = read_metis(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_TRUE(h.is_symmetric());
+}
+
+TEST(MetisIo, RoundTripWeighted) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2.5f).add_edge(1, 2, 0.5f);
+  const Graph g = b.build();
+  std::stringstream ss;
+  write_metis(ss, g);
+  EXPECT_NE(ss.str().find("001"), std::string::npos);
+  const Graph h = read_metis(ss);
+  EXPECT_FLOAT_EQ(h.weights_of(0)[0], 2.5f);
+  EXPECT_FLOAT_EQ(h.weights_of(2)[0], 0.5f);
+}
+
+TEST(MetisIo, ParsesCommentsAndOneBasedIds) {
+  std::stringstream ss(
+      "% a comment\n"
+      "3 2\n"
+      "2 3\n"
+      "1\n"
+      "1\n");
+  const Graph g = read_metis(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(MetisIo, RejectsMalformedInput) {
+  std::stringstream empty("");
+  EXPECT_THROW(read_metis(empty), std::runtime_error);
+  std::stringstream bad_id("2 1\n5\n1\n");
+  EXPECT_THROW(read_metis(bad_id), std::runtime_error);
+  std::stringstream truncated("3 2\n2\n");
+  EXPECT_THROW(read_metis(truncated), std::runtime_error);
+  std::stringstream vertex_weights("2 1 011\n2\n1\n");
+  EXPECT_THROW(read_metis(vertex_weights), std::runtime_error);
+}
+
+TEST(MetisIo, IsolatedVerticesGetEmptyLines) {
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  std::stringstream ss;
+  write_metis(ss, b.build());
+  const Graph h = read_metis(ss);
+  EXPECT_EQ(h.num_vertices(), 3u);
+  EXPECT_EQ(h.degree(1), 0u);
+}
+
+}  // namespace
+}  // namespace nulpa

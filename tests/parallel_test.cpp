@@ -1,0 +1,113 @@
+// Tests for the thread pool and the OpenMP-style loop schedules the
+// multicore baselines depend on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/for_each.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nulpa {
+namespace {
+
+TEST(ThreadPool, RunsJobOnEveryWorker) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](unsigned w) { hits[w].fetch_add(1); });
+  for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(hits[w].load(), 1) << w;
+}
+
+TEST(ThreadPool, SurvivesManySequentialJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 300);
+}
+
+TEST(ThreadPool, SingleWorkerPoolWorks) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.run([&](unsigned w) {
+    EXPECT_EQ(w, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+class ScheduleProperty : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ScheduleProperty, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::uint64_t n : {0ULL, 1ULL, 7ULL, 1000ULL, 4096ULL}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(pool, 0, n, GetParam(),
+                 [&](std::uint64_t i, unsigned) { hits[i].fetch_add(1); });
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " n=" << n;
+    }
+  }
+}
+
+TEST_P(ScheduleProperty, RespectsSubrange) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 10, 90, GetParam(),
+               [&](std::uint64_t i, unsigned) { hits[i].fetch_add(1); });
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1 : 0) << i;
+  }
+}
+
+TEST_P(ScheduleProperty, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  parallel_for(pool, 0, 10000, GetParam(), [&](std::uint64_t, unsigned w) {
+    if (w >= pool.size()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ScheduleProperty,
+                         ::testing::Values(Schedule::kStatic,
+                                           Schedule::kDynamic,
+                                           Schedule::kGuided),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Schedule::kStatic: return "static";
+                             case Schedule::kDynamic: return "dynamic";
+                             case Schedule::kGuided: return "guided";
+                           }
+                           return "?";
+                         });
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  const std::uint64_t n = 100000;
+  const auto total = parallel_reduce<std::uint64_t>(
+      pool, 0, n, Schedule::kDynamic, 0,
+      [](std::uint64_t i, unsigned) { return i; });
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, InitialValueIsIncluded) {
+  ThreadPool pool(2);
+  const auto total = parallel_reduce<std::uint64_t>(
+      pool, 0, 10, Schedule::kStatic, 1000,
+      [](std::uint64_t, unsigned) { return std::uint64_t{1}; });
+  EXPECT_EQ(total, 1010u);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const auto total = parallel_reduce<int>(
+      pool, 5, 5, Schedule::kGuided, 7, [](std::uint64_t, unsigned) { return 1; });
+  EXPECT_EQ(total, 7);
+}
+
+}  // namespace
+}  // namespace nulpa

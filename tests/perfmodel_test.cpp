@@ -1,0 +1,102 @@
+// Tests for the analytic machine models: monotonicity, bottleneck
+// behaviour, and the CPU scaling helper.
+#include <gtest/gtest.h>
+
+#include "perfmodel/machine.hpp"
+
+namespace nulpa {
+namespace {
+
+simt::PerfCounters counters_with(std::uint64_t loads, std::uint64_t stores,
+                                 std::uint64_t atomics,
+                                 std::uint64_t launches) {
+  simt::PerfCounters c;
+  c.global_loads = loads;
+  c.global_stores = stores;
+  c.atomic_ops = atomics;
+  c.kernel_launches = launches;
+  return c;
+}
+
+TEST(MachineModel, PresetsAreSane) {
+  const MachineModel gpu = a100();
+  const MachineModel cpu = xeon_gold_6226r_dual();
+  EXPECT_GT(gpu.mem_bandwidth_Bps, cpu.mem_bandwidth_Bps);
+  EXPECT_GT(gpu.hardware_threads, cpu.hardware_threads);
+  EXPECT_GT(gpu.kernel_launch_s, 0.0);
+}
+
+TEST(ModeledGpu, ZeroWorkIsZeroTime) {
+  EXPECT_DOUBLE_EQ(modeled_gpu_seconds(a100(), simt::PerfCounters{}), 0.0);
+}
+
+TEST(ModeledGpu, MonotoneInEveryCounter) {
+  const MachineModel gpu = a100();
+  const double base =
+      modeled_gpu_seconds(gpu, counters_with(1000, 1000, 10, 2));
+  EXPECT_GT(modeled_gpu_seconds(gpu, counters_with(2000, 1000, 10, 2)), base);
+  EXPECT_GT(modeled_gpu_seconds(gpu, counters_with(1000, 2000, 10, 2)), base);
+  EXPECT_GT(modeled_gpu_seconds(gpu, counters_with(1000, 1000, 99999, 2)),
+            base);
+  EXPECT_GT(modeled_gpu_seconds(gpu, counters_with(1000, 1000, 10, 50)),
+            base);
+}
+
+TEST(ModeledGpu, LaunchOverheadFloors) {
+  const MachineModel gpu = a100();
+  const double t = modeled_gpu_seconds(gpu, counters_with(0, 0, 0, 10));
+  EXPECT_DOUBLE_EQ(t, 10 * gpu.kernel_launch_s);
+}
+
+TEST(ModeledGpu, ProbesCostMoreThanHits) {
+  const MachineModel gpu = a100();
+  simt::PerfCounters smooth;
+  smooth.hash_inserts = 1000000;
+  simt::PerfCounters probing = smooth;
+  probing.hash_probes = 1000000;
+  EXPECT_GT(modeled_gpu_seconds(gpu, probing),
+            modeled_gpu_seconds(gpu, smooth));
+}
+
+TEST(ModeledGpu, SharedMemoryIsCheaperThanGlobal) {
+  const MachineModel gpu = a100();
+  simt::PerfCounters global;
+  global.global_loads = 10000000;
+  simt::PerfCounters shared;
+  shared.shared_loads = 10000000;
+  EXPECT_LT(modeled_gpu_seconds(gpu, shared),
+            modeled_gpu_seconds(gpu, global));
+}
+
+TEST(ModeledWork, ScalesWithEdgesAndWords) {
+  const MachineModel gpu = a100();
+  const double t1 = modeled_gpu_seconds_from_work(gpu, 1000000, 1, 4.0);
+  const double t2 = modeled_gpu_seconds_from_work(gpu, 2000000, 1, 4.0);
+  const double t3 = modeled_gpu_seconds_from_work(gpu, 1000000, 1, 8.0);
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(t3, t1);
+  EXPECT_NEAR(t2, t3, 1e-12);  // edges x2 == words x2
+}
+
+TEST(ModeledWork, RandomAccessesDominateWhenDependent) {
+  const MachineModel gpu = a100();
+  const double stream_only =
+      modeled_gpu_seconds_from_work(gpu, 1000000, 0, 4.0, 0.0);
+  const double with_random =
+      modeled_gpu_seconds_from_work(gpu, 1000000, 0, 4.0, 8.0);
+  EXPECT_GT(with_random, stream_only);
+}
+
+TEST(ModeledCpu, PerfectAndZeroEfficiency) {
+  EXPECT_DOUBLE_EQ(modeled_cpu_seconds(32.0, 32, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(modeled_cpu_seconds(32.0, 32, 0.0), 32.0);
+  EXPECT_DOUBLE_EQ(modeled_cpu_seconds(10.0, 1, 0.9), 10.0);
+}
+
+TEST(ModeledCpu, HalfEfficiencyScales) {
+  // speedup = 1 + 31 * 0.5 = 16.5
+  EXPECT_NEAR(modeled_cpu_seconds(33.0, 32, 0.5), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nulpa

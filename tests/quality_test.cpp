@@ -1,0 +1,167 @@
+// Tests for modularity (hand-computed examples + invariants), NMI, and the
+// membership utilities.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+#include "quality/nmi.hpp"
+
+namespace nulpa {
+namespace {
+
+TEST(Modularity, TwoTrianglesByHand) {
+  // Two triangles joined by one edge; communities = the triangles.
+  // m = 7; intra arcs weight = 12 (6 per triangle); Sigma per community = 7.
+  // Q = 12/14 - 2*(7/14)^2 = 6/7 - 1/2 = 5/14.
+  GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  b.add_edge(3, 4).add_edge(4, 5).add_edge(3, 5);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const std::vector<Vertex> labels = {0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(modularity(g, labels), 5.0 / 14.0, 1e-12);
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const Graph g = generate_clique(5);
+  const std::vector<Vertex> labels(5, 0);
+  EXPECT_NEAR(modularity(g, labels), 0.0, 1e-12);
+}
+
+TEST(Modularity, SingletonsOnCliqueAreNegative) {
+  const Graph g = generate_clique(5);
+  std::vector<Vertex> labels(5);
+  std::iota(labels.begin(), labels.end(), 0);
+  EXPECT_LT(modularity(g, labels), 0.0);
+}
+
+TEST(Modularity, RingOfCliquesOptimalBeatsMerged) {
+  const Graph g = generate_ring_of_cliques(8, 5);
+  std::vector<Vertex> per_clique(40), merged(40);
+  for (Vertex v = 0; v < 40; ++v) {
+    per_clique[v] = v / 5;
+    merged[v] = (v / 5) / 2;  // pairs of cliques merged
+  }
+  EXPECT_GT(modularity(g, per_clique), modularity(g, merged));
+}
+
+TEST(Modularity, InRange) {
+  const Graph g = generate_erdos_renyi(200, 6.0, 5);
+  std::vector<Vertex> labels(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) labels[v] = v % 10;
+  const double q = modularity(g, labels);
+  EXPECT_GE(q, -0.5);
+  EXPECT_LE(q, 1.0);
+}
+
+TEST(Modularity, InvalidMembershipThrows) {
+  const Graph g = generate_clique(3);
+  EXPECT_THROW(modularity(g, std::vector<Vertex>{0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(modularity(g, std::vector<Vertex>{0, 1, 99}),
+               std::invalid_argument);
+}
+
+TEST(DeltaModularity, MatchesRecomputedModularityDifference) {
+  // Moving vertex 2 between the two triangle-communities of the hand
+  // example must match modularity recomputation exactly.
+  GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  b.add_edge(3, 4).add_edge(4, 5).add_edge(3, 5);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const double m = g.total_weight();
+
+  std::vector<Vertex> before = {0, 0, 0, 1, 1, 1};
+  std::vector<Vertex> after = {0, 0, 1, 1, 1, 1};
+  const double direct = modularity(g, after) - modularity(g, before);
+
+  // K_2->c: weight from vertex 2 into community 1 (edge 2-3) = 1;
+  // K_2->d: into community 0 minus itself = 2; K_2 = 3.
+  // Sigma_c = 7 (community {3,4,5}); Sigma_d = 7 (community {0,1,2},
+  // including vertex 2 which is still a member).
+  const double dq = delta_modularity(1.0, 2.0, 3.0, 7.0, 7.0, m);
+  EXPECT_NEAR(dq, direct, 1e-12);
+}
+
+TEST(Communities, ValidityChecks) {
+  const Graph g = generate_clique(4);
+  EXPECT_TRUE(is_valid_membership(g, std::vector<Vertex>{0, 0, 3, 3}));
+  EXPECT_FALSE(is_valid_membership(g, std::vector<Vertex>{0, 0, 3}));
+  EXPECT_FALSE(is_valid_membership(g, std::vector<Vertex>{0, 0, 3, 4}));
+}
+
+TEST(Communities, CountAndCompact) {
+  std::vector<Vertex> labels = {7, 3, 7, 9, 3};
+  EXPECT_EQ(count_communities(labels), 3u);
+  const Vertex k = compact_labels(labels);
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(labels, (std::vector<Vertex>{0, 1, 0, 2, 1}));
+}
+
+TEST(Communities, Sizes) {
+  const std::vector<Vertex> labels = {5, 5, 2, 5, 2};
+  const auto sizes = community_sizes(labels);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 3u);  // community "5" appears first
+  EXPECT_EQ(sizes[1], 2u);
+}
+
+TEST(Communities, SamePartitionIgnoresLabelValues) {
+  const std::vector<Vertex> a = {0, 0, 1, 1};
+  const std::vector<Vertex> b = {9, 9, 4, 4};
+  const std::vector<Vertex> c = {9, 9, 4, 9};
+  EXPECT_TRUE(same_partition(a, b));
+  EXPECT_FALSE(same_partition(a, c));
+}
+
+TEST(Nmi, IdenticalPartitionsScoreOne) {
+  const std::vector<Vertex> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<Vertex> b = {5, 5, 9, 9, 1, 1};
+  EXPECT_NEAR(normalized_mutual_information(a, b), 1.0, 1e-12);
+}
+
+TEST(Nmi, SingleClusterVsItselfIsOne) {
+  const std::vector<Vertex> a(10, 0);
+  EXPECT_NEAR(normalized_mutual_information(a, a), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsScoreLow) {
+  // a splits by half, b alternates: knowing one tells nothing about the
+  // other.
+  std::vector<Vertex> a(1000), b(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    a[i] = i < 500 ? 0 : 1;
+    b[i] = i % 2;
+  }
+  EXPECT_LT(normalized_mutual_information(a, b), 0.05);
+}
+
+TEST(Nmi, SymmetricInArguments) {
+  const std::vector<Vertex> a = {0, 0, 1, 1, 2, 0};
+  const std::vector<Vertex> b = {1, 1, 1, 0, 0, 0};
+  EXPECT_NEAR(normalized_mutual_information(a, b),
+              normalized_mutual_information(b, a), 1e-12);
+}
+
+TEST(Nmi, RefinementScoresBetweenZeroAndOne) {
+  const std::vector<Vertex> coarse = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<Vertex> fine = {0, 0, 1, 1, 2, 2, 3, 3};
+  const double v = normalized_mutual_information(coarse, fine);
+  EXPECT_GT(v, 0.5);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Nmi, SizeMismatchThrows) {
+  EXPECT_THROW(normalized_mutual_information(std::vector<Vertex>{0},
+                                             std::vector<Vertex>{0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nulpa

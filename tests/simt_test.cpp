@@ -1,0 +1,369 @@
+// Tests for the SIMT simulator: fiber context switching, barrier semantics,
+// atomics, block scheduling, and — most importantly — the warp-lockstep
+// property that makes community swaps reproducible (Section 4.1).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simt/fiber.hpp"
+#include "simt/grid.hpp"
+
+namespace nulpa::simt {
+namespace {
+
+TEST(Fiber, RunsEntryToCompletion) {
+  std::vector<std::byte> stack(1 << 14);
+  int value = 0;
+  Fiber f;
+  f.init(stack.data(), stack.size(),
+         [](void* arg) { *static_cast<int*>(arg) = 42; }, &value);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(f.stack_intact());
+}
+
+namespace yield_test {
+int step = 0;
+void entry(void*) {
+  step = 1;
+  Fiber::yield();
+  step = 2;
+  Fiber::yield();
+  step = 3;
+}
+}  // namespace yield_test
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<std::byte> stack(1 << 14);
+  Fiber f;
+  yield_test::step = 0;
+  f.init(stack.data(), stack.size(), &yield_test::entry, nullptr);
+  f.resume();
+  EXPECT_EQ(yield_test::step, 1);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_EQ(yield_test::step, 2);
+  f.resume();
+  EXPECT_EQ(yield_test::step, 3);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CurrentIsNullOutsideFiber) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, StackIsReusableAfterFinish) {
+  std::vector<std::byte> stack(1 << 14);
+  int runs = 0;
+  Fiber f;
+  for (int i = 0; i < 3; ++i) {
+    f.init(stack.data(), stack.size(),
+           [](void* arg) { ++*static_cast<int*>(arg); }, &runs);
+    f.resume();
+    EXPECT_TRUE(f.finished());
+  }
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(Fiber, LocalVariablesSurviveYield) {
+  std::vector<std::byte> stack(1 << 14);
+  long long out = 0;
+  Fiber f;
+  f.init(
+      stack.data(), stack.size(),
+      [](void* arg) {
+        // Values in callee-saved and stack slots must survive the switch.
+        long long acc = 7;
+        double fp = 0.5;
+        for (int i = 0; i < 10; ++i) {
+          acc = acc * 3 + i;
+          fp = fp * 1.5;
+          Fiber::yield();
+        }
+        *static_cast<long long*>(arg) = acc + static_cast<long long>(fp);
+      },
+      &out);
+  while (!f.finished()) f.resume();
+  long long acc = 7;
+  double fp = 0.5;
+  for (int i = 0; i < 10; ++i) {
+    acc = acc * 3 + i;
+    fp = fp * 1.5;
+  }
+  EXPECT_EQ(out, acc + static_cast<long long>(fp));
+}
+
+TEST(Launch, EveryThreadRunsExactlyOnce) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  cfg.resident_blocks = 3;
+  PerfCounters ctr;
+  std::vector<int> hits(64 * 5, 0);
+  launch(5, cfg, ctr, [&](Lane& lane) { hits[lane.global_thread()]++; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "thread " << i;
+  }
+  EXPECT_EQ(ctr.kernel_launches, 1u);
+  EXPECT_EQ(ctr.threads_run, 64u * 5);
+}
+
+TEST(Launch, ThreadAndBlockIndicesAreConsistent) {
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  PerfCounters ctr;
+  bool ok = true;
+  launch(4, cfg, ctr, [&](Lane& lane) {
+    if (lane.block_dim() != 32 || lane.grid_dim() != 4) ok = false;
+    if (lane.global_thread() !=
+        lane.block_idx() * lane.block_dim() + lane.thread_idx()) {
+      ok = false;
+    }
+    if (lane.warp() != lane.thread_idx() / kWarpSize) ok = false;
+    if (lane.lane_in_warp() != lane.thread_idx() % kWarpSize) ok = false;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(Launch, MoreBlocksThanResidentSlotsAllRun) {
+  LaunchConfig cfg;
+  cfg.block_dim = 8;
+  cfg.resident_blocks = 2;
+  PerfCounters ctr;
+  std::vector<int> block_hits(50, 0);
+  launch(50, cfg, ctr, [&](Lane& lane) {
+    if (lane.thread_idx() == 0) block_hits[lane.block_idx()]++;
+  });
+  for (int b = 0; b < 50; ++b) EXPECT_EQ(block_hits[b], 1) << b;
+}
+
+TEST(Launch, ZeroGridIsANoop) {
+  LaunchConfig cfg;
+  PerfCounters ctr;
+  bool ran = false;
+  launch(0, cfg, ctr, [&](Lane&) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+// syncthreads: no lane enters phase 2 until all lanes finished phase 1.
+TEST(Barrier, SyncthreadsSeparatesPhases) {
+  LaunchConfig cfg;
+  cfg.block_dim = 128;
+  PerfCounters ctr;
+  std::vector<int> phase1(128, 0);
+  bool violated = false;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    phase1[lane.thread_idx()] = 1;
+    lane.syncthreads();
+    for (int v : phase1) {
+      if (v != 1) violated = true;
+    }
+  });
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(ctr.block_syncs, 128u);
+}
+
+// syncwarp: all lanes of a warp complete their segment before any lane of
+// that warp continues — the lockstep property.
+TEST(Barrier, SyncwarpIsWarpLocal) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;  // two warps
+  PerfCounters ctr;
+  std::vector<int> progress(64, 0);
+  bool violated = false;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    progress[lane.thread_idx()] = 1;
+    lane.syncwarp();
+    // After the warp barrier every lane of *my* warp must have progressed.
+    const std::uint32_t base = lane.warp() * kWarpSize;
+    for (std::uint32_t t = base; t < base + kWarpSize; ++t) {
+      if (progress[t] != 1) violated = true;
+    }
+  });
+  EXPECT_FALSE(violated);
+}
+
+// The motivating scenario of Section 4.1: two mutually-connected vertices in
+// the same warp both read the other's old label before either commits, so
+// they swap labels — livelock on real lockstep hardware. This test pins the
+// simulator to that behaviour.
+TEST(Lockstep, SymmetricNeighborsSwapLabels) {
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  PerfCounters ctr;
+  std::vector<std::uint32_t> label = {0, 1};
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    const std::uint32_t v = lane.global_thread();
+    std::uint32_t adopted = 0xFFFFFFFF;
+    if (v < 2) {
+      adopted = label[1 - v];  // gather: read neighbour's label
+    }
+    lane.syncwarp();  // lockstep
+    if (v < 2) {
+      label[v] = adopted;  // commit
+    }
+  });
+  // Both adopted the other's OLD label: a swap, not a merge.
+  EXPECT_EQ(label[0], 1u);
+  EXPECT_EQ(label[1], 0u);
+}
+
+// Without the barrier, the simulator runs lanes to completion in id order,
+// so vertex 1 sees vertex 0's *new* label and they merge — the asynchronous
+// behaviour a single CPU thread would produce.
+TEST(Lockstep, WithoutBarrierLanesMerge) {
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  PerfCounters ctr;
+  std::vector<std::uint32_t> label = {0, 1};
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    const std::uint32_t v = lane.global_thread();
+    if (v < 2) label[v] = label[1 - v];
+  });
+  EXPECT_EQ(label[0], 1u);
+  EXPECT_EQ(label[1], 1u);  // merged: saw the updated label[0]
+}
+
+TEST(Barrier, EarlyReturningLanesDoNotDeadlockBarriers) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  PerfCounters ctr;
+  int through = 0;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    if (lane.thread_idx() % 2 == 0) return;  // half the lanes exit early
+    lane.syncwarp();
+    lane.syncthreads();
+    ++through;
+  });
+  EXPECT_EQ(through, 32);
+}
+
+TEST(Barrier, RepeatedBarriersKeepPhasesAligned) {
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  PerfCounters ctr;
+  std::vector<int> counter(32, 0);
+  bool violated = false;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    for (int round = 0; round < 10; ++round) {
+      counter[lane.thread_idx()]++;
+      lane.syncthreads();
+      for (int c : counter) {
+        if (c != round + 1) violated = true;
+      }
+      lane.syncthreads();
+    }
+  });
+  EXPECT_FALSE(violated);
+}
+
+TEST(Atomics, AddAccumulatesAcrossAllThreads) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  PerfCounters ctr;
+  std::uint32_t sum = 0;
+  launch(4, cfg, ctr, [&](Lane& lane) {
+    lane.atomic_add(sum, std::uint32_t{1});
+  });
+  EXPECT_EQ(sum, 256u);
+  EXPECT_EQ(ctr.atomic_ops, 256u);
+}
+
+TEST(Atomics, CasClaimsSlotExactlyOnce) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  PerfCounters ctr;
+  std::uint32_t slot = 0xFFFFFFFFu;
+  int winners = 0;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    const std::uint32_t old =
+        lane.atomic_cas(slot, 0xFFFFFFFFu, lane.thread_idx());
+    if (old == 0xFFFFFFFFu) ++winners;
+  });
+  EXPECT_EQ(winners, 1);
+  EXPECT_NE(slot, 0xFFFFFFFFu);
+}
+
+TEST(Atomics, FloatAndDoubleAdd) {
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  PerfCounters ctr;
+  float fsum = 0.0f;
+  double dsum = 0.0;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    lane.atomic_add(fsum, 0.5f);
+    lane.atomic_add(dsum, 0.25);
+  });
+  EXPECT_FLOAT_EQ(fsum, 16.0f);
+  EXPECT_DOUBLE_EQ(dsum, 8.0);
+}
+
+TEST(SharedMemory, IsZeroedPerBlockAndShared) {
+  LaunchConfig cfg;
+  cfg.block_dim = 16;
+  cfg.shared_bytes = 64;
+  cfg.resident_blocks = 1;  // blocks reuse the same arena sequentially
+  PerfCounters ctr;
+  bool zeroed = true;
+  std::vector<std::uint32_t> block_sums(3, 0);
+  launch(3, cfg, ctr, [&](Lane& lane) {
+    auto* words = reinterpret_cast<std::uint32_t*>(lane.shared());
+    if (lane.thread_idx() == 0) {
+      for (int i = 0; i < 16; ++i) {
+        if (words[i] != 0) zeroed = false;  // previous block must not leak
+      }
+    }
+    lane.syncthreads();
+    lane.atomic_add(words[0], lane.thread_idx());
+    lane.syncthreads();
+    if (lane.thread_idx() == 0) block_sums[lane.block_idx()] = words[0];
+  });
+  EXPECT_TRUE(zeroed);
+  for (const auto s : block_sums) EXPECT_EQ(s, 120u);  // sum 0..15
+}
+
+TEST(Launch, GridLargerThanWarpMultipleWorks) {
+  LaunchConfig cfg;
+  cfg.block_dim = 48;  // deliberately not a multiple of 32: partial warp
+  PerfCounters ctr;
+  int through = 0;
+  launch(2, cfg, ctr, [&](Lane& lane) {
+    lane.syncwarp();  // the 16-lane partial warp must release too
+    lane.syncthreads();
+    ++through;
+  });
+  EXPECT_EQ(through, 96);
+}
+
+TEST(Launch, DeterministicExecutionOrder) {
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  auto run = [&] {
+    PerfCounters ctr;
+    std::vector<std::uint32_t> order;
+    launch(3, cfg, ctr, [&](Lane& lane) {
+      order.push_back(lane.global_thread());
+      lane.syncwarp();
+      order.push_back(1000 + lane.global_thread());
+    });
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Counters, MemoryHooksAccumulate) {
+  LaunchConfig cfg;
+  cfg.block_dim = 8;
+  PerfCounters ctr;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    lane.count_load(3);
+    lane.count_store(2);
+  });
+  EXPECT_EQ(ctr.global_loads, 24u);
+  EXPECT_EQ(ctr.global_stores, 16u);
+}
+
+}  // namespace
+}  // namespace nulpa::simt

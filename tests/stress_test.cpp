@@ -1,0 +1,232 @@
+// Stress and property tests: randomized barrier patterns against the
+// scheduler (the property: every lane finishes and data is phase-consistent
+// for any barrier count), config-matrix sweeps over ν-LPA options, and
+// larger randomized end-to-end runs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/nulpa.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+#include "simt/grid.hpp"
+#include "util/rng.hpp"
+
+namespace nulpa {
+namespace {
+
+using simt::Lane;
+using simt::LaunchConfig;
+using simt::PerfCounters;
+
+TEST(SchedulerStress, RandomBarrierCountsAllComplete) {
+  // Every lane syncs a lane-dependent number of times. The scheduler's
+  // release rule (done lanes count as arrived) must drain the block for
+  // any such pattern.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Xoshiro256 rng(seed);
+    LaunchConfig cfg;
+    cfg.block_dim = 64;
+    cfg.resident_blocks = 3;
+    PerfCounters ctr;
+    std::vector<int> syncs(64 * 7);
+    for (auto& s : syncs) s = static_cast<int>(rng.next_bounded(6));
+    std::vector<int> done(syncs.size(), 0);
+    simt::launch(7, cfg, ctr, [&](Lane& lane) {
+      const std::uint32_t id = lane.global_thread();
+      for (int i = 0; i < syncs[id]; ++i) lane.syncwarp();
+      done[id] = 1;
+    });
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      ASSERT_EQ(done[i], 1) << "lane " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST(SchedulerStress, UniformBlockBarriersWithDivergentWork) {
+  // Lanes do different amounts of local work between uniform block
+  // barriers; the phase data must still be consistent.
+  LaunchConfig cfg;
+  cfg.block_dim = 96;
+  PerfCounters ctr;
+  std::vector<std::uint64_t> acc(96, 0);
+  bool consistent = true;
+  simt::launch(1, cfg, ctr, [&](Lane& lane) {
+    const std::uint32_t tid = lane.thread_idx();
+    for (int round = 0; round < 8; ++round) {
+      std::uint64_t local = 0;
+      for (std::uint32_t i = 0; i <= tid; ++i) local += i + round;
+      acc[tid] += local;
+      lane.syncthreads();
+      // After the barrier every lane of the block has completed the round.
+      for (std::uint32_t t = 0; t < 96; ++t) {
+        std::uint64_t expect = 0;
+        for (int r = 0; r <= round; ++r) {
+          for (std::uint32_t i = 0; i <= t; ++i) expect += i + r;
+        }
+        if (acc[t] != expect) consistent = false;
+      }
+      lane.syncthreads();
+    }
+  });
+  EXPECT_TRUE(consistent);
+}
+
+TEST(SchedulerStress, ManyTinyBlocks) {
+  LaunchConfig cfg;
+  cfg.block_dim = 2;
+  cfg.resident_blocks = 5;
+  PerfCounters ctr;
+  std::uint32_t total = 0;
+  simt::launch(500, cfg, ctr, [&](Lane& lane) {
+    lane.syncthreads();
+    lane.atomic_add(total, 1u);
+  });
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(SchedulerStress, ResultIndependentOfResidency) {
+  // Pure data-parallel kernels (no cross-lane reads) must produce identical
+  // results whatever the residency; this pins the scheduler's refill logic.
+  auto run = [](std::uint32_t resident) {
+    LaunchConfig cfg;
+    cfg.block_dim = 32;
+    cfg.resident_blocks = resident;
+    PerfCounters ctr;
+    std::vector<std::uint64_t> out(32 * 20);
+    simt::launch(20, cfg, ctr, [&](Lane& lane) {
+      out[lane.global_thread()] =
+          static_cast<std::uint64_t>(lane.global_thread()) * 2654435761u;
+    });
+    return out;
+  };
+  const auto a = run(1);
+  EXPECT_EQ(a, run(3));
+  EXPECT_EQ(a, run(64));
+}
+
+// Config-matrix sweep: every combination of (probing x switch-degree x
+// value type x pruning) must produce a valid, decent clustering. This is
+// the "no configuration is broken" net under the individual feature tests.
+using ConfigTuple = std::tuple<Probing, std::uint32_t, bool, bool>;
+class ConfigMatrix : public ::testing::TestWithParam<ConfigTuple> {};
+
+TEST_P(ConfigMatrix, EveryConfigurationIsSound) {
+  const auto [probing, switch_degree, double_values, pruning] = GetParam();
+  const Graph g = generate_web(700, 6, 0.85, 19);
+  NuLpaConfig cfg;
+  cfg.probing = probing;
+  cfg.switch_degree = switch_degree;
+  cfg.use_double_values = double_values;
+  cfg.pruning = pruning;
+  if (probing == Probing::kCoalesced) {
+    cfg.switch_degree = 0xFFFFFFFFu;  // chaining is TPV-only
+  }
+  const auto r = nu_lpa(g, cfg);
+  ASSERT_TRUE(is_valid_membership(g, r.labels));
+  EXPECT_GT(modularity(g, r.labels), 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConfigMatrix,
+    ::testing::Combine(::testing::Values(Probing::kLinear,
+                                         Probing::kQuadDouble,
+                                         Probing::kCoalesced),
+                       ::testing::Values(16u, 32u, 4096u),
+                       ::testing::Bool(),   // double values
+                       ::testing::Bool()),  // pruning
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_sd" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_f64" : "_f32") +
+             (std::get<3>(info.param) ? "_prune" : "_noprune");
+    });
+
+// Schedule fuzzing: the lockstep guarantees come from barriers, not from
+// the default lane order, so any seed must leave kernel semantics intact.
+TEST(ScheduleFuzz, BarrierPhasesHoldUnderRandomLaneOrder) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 1234ULL}) {
+    LaunchConfig cfg;
+    cfg.block_dim = 64;
+    cfg.schedule_seed = seed;
+    PerfCounters ctr;
+    std::vector<int> phase1(64, 0);
+    bool violated = false;
+    simt::launch(2, cfg, ctr, [&](Lane& lane) {
+      phase1[lane.thread_idx()] = 1;
+      lane.syncthreads();
+      for (int v : phase1) {
+        if (v != 1) violated = true;
+      }
+      lane.syncthreads();
+      phase1[lane.thread_idx()] = 1;  // reset for the next block
+    });
+    EXPECT_FALSE(violated) << "seed " << seed;
+  }
+}
+
+TEST(ScheduleFuzz, PickLessResolvesSwapsUnderAnySchedule) {
+  // The PL guarantee must not depend on the deterministic lane order: the
+  // warp barrier, not the order, is what separates gathers from commits.
+  for (std::uint64_t seed : {0ULL, 3ULL, 99ULL, 424242ULL}) {
+    NuLpaConfig cfg;
+    cfg.launch.schedule_seed = seed;
+    GraphBuilder b(64);
+    for (Vertex p = 0; p < 32; ++p) b.add_edge(2 * p, 2 * p + 1);
+    const Graph g = b.build();
+    const auto r = nu_lpa(g, cfg);
+    for (Vertex p = 0; p < 32; ++p) {
+      ASSERT_EQ(r.labels[2 * p], r.labels[2 * p + 1])
+          << "pair " << p << " seed " << seed;
+    }
+  }
+}
+
+TEST(ScheduleFuzz, QualityStableAcrossSchedules) {
+  const Graph g = generate_web(800, 6, 0.85, 23);
+  std::vector<double> qs;
+  for (std::uint64_t seed : {0ULL, 5ULL, 17ULL}) {
+    NuLpaConfig cfg;
+    cfg.launch.schedule_seed = seed;
+    const auto r = nu_lpa(g, cfg);
+    ASSERT_TRUE(is_valid_membership(g, r.labels));
+    qs.push_back(modularity(g, r.labels));
+  }
+  for (const double q : qs) EXPECT_NEAR(q, qs[0], 0.08);
+}
+
+TEST(EndToEndStress, RandomGraphsNeverCrashOrEmitGarbage) {
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto n = static_cast<Vertex>(50 + rng.next_bounded(1500));
+    const double deg = 1.0 + rng.next_double() * 12.0;
+    const Graph g = generate_erdos_renyi(n, deg, rng.next());
+    const auto r = nu_lpa(g);
+    ASSERT_TRUE(is_valid_membership(g, r.labels)) << "trial " << trial;
+    ASSERT_GE(r.iterations, 1);
+    ASSERT_LE(r.iterations, 20);
+    const double q = modularity(g, r.labels);
+    ASSERT_GE(q, -0.5);
+    ASSERT_LE(q, 1.0);
+  }
+}
+
+TEST(EndToEndStress, HeavyTailGraphExercisesBothKernels) {
+  // Barabasi-Albert hubs go through the block kernel, leaves through the
+  // thread kernel, in one run.
+  const Graph g = generate_barabasi_albert(3000, 8, 5);
+  ASSERT_GT(g.max_degree(), 64u);
+  const auto r = nu_lpa(g);
+  EXPECT_TRUE(is_valid_membership(g, r.labels));
+  EXPECT_GT(r.counters.block_syncs, 0u);
+  EXPECT_GT(r.counters.warp_syncs, 0u);
+}
+
+}  // namespace
+}  // namespace nulpa

@@ -1,0 +1,181 @@
+// Tests for graph transforms: connected components, membership coarsening
+// (must preserve total weight and modularity), permutation, subgraphs, and
+// the binary CSR round-trip.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "graph/binary_io.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/transforms.hpp"
+#include "quality/communities.hpp"
+#include "quality/modularity.hpp"
+
+namespace nulpa {
+namespace {
+
+TEST(Components, SingleComponentClique) {
+  Vertex count = 0;
+  const auto comp = connected_components(generate_clique(8), &count);
+  EXPECT_EQ(count, 1u);
+  for (const Vertex c : comp) EXPECT_EQ(c, 0u);
+}
+
+TEST(Components, DisjointCliques) {
+  GraphBuilder b(9);
+  for (Vertex base : {0u, 3u, 6u}) {
+    b.add_edge(base, base + 1).add_edge(base + 1, base + 2).add_edge(base,
+                                                                     base + 2);
+  }
+  Vertex count = 0;
+  const auto comp = connected_components(b.build(), &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[6]);
+}
+
+TEST(Components, IsolatedVerticesAreTheirOwnComponent) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  Vertex count = 0;
+  const auto comp = connected_components(b.build(), &count);
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Components, EmptyGraph) {
+  Vertex count = 99;
+  EXPECT_TRUE(connected_components(Graph{}, &count).empty());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(Coarsen, PreservesTotalWeight) {
+  const Graph g = generate_ring_of_cliques(6, 5);
+  std::vector<Vertex> membership(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) membership[v] = v / 5;
+  const Graph coarse = coarsen_by_membership(g, membership);
+  EXPECT_EQ(coarse.num_vertices(), 6u);
+  EXPECT_DOUBLE_EQ(coarse.total_weight(), g.total_weight());
+}
+
+TEST(Coarsen, SelfLoopsCarryIntraWeight) {
+  const Graph g = generate_clique(4);  // one community
+  const std::vector<Vertex> membership(4, 0);
+  const Graph coarse = coarsen_by_membership(g, membership);
+  EXPECT_EQ(coarse.num_vertices(), 1u);
+  // All 6 undirected unit edges collapse into a self-loop of weight 6.
+  EXPECT_DOUBLE_EQ(coarse.total_weight(), 6.0);
+}
+
+TEST(Coarsen, ModularityPreservedUnderAggregation) {
+  // Modularity of the coarse graph under identity membership equals the
+  // original graph's modularity under the coarsening membership — the
+  // invariant Louvain relies on between levels.
+  const Graph g = generate_ring_of_cliques(8, 4);
+  std::vector<Vertex> membership(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) membership[v] = v / 4;
+  std::vector<Vertex> coarse_id;
+  const Graph coarse = coarsen_by_membership(g, membership, &coarse_id);
+
+  std::vector<Vertex> identity(coarse.num_vertices());
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NEAR(modularity(coarse, identity), modularity(g, membership), 1e-9);
+}
+
+TEST(Coarsen, RejectsSizeMismatch) {
+  EXPECT_THROW(
+      coarsen_by_membership(generate_clique(3), std::vector<Vertex>{0}),
+      std::invalid_argument);
+}
+
+TEST(Permute, ReverseRelabelsNeighbors) {
+  const Graph g = generate_path(4);  // 0-1-2-3
+  std::vector<Vertex> perm = {3, 2, 1, 0};
+  const Graph p = permute_vertices(g, perm);
+  // New 3 (old 0) connects to new 2 (old 1).
+  ASSERT_EQ(p.degree(3), 1u);
+  EXPECT_EQ(p.neighbors(3)[0], 2u);
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+}
+
+TEST(Permute, RejectsNonPermutation) {
+  const Graph g = generate_path(3);
+  EXPECT_THROW(permute_vertices(g, std::vector<Vertex>{0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(permute_vertices(g, std::vector<Vertex>{0, 1, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(permute_vertices(g, std::vector<Vertex>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Permute, DegreeOrderPlacesHubsFirst) {
+  GraphBuilder b(5);
+  // Vertex 4 is a hub of degree 4.
+  for (Vertex v = 0; v < 4; ++v) b.add_edge(4, v);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto perm = degree_order_permutation(g);
+  EXPECT_EQ(perm[4], 0u) << "hub must map to new id 0";
+  const Graph ordered = permute_vertices(g, perm);
+  for (Vertex v = 0; v + 1 < ordered.num_vertices(); ++v) {
+    EXPECT_GE(ordered.degree(v), ordered.degree(v + 1));
+  }
+}
+
+TEST(Subgraph, ExtractsOneClique) {
+  const Graph g = generate_ring_of_cliques(4, 5);
+  std::vector<Vertex> first_clique = {0, 1, 2, 3, 4};
+  const Graph sub = induced_subgraph(g, first_clique);
+  EXPECT_EQ(sub.num_vertices(), 5u);
+  // The 10 clique edges survive; the bridge endpoints are outside.
+  EXPECT_EQ(sub.num_edges(), 20u);
+}
+
+TEST(Subgraph, OutOfRangeThrows) {
+  EXPECT_THROW(
+      induced_subgraph(generate_clique(3), std::vector<Vertex>{0, 99}),
+      std::out_of_range);
+}
+
+TEST(BinaryIo, RoundTripsExactly) {
+  const Graph g = generate_web(500, 6, 0.85, 3);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary_csr(ss, g);
+  const Graph h = read_binary_csr(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      ASSERT_EQ(a[k], b[k]);
+      ASSERT_EQ(g.weights_of(v)[k], h.weights_of(v)[k]);
+    }
+  }
+}
+
+TEST(BinaryIo, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("not a csr file at all", std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_binary_csr(bad), std::runtime_error);
+
+  const Graph g = generate_clique(4);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary_csr(ss, g);
+  std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2),
+                              std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_binary_csr(truncated), std::runtime_error);
+}
+
+TEST(BinaryIo, EmptyGraphRoundTrips) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary_csr(ss, Graph{});
+  const Graph h = read_binary_csr(ss);
+  EXPECT_EQ(h.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace nulpa

@@ -1,0 +1,134 @@
+// Tests for src/util: RNG determinism and distribution sanity, power-of-two
+// math, and the hashtable sizing rules the paper's Figure 3 relies on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace nulpa {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInBounds) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_bounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BoundedCoversRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // mean of U[0,1)
+}
+
+TEST(Xoshiro256, FloatInUnitInterval) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.next_float();
+    ASSERT_GE(f, 0.0f);
+    ASSERT_LT(f, 1.0f);
+  }
+}
+
+TEST(Xoshiro256, SplitStreamsAreIndependentAndDeterministic) {
+  Xoshiro256 base(11);
+  Xoshiro256 s1 = base.split(1);
+  Xoshiro256 s2 = base.split(2);
+  Xoshiro256 s1_again = base.split(1);
+  EXPECT_EQ(s1.next(), s1_again.next());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += s1.next() == s2.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1u << 20));
+  EXPECT_FALSE(is_pow2((1u << 20) + 1));
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+// Invariant (Figure 3): capacity holds every distinct neighbour label
+// (cap >= degree) and fits the reserved block of 2*degree slots.
+class HashtableCapacityProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HashtableCapacityProperty, CapacityWithinReservedBlock) {
+  const std::uint32_t d = GetParam();
+  const std::uint32_t cap = hashtable_capacity(d);
+  EXPECT_GE(cap, d) << "capacity must hold d distinct labels";
+  if (d > 0) {
+    EXPECT_LE(cap, 2 * d) << "capacity must fit the reserved 2d slots";
+  }
+  EXPECT_EQ(cap % 2, 1u) << "Mersenne-style capacity must be odd";
+}
+
+TEST_P(HashtableCapacityProperty, SecondaryPrimeExceedsAndIsOdd) {
+  const std::uint32_t d = GetParam();
+  const std::uint32_t p1 = hashtable_capacity(d);
+  const std::uint32_t p2 = secondary_prime(p1);
+  EXPECT_GT(p2, p1);
+  EXPECT_EQ(p2 % 2, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreeSweep, HashtableCapacityProperty,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u,
+                                           15u, 16u, 17u, 31u, 32u, 33u, 63u,
+                                           64u, 100u, 255u, 256u, 1000u,
+                                           65536u));
+
+}  // namespace
+}  // namespace nulpa

@@ -1,0 +1,247 @@
+// nulpa — command-line community detection.
+//
+// Usage:
+//   nulpa detect   --input g.mtx [--format mtx|edges|bin|metis] [--algo nulpa|flpa|
+//                  plp|gve|gunrock|louvain|seq] [--output labels.txt]
+//                  [--pick-less 4] [--cross-check 0] [--switch-degree 32]
+//                  [--probing quad-double|linear|quadratic|double|coalesced]
+//                  [--tolerance 0.05] [--max-iterations 20] [--double-values]
+//   nulpa convert  --input g.mtx --output g.bin       (to binary CSR)
+//   nulpa info     --input g.mtx                      (graph statistics)
+//   nulpa generate --kind web|social|road|kmer|er --vertices N --output g.mtx
+//
+// Exit code 0 on success, 1 on usage errors, 2 on IO/algorithm failure.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baselines/flpa.hpp"
+#include "baselines/gunrock_lpa.hpp"
+#include "baselines/gve_lpa.hpp"
+#include "baselines/louvain.hpp"
+#include "baselines/plp.hpp"
+#include "baselines/seq_lpa.hpp"
+#include "core/nulpa.hpp"
+#include "graph/binary_io.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/metis_io.hpp"
+#include "graph/stats.hpp"
+#include "perfmodel/machine.hpp"
+#include "quality/communities.hpp"
+#include "quality/metrics.hpp"
+#include "quality/modularity.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace nulpa;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nulpa <detect|convert|info|generate> --input FILE "
+               "[options]\n"
+               "run `nulpa` with no arguments for the full option list "
+               "(see the header of tools/nulpa_cli.cpp)\n");
+  return 1;
+}
+
+Graph load(const CliArgs& args) {
+  const std::string path = args.get("input", "");
+  if (path.empty()) throw std::runtime_error("--input is required");
+  std::string format = args.get("format", "");
+  if (format.empty()) {
+    if (path.ends_with(".mtx")) {
+      format = "mtx";
+    } else if (path.ends_with(".bin")) {
+      format = "bin";
+    } else if (path.ends_with(".graph")) {
+      format = "metis";
+    } else {
+      format = "edges";
+    }
+  }
+  if (format == "mtx") return read_matrix_market_file(path);
+  if (format == "bin") return read_binary_csr_file(path);
+  if (format == "metis") return read_metis_file(path);
+  if (format == "edges") return read_edge_list_file(path);
+  throw std::runtime_error("unknown --format " + format);
+}
+
+Probing parse_probing(const std::string& name) {
+  if (name == "linear") return Probing::kLinear;
+  if (name == "quadratic") return Probing::kQuadratic;
+  if (name == "double") return Probing::kDouble;
+  if (name == "quad-double") return Probing::kQuadDouble;
+  if (name == "coalesced") return Probing::kCoalesced;
+  throw std::runtime_error("unknown --probing " + name);
+}
+
+int cmd_detect(const CliArgs& args) {
+  const Graph g = load(args);
+  const std::string algo = args.get("algo", "nulpa");
+
+  std::vector<Vertex> labels;
+  int iterations = 0;
+  double seconds = 0.0;
+  std::string modeled_note;
+
+  if (algo == "nulpa") {
+    NuLpaConfig cfg;
+    cfg.swap.pick_less_every = static_cast<int>(args.get_int("pick-less", 4));
+    cfg.swap.cross_check_every =
+        static_cast<int>(args.get_int("cross-check", 0));
+    cfg.switch_degree =
+        static_cast<std::uint32_t>(args.get_int("switch-degree", 32));
+    cfg.probing = parse_probing(args.get("probing", "quad-double"));
+    cfg.tolerance = args.get_double("tolerance", 0.05);
+    cfg.max_iterations = static_cast<int>(args.get_int("max-iterations", 20));
+    cfg.use_double_values = args.get_bool("double-values", false);
+    cfg.shared_memory_tables = args.get_bool("shared-tables", false);
+    const auto r = nu_lpa(g, cfg);
+    labels = r.labels;
+    iterations = r.iterations;
+    seconds = r.seconds;
+    modeled_note = "modeled A100 time: " +
+                   std::to_string(modeled_gpu_seconds(a100(), r.counters)) +
+                   " s";
+  } else if (algo == "flpa") {
+    const auto r = flpa(g, FlpaConfig{});
+    labels = r.labels;
+    iterations = r.iterations;
+    seconds = r.seconds;
+  } else if (algo == "plp") {
+    const auto r = plp(g, PlpConfig{});
+    labels = r.labels;
+    iterations = r.iterations;
+    seconds = r.seconds;
+  } else if (algo == "gve") {
+    const auto r = gve_lpa(g, GveLpaConfig{});
+    labels = r.labels;
+    iterations = r.iterations;
+    seconds = r.seconds;
+  } else if (algo == "gunrock") {
+    const auto r = gunrock_lpa(g, GunrockLpaConfig{});
+    labels = r.labels;
+    iterations = r.iterations;
+    seconds = r.seconds;
+  } else if (algo == "louvain") {
+    const auto r = louvain(g, LouvainConfig{});
+    labels = r.labels;
+    iterations = r.iterations;
+    seconds = r.seconds;
+  } else if (algo == "seq") {
+    const auto r = seq_lpa(g, SeqLpaConfig{});
+    labels = r.labels;
+    iterations = r.iterations;
+    seconds = r.seconds;
+  } else {
+    throw std::runtime_error("unknown --algo " + algo);
+  }
+
+  std::printf("algorithm:   %s\n", algo.c_str());
+  std::printf("graph:       %u vertices, %llu arcs\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  std::printf("iterations:  %d\n", iterations);
+  std::printf("runtime:     %.4f s%s%s\n", seconds,
+              modeled_note.empty() ? "" : "  |  ", modeled_note.c_str());
+  std::printf("communities: %u\n", count_communities(labels));
+  std::printf("modularity:  %.4f\n", modularity(g, labels));
+  std::printf("coverage:    %.4f\n", coverage(g, labels));
+  std::printf("edge cut:    %.1f\n", edge_cut(g, labels));
+
+  if (const std::string out = args.get("output", ""); !out.empty()) {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot open for write: " + out);
+    for (std::size_t v = 0; v < labels.size(); ++v) {
+      os << v << ' ' << labels[v] << '\n';
+    }
+    std::printf("labels written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_convert(const CliArgs& args) {
+  const Graph g = load(args);
+  const std::string out = args.get("output", "");
+  if (out.empty()) throw std::runtime_error("--output is required");
+  Timer t;
+  if (out.ends_with(".bin")) {
+    write_binary_csr_file(out, g);
+  } else if (out.ends_with(".graph")) {
+    write_metis_file(out, g);
+  } else {
+    write_matrix_market_file(out, g);
+  }
+  std::printf("wrote %s (%u vertices, %llu arcs) in %.3f s\n", out.c_str(),
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              t.seconds());
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  const Graph g = load(args);
+  const GraphStats s = compute_stats(g);
+  std::printf("vertices:     %u\n", s.vertices);
+  std::printf("arcs:         %llu\n", static_cast<unsigned long long>(s.edges));
+  std::printf("avg degree:   %.2f\n", s.avg_degree);
+  std::printf("max degree:   %u\n", s.max_degree);
+  std::printf("total weight: %.1f\n", s.total_weight);
+  std::printf("symmetric:    %s\n", g.is_symmetric() ? "yes" : "no");
+  return 0;
+}
+
+int cmd_generate(const CliArgs& args) {
+  const std::string kind = args.get("kind", "web");
+  const auto n = static_cast<Vertex>(args.get_int("vertices", 10000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  Graph g;
+  if (kind == "web") {
+    g = generate_web(n, 8, 0.85, seed);
+  } else if (kind == "social") {
+    g = generate_web(n, 12, 0.85, seed, 48);
+  } else if (kind == "road") {
+    const auto side = static_cast<Vertex>(std::sqrt(double(n)));
+    g = generate_road(side, side, 0.0, seed);
+  } else if (kind == "kmer") {
+    g = generate_kmer(n, 0.03, seed);
+  } else if (kind == "er") {
+    g = generate_erdos_renyi(n, args.get_double("avg-degree", 8.0), seed);
+  } else {
+    throw std::runtime_error("unknown --kind " + kind);
+  }
+  const std::string out = args.get("output", "");
+  if (out.empty()) throw std::runtime_error("--output is required");
+  if (out.ends_with(".bin")) {
+    write_binary_csr_file(out, g);
+  } else if (out.ends_with(".graph")) {
+    write_metis_file(out, g);
+  } else {
+    write_matrix_market_file(out, g);
+  }
+  std::printf("generated %s graph: %u vertices, %llu arcs -> %s\n",
+              kind.c_str(), g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const CliArgs args(argc - 1, argv + 1);
+  try {
+    if (command == "detect") return cmd_detect(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "generate") return cmd_generate(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nulpa %s: %s\n", command.c_str(), e.what());
+    return 2;
+  }
+}
