@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesced.dir/coalesced.cpp.o"
+  "CMakeFiles/coalesced.dir/coalesced.cpp.o.d"
+  "coalesced"
+  "coalesced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for coalesced.
+# This may be replaced when dependencies are built.

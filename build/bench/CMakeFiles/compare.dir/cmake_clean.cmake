@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare.dir/compare.cpp.o"
+  "CMakeFiles/compare.dir/compare.cpp.o.d"
+  "compare"
+  "compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

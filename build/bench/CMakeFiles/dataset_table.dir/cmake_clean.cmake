@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_table.dir/dataset_table.cpp.o"
+  "CMakeFiles/dataset_table.dir/dataset_table.cpp.o.d"
+  "dataset_table"
+  "dataset_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datatype.dir/datatype.cpp.o"
+  "CMakeFiles/datatype.dir/datatype.cpp.o.d"
+  "datatype"
+  "datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashtable_micro.dir/hashtable_micro.cpp.o"
+  "CMakeFiles/hashtable_micro.dir/hashtable_micro.cpp.o.d"
+  "hashtable_micro"
+  "hashtable_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashtable_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

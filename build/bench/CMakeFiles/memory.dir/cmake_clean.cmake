@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory.dir/memory.cpp.o"
+  "CMakeFiles/memory.dir/memory.cpp.o.d"
+  "memory"
+  "memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probing.dir/probing.cpp.o"
+  "CMakeFiles/probing.dir/probing.cpp.o.d"
+  "probing"
+  "probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_prevention.dir/swap_prevention.cpp.o"
+  "CMakeFiles/swap_prevention.dir/swap_prevention.cpp.o.d"
+  "swap_prevention"
+  "swap_prevention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_prevention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_degree.dir/switch_degree.cpp.o"
+  "CMakeFiles/switch_degree.dir/switch_degree.cpp.o.d"
+  "switch_degree"
+  "switch_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

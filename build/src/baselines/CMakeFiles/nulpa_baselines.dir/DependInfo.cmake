@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/flpa.cpp" "src/baselines/CMakeFiles/nulpa_baselines.dir/flpa.cpp.o" "gcc" "src/baselines/CMakeFiles/nulpa_baselines.dir/flpa.cpp.o.d"
+  "/root/repo/src/baselines/gunrock_lpa.cpp" "src/baselines/CMakeFiles/nulpa_baselines.dir/gunrock_lpa.cpp.o" "gcc" "src/baselines/CMakeFiles/nulpa_baselines.dir/gunrock_lpa.cpp.o.d"
+  "/root/repo/src/baselines/gunrock_lpa_simt.cpp" "src/baselines/CMakeFiles/nulpa_baselines.dir/gunrock_lpa_simt.cpp.o" "gcc" "src/baselines/CMakeFiles/nulpa_baselines.dir/gunrock_lpa_simt.cpp.o.d"
+  "/root/repo/src/baselines/gve_lpa.cpp" "src/baselines/CMakeFiles/nulpa_baselines.dir/gve_lpa.cpp.o" "gcc" "src/baselines/CMakeFiles/nulpa_baselines.dir/gve_lpa.cpp.o.d"
+  "/root/repo/src/baselines/louvain.cpp" "src/baselines/CMakeFiles/nulpa_baselines.dir/louvain.cpp.o" "gcc" "src/baselines/CMakeFiles/nulpa_baselines.dir/louvain.cpp.o.d"
+  "/root/repo/src/baselines/plp.cpp" "src/baselines/CMakeFiles/nulpa_baselines.dir/plp.cpp.o" "gcc" "src/baselines/CMakeFiles/nulpa_baselines.dir/plp.cpp.o.d"
+  "/root/repo/src/baselines/seq_lpa.cpp" "src/baselines/CMakeFiles/nulpa_baselines.dir/seq_lpa.cpp.o" "gcc" "src/baselines/CMakeFiles/nulpa_baselines.dir/seq_lpa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/nulpa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/nulpa_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/nulpa_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/nulpa_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/nulpa_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

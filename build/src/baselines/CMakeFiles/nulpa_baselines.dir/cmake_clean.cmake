@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa_baselines.dir/flpa.cpp.o"
+  "CMakeFiles/nulpa_baselines.dir/flpa.cpp.o.d"
+  "CMakeFiles/nulpa_baselines.dir/gunrock_lpa.cpp.o"
+  "CMakeFiles/nulpa_baselines.dir/gunrock_lpa.cpp.o.d"
+  "CMakeFiles/nulpa_baselines.dir/gunrock_lpa_simt.cpp.o"
+  "CMakeFiles/nulpa_baselines.dir/gunrock_lpa_simt.cpp.o.d"
+  "CMakeFiles/nulpa_baselines.dir/gve_lpa.cpp.o"
+  "CMakeFiles/nulpa_baselines.dir/gve_lpa.cpp.o.d"
+  "CMakeFiles/nulpa_baselines.dir/louvain.cpp.o"
+  "CMakeFiles/nulpa_baselines.dir/louvain.cpp.o.d"
+  "CMakeFiles/nulpa_baselines.dir/plp.cpp.o"
+  "CMakeFiles/nulpa_baselines.dir/plp.cpp.o.d"
+  "CMakeFiles/nulpa_baselines.dir/seq_lpa.cpp.o"
+  "CMakeFiles/nulpa_baselines.dir/seq_lpa.cpp.o.d"
+  "libnulpa_baselines.a"
+  "libnulpa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nulpa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

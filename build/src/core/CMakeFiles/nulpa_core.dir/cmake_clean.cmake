@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa_core.dir/multilevel.cpp.o"
+  "CMakeFiles/nulpa_core.dir/multilevel.cpp.o.d"
+  "CMakeFiles/nulpa_core.dir/nulpa.cpp.o"
+  "CMakeFiles/nulpa_core.dir/nulpa.cpp.o.d"
+  "libnulpa_core.a"
+  "libnulpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nulpa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

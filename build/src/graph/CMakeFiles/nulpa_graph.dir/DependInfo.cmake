@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/binary_io.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/binary_io.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/binary_io.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/dataset.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/dataset.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/dataset.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/metis_io.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/metis_io.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/metis_io.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/partition.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/transforms.cpp" "src/graph/CMakeFiles/nulpa_graph.dir/transforms.cpp.o" "gcc" "src/graph/CMakeFiles/nulpa_graph.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa_graph.dir/binary_io.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/binary_io.cpp.o.d"
+  "CMakeFiles/nulpa_graph.dir/builder.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/nulpa_graph.dir/csr.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/nulpa_graph.dir/dataset.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/dataset.cpp.o.d"
+  "CMakeFiles/nulpa_graph.dir/generators.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/nulpa_graph.dir/io.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/io.cpp.o.d"
+  "CMakeFiles/nulpa_graph.dir/metis_io.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/metis_io.cpp.o.d"
+  "CMakeFiles/nulpa_graph.dir/partition.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/nulpa_graph.dir/stats.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/nulpa_graph.dir/transforms.cpp.o"
+  "CMakeFiles/nulpa_graph.dir/transforms.cpp.o.d"
+  "libnulpa_graph.a"
+  "libnulpa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nulpa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

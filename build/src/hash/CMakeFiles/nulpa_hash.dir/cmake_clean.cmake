@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa_hash.dir/probing.cpp.o"
+  "CMakeFiles/nulpa_hash.dir/probing.cpp.o.d"
+  "libnulpa_hash.a"
+  "libnulpa_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nulpa_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/nulpa_parallel.dir/thread_pool.cpp.o.d"
+  "libnulpa_parallel.a"
+  "libnulpa_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nulpa_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa_perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/nulpa_perfmodel.dir/machine.cpp.o.d"
+  "libnulpa_perfmodel.a"
+  "libnulpa_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nulpa_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quality/communities.cpp" "src/quality/CMakeFiles/nulpa_quality.dir/communities.cpp.o" "gcc" "src/quality/CMakeFiles/nulpa_quality.dir/communities.cpp.o.d"
+  "/root/repo/src/quality/metrics.cpp" "src/quality/CMakeFiles/nulpa_quality.dir/metrics.cpp.o" "gcc" "src/quality/CMakeFiles/nulpa_quality.dir/metrics.cpp.o.d"
+  "/root/repo/src/quality/modularity.cpp" "src/quality/CMakeFiles/nulpa_quality.dir/modularity.cpp.o" "gcc" "src/quality/CMakeFiles/nulpa_quality.dir/modularity.cpp.o.d"
+  "/root/repo/src/quality/nmi.cpp" "src/quality/CMakeFiles/nulpa_quality.dir/nmi.cpp.o" "gcc" "src/quality/CMakeFiles/nulpa_quality.dir/nmi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/nulpa_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa_quality.dir/communities.cpp.o"
+  "CMakeFiles/nulpa_quality.dir/communities.cpp.o.d"
+  "CMakeFiles/nulpa_quality.dir/metrics.cpp.o"
+  "CMakeFiles/nulpa_quality.dir/metrics.cpp.o.d"
+  "CMakeFiles/nulpa_quality.dir/modularity.cpp.o"
+  "CMakeFiles/nulpa_quality.dir/modularity.cpp.o.d"
+  "CMakeFiles/nulpa_quality.dir/nmi.cpp.o"
+  "CMakeFiles/nulpa_quality.dir/nmi.cpp.o.d"
+  "libnulpa_quality.a"
+  "libnulpa_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nulpa_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

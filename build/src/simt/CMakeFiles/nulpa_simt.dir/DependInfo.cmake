@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/simt/fiber_switch.S" "/root/repo/build/src/simt/CMakeFiles/nulpa_simt.dir/fiber_switch.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/counters.cpp" "src/simt/CMakeFiles/nulpa_simt.dir/counters.cpp.o" "gcc" "src/simt/CMakeFiles/nulpa_simt.dir/counters.cpp.o.d"
+  "/root/repo/src/simt/fiber.cpp" "src/simt/CMakeFiles/nulpa_simt.dir/fiber.cpp.o" "gcc" "src/simt/CMakeFiles/nulpa_simt.dir/fiber.cpp.o.d"
+  "/root/repo/src/simt/grid.cpp" "src/simt/CMakeFiles/nulpa_simt.dir/grid.cpp.o" "gcc" "src/simt/CMakeFiles/nulpa_simt.dir/grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

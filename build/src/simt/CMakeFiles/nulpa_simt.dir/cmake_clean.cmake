@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa_simt.dir/counters.cpp.o"
+  "CMakeFiles/nulpa_simt.dir/counters.cpp.o.d"
+  "CMakeFiles/nulpa_simt.dir/fiber.cpp.o"
+  "CMakeFiles/nulpa_simt.dir/fiber.cpp.o.d"
+  "CMakeFiles/nulpa_simt.dir/fiber_switch.S.o"
+  "CMakeFiles/nulpa_simt.dir/grid.cpp.o"
+  "CMakeFiles/nulpa_simt.dir/grid.cpp.o.d"
+  "libnulpa_simt.a"
+  "libnulpa_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/nulpa_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_util.dir/cli_util_test.cpp.o"
+  "CMakeFiles/test_cli_util.dir/cli_util_test.cpp.o.d"
+  "test_cli_util"
+  "test_cli_util.pdb"
+  "test_cli_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

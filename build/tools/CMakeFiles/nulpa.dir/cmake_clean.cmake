@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa.dir/nulpa_cli.cpp.o"
+  "CMakeFiles/nulpa.dir/nulpa_cli.cpp.o.d"
+  "nulpa"
+  "nulpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nulpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
