@@ -4,11 +4,19 @@
 //   2. per-iteration tolerance sweep (the paper fixes tau = 0.05),
 //   3. asynchrony granularity: how many simulated blocks are in flight
 //      (the simulator knob standing in for SM residency).
+//
+// --trace FILE streams every configuration's per-iteration events to one
+// JSONL file; the `context` field names "<graph>/<setting>" so a single
+// capture holds the whole sweep (`nulpa trace-summary --input FILE`).
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/nulpa.hpp"
+#include "observe/trace.hpp"
 #include "perfmodel/machine.hpp"
 #include "quality/modularity.hpp"
 #include "util/table.hpp"
@@ -19,6 +27,17 @@ int main(int argc, char** argv) {
   const auto opts = bench::SuiteOptions::from_args(args);
   const auto graphs = make_large_subset(opts.scale, opts.seed);
   const MachineModel gpu = a100();
+
+  std::ofstream trace_file;
+  std::optional<observe::JsonlEmitter> jsonl;
+  if (const std::string path = args.get("trace", ""); !path.empty()) {
+    trace_file.open(path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open for write: %s\n", path.c_str());
+      return 2;
+    }
+    jsonl.emplace(trace_file, gpu);
+  }
 
   auto sweep = [&](const char* title, auto&& configure,
                    const std::vector<double>& knob_values,
@@ -35,7 +54,11 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < graphs.size(); ++i) {
         NuLpaConfig cfg;
         configure(cfg, knob);
-        const auto r = nu_lpa(graphs[i].graph, cfg);
+        observe::ContextTracer ctx(
+            jsonl ? &*jsonl : nullptr,
+            graphs[i].spec.name + "/" + knob_label(knob));
+        const auto r = nu_lpa(graphs[i].graph, cfg,
+                              ctx.enabled() ? &ctx : nullptr);
         const double t = modeled_gpu_seconds(gpu, r.counters);
         if (first) {
           ref_time.push_back(t);

@@ -1,34 +1,30 @@
-// Figure 7 (a, b, c): the headline comparison — FLPA (sequential),
-// NetworKit-style PLP (32-core modeled), Gunrock-style LPA (GPU modeled),
-// cuGraph-style Louvain (GPU modeled), and ν-LPA (simulated A100) on all 13
-// dataset analogues. Emits three tables mirroring the figure's three
-// panels: runtime, speedup of ν-LPA, and modularity.
+// Figure 7 (a, b, c): the headline comparison — every algorithm in the
+// registry (ν-LPA, GVE-LPA, FLPA, NetworKit-style PLP, textbook sequential
+// LPA, Gunrock-style LPA, cuGraph-style Louvain) on all 13 dataset
+// analogues. Emits three tables mirroring the figure's three panels:
+// runtime, speedup of ν-LPA, and modularity.
 //
-// Time accounting (see DESIGN.md "Hardware substitutions"):
-//  * nu-LPA      — modeled A100 time from simulator hardware counters.
-//  * FLPA        — measured single-thread wall-clock (it is sequential in
-//                  the paper too).
-//  * PLP         — measured single-thread wall-clock scaled to the paper's
-//                  32 cores at 50% parallel efficiency.
-//  * Gunrock     — run on the SIMT simulator (gunrock_lpa_simt); counters
-//                  scaled for its segmented-sort aggregation (8x traffic)
-//                  and multi-kernel frontier steps (4 launches/iteration).
-//  * Louvain     — modeled A100 time from its edge-scan work (~8 words per
-//                  edge: local moving plus aggregation traffic).
+// Dispatch goes through core/runner.hpp: each registered runner fills
+// RunReport::modeled_seconds with its reference-platform accounting (see
+// DESIGN.md "Hardware substitutions" and the registry descriptions), so the
+// sweep below has no per-algorithm logic at all.
 //
 // Paper's findings: nu-LPA is ~364x vs FLPA, ~62x vs PLP, ~2.6x vs Gunrock,
 // ~37x vs cuGraph Louvain; modularity +4.7% vs FLPA (driven by road/k-mer
 // graphs), -6.1% vs PLP, -9.6% vs Louvain.
+//
+// --trace FILE streams every run's iteration events to one JSONL file,
+// with each event's `context` field naming the dataset (see DESIGN.md "Trace
+// schema"); inspect it with `nulpa trace-summary --input FILE`.
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
 #include <vector>
 
-#include "baselines/flpa.hpp"
-#include "baselines/gunrock_lpa.hpp"
-#include "baselines/gunrock_lpa_simt.hpp"
-#include "baselines/louvain.hpp"
-#include "baselines/plp.hpp"
 #include "bench/common.hpp"
-#include "core/nulpa.hpp"
+#include "core/runner.hpp"
+#include "observe/trace.hpp"
 #include "perfmodel/machine.hpp"
 #include "quality/modularity.hpp"
 #include "util/table.hpp"
@@ -38,114 +34,130 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const auto opts = bench::SuiteOptions::from_args(args);
   const auto graphs = make_dataset_suite(opts.scale, opts.seed);
-  const MachineModel gpu = a100();
+  const auto& registry = algorithm_registry();
 
+  std::ofstream trace_file;
+  std::optional<observe::JsonlEmitter> jsonl;
+  if (const std::string path = args.get("trace", ""); !path.empty()) {
+    trace_file.open(path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open for write: %s\n", path.c_str());
+      return 2;
+    }
+    jsonl.emplace(trace_file, a100());
+  }
+
+  struct Cell {
+    double t = 0.0;  // reference-platform seconds (RunReport.modeled_seconds)
+    double q = 0.0;  // modularity
+    int iterations = 0;
+  };
   struct Row {
     std::string name;
-    double t_flpa, t_plp, t_gunrock, t_louvain, t_nu;
-    double q_flpa, q_plp, q_gunrock, q_louvain, q_nu;
-    double nu_edges_per_s;
+    std::vector<Cell> cells;  // registry order
+    double nu_edges_per_s = 0.0;
   };
   std::vector<Row> rows;
+
+  RunOptions run_opts;
+  // cuGraph Louvain runs local moving to a tight gain threshold (many
+  // sweeps per pass) — keep the comparison's historical setting.
+  run_opts.louvain.tolerance = 1e-3;
 
   for (const auto& inst : graphs) {
     const Graph& g = inst.graph;
     Row row;
     row.name = inst.spec.name;
 
-    const auto r_nu = nu_lpa(g);
-    row.t_nu = modeled_gpu_seconds(gpu, r_nu.counters);
-    row.q_nu = modularity(g, r_nu.labels);
-    row.nu_edges_per_s =
-        static_cast<double>(g.num_edges()) * r_nu.iterations / row.t_nu;
+    observe::ContextTracer ctx(jsonl ? &*jsonl : nullptr, inst.spec.name);
+    run_opts.tracer = ctx.enabled() ? &ctx : nullptr;
 
-    const auto r_flpa = flpa(g, FlpaConfig{});
-    row.t_flpa = r_flpa.seconds;
-    row.q_flpa = modularity(g, r_flpa.labels);
-
-    const auto r_plp = plp(g, PlpConfig{});
-    row.t_plp = modeled_cpu_seconds(r_plp.seconds, 32, 0.5);
-    row.q_plp = modularity(g, r_plp.labels);
-
-    // Gunrock's synchronous LPA runs on the same SIMT simulator as ν-LPA
-    // so both GPU rows are modeled from real hardware counters. Its label
-    // aggregation is segmented *sort* in the real system: ~4 radix passes,
-    // each reading and writing key+value for every edge, plus the frontier
-    // machinery — about 8x the traffic of the hashed single pass our
-    // work-equivalent kernel counts, hence the multiplier.
-    const auto r_gr = gunrock_lpa_simt(g, GunrockLpaConfig{});
-    simt::PerfCounters gr_ctr = r_gr.counters;
-    gr_ctr.global_loads *= 8;
-    gr_ctr.global_stores *= 8;
-    gr_ctr.kernel_launches *= 4;  // advance / filter / sort / reduce per step
-    row.t_gunrock = modeled_gpu_seconds(gpu, gr_ctr);
-    row.q_gunrock = modularity(g, r_gr.labels);
-
-    // cuGraph Louvain: local moving runs to a tight gain threshold (many
-    // sweeps), each pass issues dozens of kernels, and per-edge hashmap
-    // work plus graph contraction dominate — modeled as 16 words + 2
-    // dependent random accesses per scanned edge and ~25 launches/pass.
-    LouvainConfig lv_cfg;
-    lv_cfg.tolerance = 1e-3;
-    const auto r_lv = louvain(g, lv_cfg);
-    row.t_louvain = modeled_gpu_seconds_from_work(
-        gpu, r_lv.edges_scanned, 25 * r_lv.iterations,
-        /*words_per_edge=*/16.0, /*random_per_edge=*/2.0);
-    row.q_louvain = modularity(g, r_lv.labels);
-
+    for (const auto& algo : registry) {
+      const RunReport r = algo.run(g, run_opts);
+      Cell cell;
+      cell.t = r.modeled_seconds;
+      cell.q = modularity(g, r.labels);
+      cell.iterations = r.iterations;
+      if (algo.name == "nulpa") {
+        row.nu_edges_per_s =
+            static_cast<double>(g.num_edges()) * r.iterations / cell.t;
+      }
+      row.cells.push_back(cell);
+    }
     rows.push_back(row);
   }
 
-  std::printf("=== Figure 7a: runtime in seconds (modeled platforms; see "
-              "header)\n\n");
-  TextTable t_runtime({"Graph", "FLPA (1 core)", "PLP (32 cores)",
-                       "Gunrock (GPU)", "Louvain (GPU)", "nu-LPA (GPU)"});
+  std::vector<std::size_t> others;  // registry indices of the baselines
+  std::size_t nu = 0;
+  for (std::size_t a = 0; a < registry.size(); ++a) {
+    if (registry[a].name == "nulpa") {
+      nu = a;
+    } else {
+      others.push_back(a);
+    }
+  }
+
+  std::printf("=== Figure 7a: runtime in seconds (reference platforms per "
+              "algorithm; see registry)\n\n");
+  std::vector<std::string> runtime_header{"Graph"};
+  for (const auto& algo : registry) runtime_header.emplace_back(algo.name);
+  TextTable t_runtime(runtime_header);
   for (const auto& r : rows) {
-    t_runtime.add_row({r.name, fmt(r.t_flpa, 3), fmt(r.t_plp, 3),
-                       fmt(r.t_gunrock, 3), fmt(r.t_louvain, 3),
-                       fmt(r.t_nu, 3)});
+    std::vector<std::string> cols{r.name};
+    for (const Cell& c : r.cells) cols.push_back(fmt(c.t, 3));
+    t_runtime.add_row(cols);
   }
   t_runtime.print();
 
-  std::printf("\n=== Figure 7b: speedup of nu-LPA (paper: 364x / 62x / "
-              "2.6x / 37x)\n\n");
-  TextTable t_speedup({"Graph", "vs FLPA", "vs PLP", "vs Gunrock",
-                       "vs Louvain", "nu-LPA edges/s"});
-  std::vector<double> s_flpa, s_plp, s_gr, s_lv;
-  for (const auto& r : rows) {
-    s_flpa.push_back(r.t_flpa / r.t_nu);
-    s_plp.push_back(r.t_plp / r.t_nu);
-    s_gr.push_back(r.t_gunrock / r.t_nu);
-    s_lv.push_back(r.t_louvain / r.t_nu);
-    t_speedup.add_row({r.name, fmt(r.t_flpa / r.t_nu, 3),
-                       fmt(r.t_plp / r.t_nu, 3), fmt(r.t_gunrock / r.t_nu, 3),
-                       fmt(r.t_louvain / r.t_nu, 3),
-                       fmt_count(r.nu_edges_per_s)});
+  std::printf("\n=== Figure 7b: speedup of nu-LPA (paper: 364x vs FLPA, "
+              "62x vs PLP, 2.6x vs Gunrock, 37x vs Louvain)\n\n");
+  std::vector<std::string> speedup_header{"Graph"};
+  for (const std::size_t a : others) {
+    speedup_header.push_back("vs " + std::string(registry[a].name));
   }
-  t_speedup.add_row({"geomean", fmt(bench::geomean(s_flpa), 3),
-                     fmt(bench::geomean(s_plp), 3),
-                     fmt(bench::geomean(s_gr), 3),
-                     fmt(bench::geomean(s_lv), 3), ""});
+  speedup_header.emplace_back("nu-LPA edges/s");
+  TextTable t_speedup(speedup_header);
+  std::vector<std::vector<double>> speedups(others.size());
+  for (const auto& r : rows) {
+    std::vector<std::string> cols{r.name};
+    for (std::size_t k = 0; k < others.size(); ++k) {
+      const double s = r.cells[others[k]].t / r.cells[nu].t;
+      speedups[k].push_back(s);
+      cols.push_back(fmt(s, 3));
+    }
+    cols.push_back(fmt_count(r.nu_edges_per_s));
+    t_speedup.add_row(cols);
+  }
+  std::vector<std::string> geo{"geomean"};
+  for (const auto& s : speedups) geo.push_back(fmt(bench::geomean(s), 3));
+  geo.emplace_back("");
+  t_speedup.add_row(geo);
   t_speedup.print();
 
   std::printf("\n=== Figure 7c: modularity (paper: nu-LPA +4.7%% vs FLPA, "
               "-6.1%% vs PLP, -9.6%% vs Louvain)\n\n");
-  TextTable t_q({"Graph", "FLPA", "PLP", "Gunrock", "Louvain", "nu-LPA"});
-  std::vector<double> d_flpa, d_plp, d_gr, d_lv;
+  std::vector<std::string> q_header{"Graph"};
+  for (const auto& algo : registry) q_header.emplace_back(algo.name);
+  TextTable t_q(q_header);
+  std::vector<std::vector<double>> q_ratio(others.size());
   for (const auto& r : rows) {
-    t_q.add_row({r.name, fmt(r.q_flpa, 3), fmt(r.q_plp, 3),
-                 fmt(r.q_gunrock, 3), fmt(r.q_louvain, 3), fmt(r.q_nu, 3)});
-    if (r.q_flpa > 0) d_flpa.push_back(r.q_nu / r.q_flpa);
-    if (r.q_plp > 0) d_plp.push_back(r.q_nu / r.q_plp);
-    if (r.q_gunrock > 0) d_gr.push_back(r.q_nu / r.q_gunrock);
-    if (r.q_louvain > 0) d_lv.push_back(r.q_nu / r.q_louvain);
+    std::vector<std::string> cols{r.name};
+    for (const Cell& c : r.cells) cols.push_back(fmt(c.q, 3));
+    t_q.add_row(cols);
+    for (std::size_t k = 0; k < others.size(); ++k) {
+      if (r.cells[others[k]].q > 0) {
+        q_ratio[k].push_back(r.cells[nu].q / r.cells[others[k]].q);
+      }
+    }
   }
   t_q.print();
-  std::printf("\nnu-LPA modularity relative to: FLPA %+.1f%%, PLP %+.1f%%, "
-              "Gunrock %+.1f%%, Louvain %+.1f%%\n",
-              (bench::mean(d_flpa) - 1.0) * 100.0,
-              (bench::mean(d_plp) - 1.0) * 100.0,
-              (bench::mean(d_gr) - 1.0) * 100.0,
-              (bench::mean(d_lv) - 1.0) * 100.0);
+  std::printf("\nnu-LPA modularity relative to:");
+  for (std::size_t k = 0; k < others.size(); ++k) {
+    std::printf(" %.*s %+.1f%%%s",
+                static_cast<int>(registry[others[k]].name.size()),
+                registry[others[k]].name.data(),
+                (bench::mean(q_ratio[k]) - 1.0) * 100.0,
+                k + 1 < others.size() ? "," : "\n");
+  }
   return 0;
 }

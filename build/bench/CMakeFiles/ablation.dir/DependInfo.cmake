@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/nulpa_core.dir/DependInfo.cmake"
   "/root/repo/build/src/baselines/CMakeFiles/nulpa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/observe/CMakeFiles/nulpa_observe.dir/DependInfo.cmake"
   "/root/repo/build/src/quality/CMakeFiles/nulpa_quality.dir/DependInfo.cmake"
   "/root/repo/build/src/perfmodel/CMakeFiles/nulpa_perfmodel.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/nulpa_graph.dir/DependInfo.cmake"

@@ -155,16 +155,17 @@ bench/CMakeFiles/probing.dir/probing.cpp.o: /root/repo/bench/probing.cpp \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/nulpa.hpp /root/repo/src/core/config.hpp \
- /root/repo/src/hash/probing.hpp /root/repo/src/simt/grid.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/stdexcept /root/repo/src/core/nulpa.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/hash/probing.hpp \
+ /root/repo/src/simt/grid.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -172,8 +173,9 @@ bench/CMakeFiles/probing.dir/probing.cpp.o: /root/repo/bench/probing.cpp \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/simt/counters.hpp /root/repo/src/simt/fiber.hpp \
- /root/repo/src/hash/vertex_table.hpp /root/repo/src/util/bits.hpp \
- /usr/include/c++/12/bit /root/repo/src/perfmodel/machine.hpp \
+ /root/repo/src/core/report.hpp /root/repo/src/hash/vertex_table.hpp \
+ /root/repo/src/util/bits.hpp /usr/include/c++/12/bit \
+ /root/repo/src/observe/trace.hpp /root/repo/src/perfmodel/machine.hpp \
  /root/repo/src/quality/modularity.hpp /root/repo/src/util/table.hpp \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/hash/CMakeFiles/nulpa_hash.dir/DependInfo.cmake"
   "/root/repo/build/src/simt/CMakeFiles/nulpa_simt.dir/DependInfo.cmake"
   "/root/repo/build/src/parallel/CMakeFiles/nulpa_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/observe/CMakeFiles/nulpa_observe.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -145,14 +145,16 @@ examples/CMakeFiles/road_partition.dir/road_partition.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/simt/counters.hpp \
- /root/repo/src/simt/fiber.hpp /root/repo/src/hash/vertex_table.hpp \
- /root/repo/src/util/bits.hpp /usr/include/c++/12/bit \
- /root/repo/src/graph/generators.hpp \
+ /root/repo/src/simt/fiber.hpp /root/repo/src/core/report.hpp \
+ /root/repo/src/hash/vertex_table.hpp /root/repo/src/util/bits.hpp \
+ /usr/include/c++/12/bit /root/repo/src/observe/trace.hpp \
+ /usr/include/c++/12/optional /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/perfmodel/machine.hpp /root/repo/src/graph/generators.hpp \
  /root/repo/src/quality/communities.hpp \
  /root/repo/src/quality/modularity.hpp /root/repo/src/util/cli.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/stdexcept

@@ -34,8 +34,8 @@ examples/CMakeFiles/web_communities.dir/web_communities.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /root/repo/src/baselines/result.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_algobase.h \
+ /root/repo/src/baselines/result.hpp /root/repo/src/core/report.hpp \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
@@ -76,9 +76,8 @@ examples/CMakeFiles/web_communities.dir/web_communities.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
- /root/repo/src/baselines/louvain.hpp /root/repo/src/core/nulpa.hpp \
- /root/repo/src/core/config.hpp /usr/include/c++/12/string \
- /usr/include/c++/12/bits/stringfwd.h \
+ /root/repo/src/hash/vertex_table.hpp /root/repo/src/hash/probing.hpp \
+ /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
@@ -126,16 +125,23 @@ examples/CMakeFiles/web_communities.dir/web_communities.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/hash/probing.hpp /root/repo/src/simt/grid.hpp \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/util/bits.hpp \
+ /usr/include/c++/12/bit /root/repo/src/simt/counters.hpp \
+ /root/repo/src/observe/trace.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/perfmodel/machine.hpp \
+ /root/repo/src/baselines/louvain.hpp /root/repo/src/core/nulpa.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/simt/grid.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
@@ -143,18 +149,12 @@ examples/CMakeFiles/web_communities.dir/web_communities.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simt/counters.hpp /root/repo/src/simt/fiber.hpp \
- /root/repo/src/hash/vertex_table.hpp /root/repo/src/util/bits.hpp \
- /usr/include/c++/12/bit /root/repo/src/graph/generators.hpp \
- /root/repo/src/perfmodel/machine.hpp \
+ /root/repo/src/simt/fiber.hpp /root/repo/src/graph/generators.hpp \
  /root/repo/src/quality/communities.hpp \
  /root/repo/src/quality/modularity.hpp /root/repo/src/util/cli.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/util/table.hpp /usr/include/c++/12/iomanip \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \

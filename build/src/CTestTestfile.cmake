@@ -11,5 +11,6 @@ subdirs("simt")
 subdirs("hash")
 subdirs("quality")
 subdirs("perfmodel")
+subdirs("observe")
 subdirs("baselines")
 subdirs("core")

@@ -24,6 +24,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/quality/CMakeFiles/nulpa_quality.dir/DependInfo.cmake"
   "/root/repo/build/src/hash/CMakeFiles/nulpa_hash.dir/DependInfo.cmake"
   "/root/repo/build/src/simt/CMakeFiles/nulpa_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/observe/CMakeFiles/nulpa_observe.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/nulpa_perfmodel.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/multilevel.cpp" "src/core/CMakeFiles/nulpa_core.dir/multilevel.cpp.o" "gcc" "src/core/CMakeFiles/nulpa_core.dir/multilevel.cpp.o.d"
   "/root/repo/src/core/nulpa.cpp" "src/core/CMakeFiles/nulpa_core.dir/nulpa.cpp.o" "gcc" "src/core/CMakeFiles/nulpa_core.dir/nulpa.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/nulpa_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/nulpa_core.dir/runner.cpp.o.d"
   )
 
 # Targets to which this target links.
@@ -17,6 +18,11 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/graph/CMakeFiles/nulpa_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/hash/CMakeFiles/nulpa_hash.dir/DependInfo.cmake"
   "/root/repo/build/src/simt/CMakeFiles/nulpa_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/observe/CMakeFiles/nulpa_observe.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nulpa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/nulpa_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/nulpa_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/nulpa_quality.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nulpa_core.dir/multilevel.cpp.o.d"
   "CMakeFiles/nulpa_core.dir/nulpa.cpp.o"
   "CMakeFiles/nulpa_core.dir/nulpa.cpp.o.d"
+  "CMakeFiles/nulpa_core.dir/runner.cpp.o"
+  "CMakeFiles/nulpa_core.dir/runner.cpp.o.d"
   "libnulpa_core.a"
   "libnulpa_core.pdb"
 )

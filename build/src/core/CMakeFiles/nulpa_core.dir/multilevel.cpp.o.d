@@ -142,8 +142,13 @@ src/core/CMakeFiles/nulpa_core.dir/multilevel.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/simt/counters.hpp /root/repo/src/simt/fiber.hpp \
- /root/repo/src/hash/vertex_table.hpp /root/repo/src/util/bits.hpp \
- /usr/include/c++/12/bit /root/repo/src/graph/transforms.hpp \
+ /root/repo/src/core/report.hpp /root/repo/src/hash/vertex_table.hpp \
+ /root/repo/src/util/bits.hpp /usr/include/c++/12/bit \
+ /root/repo/src/observe/trace.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/perfmodel/machine.hpp /root/repo/src/graph/transforms.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime /usr/include/time.h \
@@ -153,9 +158,6 @@ src/core/CMakeFiles/nulpa_core.dir/multilevel.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_itimerspec.h \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \

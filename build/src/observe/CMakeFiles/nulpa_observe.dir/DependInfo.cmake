@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/observe/trace.cpp" "src/observe/CMakeFiles/nulpa_observe.dir/trace.cpp.o" "gcc" "src/observe/CMakeFiles/nulpa_observe.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/nulpa_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/nulpa_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/nulpa_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nulpa_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

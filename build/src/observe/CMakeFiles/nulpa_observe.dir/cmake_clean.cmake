@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nulpa_observe.dir/trace.cpp.o"
+  "CMakeFiles/nulpa_observe.dir/trace.cpp.o.d"
+  "libnulpa_observe.a"
+  "libnulpa_observe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nulpa_observe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

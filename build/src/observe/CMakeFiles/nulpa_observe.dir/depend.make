@@ -1,0 +1,2 @@
+# Empty dependencies file for nulpa_observe.
+# This may be replaced when dependencies are built.

@@ -296,7 +296,11 @@ tests/CMakeFiles/test_baselines.dir/baselines_test.cpp.o: \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/baselines/flpa.hpp /root/repo/src/baselines/result.hpp \
- /root/repo/src/graph/csr.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/report.hpp /root/repo/src/graph/csr.hpp \
+ /usr/include/c++/12/span /root/repo/src/hash/vertex_table.hpp \
+ /root/repo/src/hash/probing.hpp /root/repo/src/util/bits.hpp \
+ /root/repo/src/simt/counters.hpp /root/repo/src/observe/trace.hpp \
+ /root/repo/src/perfmodel/machine.hpp \
  /root/repo/src/baselines/gunrock_lpa.hpp \
  /root/repo/src/baselines/gve_lpa.hpp \
  /root/repo/src/parallel/thread_pool.hpp \

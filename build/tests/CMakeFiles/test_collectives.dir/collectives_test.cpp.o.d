@@ -294,10 +294,13 @@ tests/CMakeFiles/test_collectives.dir/collectives_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/baselines/gunrock_lpa.hpp \
- /root/repo/src/baselines/result.hpp /root/repo/src/graph/csr.hpp \
- /usr/include/c++/12/span /root/repo/src/baselines/gunrock_lpa_simt.hpp \
- /root/repo/src/simt/counters.hpp /root/repo/src/graph/builder.hpp \
- /root/repo/src/graph/generators.hpp \
+ /root/repo/src/baselines/result.hpp /root/repo/src/core/report.hpp \
+ /root/repo/src/graph/csr.hpp /usr/include/c++/12/span \
+ /root/repo/src/hash/vertex_table.hpp /root/repo/src/hash/probing.hpp \
+ /root/repo/src/util/bits.hpp /root/repo/src/simt/counters.hpp \
+ /root/repo/src/baselines/gunrock_lpa_simt.hpp \
+ /root/repo/src/observe/trace.hpp /root/repo/src/perfmodel/machine.hpp \
+ /root/repo/src/graph/builder.hpp /root/repo/src/graph/generators.hpp \
  /root/repo/src/quality/communities.hpp \
  /root/repo/src/quality/modularity.hpp \
  /root/repo/src/simt/collectives.hpp /root/repo/src/simt/grid.hpp \

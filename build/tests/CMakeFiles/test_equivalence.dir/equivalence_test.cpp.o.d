@@ -294,11 +294,13 @@ tests/CMakeFiles/test_equivalence.dir/equivalence_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/baselines/seq_lpa.hpp /root/repo/src/baselines/result.hpp \
- /root/repo/src/graph/csr.hpp /usr/include/c++/12/span \
- /root/repo/src/core/nulpa.hpp /root/repo/src/core/config.hpp \
- /root/repo/src/hash/probing.hpp /root/repo/src/simt/grid.hpp \
- /root/repo/src/simt/counters.hpp /root/repo/src/simt/fiber.hpp \
- /root/repo/src/hash/vertex_table.hpp /root/repo/src/util/bits.hpp \
- /root/repo/src/graph/builder.hpp /root/repo/src/graph/generators.hpp \
+ /root/repo/src/core/report.hpp /root/repo/src/graph/csr.hpp \
+ /usr/include/c++/12/span /root/repo/src/hash/vertex_table.hpp \
+ /root/repo/src/hash/probing.hpp /root/repo/src/util/bits.hpp \
+ /root/repo/src/simt/counters.hpp /root/repo/src/observe/trace.hpp \
+ /root/repo/src/perfmodel/machine.hpp /root/repo/src/core/nulpa.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/simt/grid.hpp \
+ /root/repo/src/simt/fiber.hpp /root/repo/src/graph/builder.hpp \
+ /root/repo/src/graph/generators.hpp \
  /root/repo/src/quality/communities.hpp \
  /root/repo/src/quality/modularity.hpp /root/repo/src/util/rng.hpp

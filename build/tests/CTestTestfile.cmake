@@ -22,3 +22,6 @@ include("/root/repo/build/tests/test_file_io[1]_include.cmake")
 include("/root/repo/build/tests/test_multilevel[1]_include.cmake")
 include("/root/repo/build/tests/test_stress[1]_include.cmake")
 include("/root/repo/build/tests/test_cli_util[1]_include.cmake")
+include("/root/repo/build/tests/test_observe[1]_include.cmake")
+add_test(trace_summary_smoke "/usr/bin/cmake" "-DNULPA=/root/repo/build/tools/nulpa" "-DWORK_DIR=/root/repo/build/tests" "-P" "/root/repo/tests/trace_summary_smoke.cmake")
+set_tests_properties(trace_summary_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")

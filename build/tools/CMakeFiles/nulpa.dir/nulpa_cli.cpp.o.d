@@ -180,13 +180,22 @@ tools/CMakeFiles/nulpa.dir/nulpa_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
- /root/repo/src/baselines/flpa.hpp /root/repo/src/baselines/result.hpp \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/core/runner.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/graph/csr.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/baselines/gunrock_lpa.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/baselines/flpa.hpp \
+ /root/repo/src/baselines/result.hpp /root/repo/src/core/report.hpp \
+ /root/repo/src/graph/csr.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/hash/vertex_table.hpp /root/repo/src/hash/probing.hpp \
+ /root/repo/src/util/bits.hpp /usr/include/c++/12/bit \
+ /root/repo/src/simt/counters.hpp /root/repo/src/observe/trace.hpp \
+ /root/repo/src/perfmodel/machine.hpp \
+ /root/repo/src/baselines/gunrock_lpa.hpp \
+ /root/repo/src/baselines/gunrock_lpa_simt.hpp \
  /root/repo/src/baselines/gve_lpa.hpp \
  /root/repo/src/parallel/thread_pool.hpp /usr/include/c++/12/atomic \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -222,10 +231,9 @@ tools/CMakeFiles/nulpa.dir/nulpa_cli.cpp.o: \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bits/align.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -233,7 +241,6 @@ tools/CMakeFiles/nulpa.dir/nulpa_cli.cpp.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
@@ -243,17 +250,14 @@ tools/CMakeFiles/nulpa.dir/nulpa_cli.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/thread /root/repo/src/baselines/louvain.hpp \
  /root/repo/src/baselines/plp.hpp /root/repo/src/baselines/seq_lpa.hpp \
- /root/repo/src/core/nulpa.hpp /root/repo/src/core/config.hpp \
- /root/repo/src/hash/probing.hpp /root/repo/src/simt/grid.hpp \
- /root/repo/src/simt/counters.hpp /root/repo/src/simt/fiber.hpp \
- /root/repo/src/hash/vertex_table.hpp /root/repo/src/util/bits.hpp \
- /root/repo/src/graph/binary_io.hpp /root/repo/src/graph/generators.hpp \
- /root/repo/src/graph/io.hpp /root/repo/src/graph/metis_io.hpp \
- /root/repo/src/graph/stats.hpp /root/repo/src/perfmodel/machine.hpp \
- /root/repo/src/quality/communities.hpp \
- /root/repo/src/quality/metrics.hpp /root/repo/src/quality/modularity.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/simt/grid.hpp \
+ /root/repo/src/simt/fiber.hpp /root/repo/src/core/nulpa.hpp \
  /root/repo/src/util/cli.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/timer.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/graph/binary_io.hpp /root/repo/src/graph/generators.hpp \
+ /root/repo/src/graph/io.hpp /root/repo/src/graph/metis_io.hpp \
+ /root/repo/src/graph/stats.hpp /root/repo/src/quality/communities.hpp \
+ /root/repo/src/quality/metrics.hpp /root/repo/src/quality/modularity.hpp \
+ /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc

@@ -9,7 +9,8 @@
 
 namespace nulpa {
 
-ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg) {
+ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg,
+                      observe::Tracer* tracer) {
   Timer timer;
   Xoshiro256 rng(cfg.seed);
   const Vertex n = g.num_vertices();
@@ -29,11 +30,28 @@ ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg) {
           ? ~0ULL
           : cfg.max_processed_factor * static_cast<std::uint64_t>(n);
 
+  const observe::RunTrace trace(tracer, "flpa", n, g.num_edges());
+  int epoch = 0;
+  std::uint64_t epoch_changed = 0, total_changed = 0, epoch_edges0 = 0;
+  Timer epoch_timer;
+  if (trace.on()) trace.iteration_start(epoch, queue.size());
+
   while (!queue.empty() && processed < max_processed) {
     const Vertex v = queue.front();
     queue.pop_front();
     in_queue[v] = 0;
     ++processed;
+    // Epoch boundary: |V| pops count as one "iteration" of the queue run.
+    if (trace.on() && processed % std::max<std::uint64_t>(n, 1) == 0) {
+      trace.iteration_end(epoch, queue.size(), epoch_changed,
+                          res.edges_scanned - epoch_edges0,
+                          epoch_timer.seconds());
+      ++epoch;
+      epoch_changed = 0;
+      epoch_edges0 = res.edges_scanned;
+      epoch_timer.reset();
+      trace.iteration_start(epoch, queue.size());
+    }
 
     const auto nbrs = g.neighbors(v);
     const auto wts = g.weights_of(v);
@@ -61,6 +79,8 @@ ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg) {
 
     if (chosen != res.labels[v]) {
       res.labels[v] = chosen;
+      ++epoch_changed;
+      ++total_changed;
       // Re-enqueue neighbours that are not already in the new community
       // and not already queued.
       for (const Vertex u : nbrs) {
@@ -75,7 +95,22 @@ ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg) {
   // "Iterations" for a queue algorithm: processed vertices / |V|, rounded up.
   res.iterations = static_cast<int>((processed + n - 1) / std::max<Vertex>(n, 1));
   res.seconds = timer.seconds();
+  if (trace.on()) {
+    // Flush the final partial epoch, then close the run. Convergence for
+    // FLPA means the queue drained before the safety valve fired.
+    if (processed % std::max<std::uint64_t>(n, 1) != 0 || processed == 0) {
+      trace.iteration_end(epoch, queue.size(), epoch_changed,
+                          res.edges_scanned - epoch_edges0,
+                          epoch_timer.seconds());
+    }
+    trace.run_end(res.iterations, queue.empty(), total_changed,
+                  res.edges_scanned, res.seconds);
+  }
   return res;
+}
+
+ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg) {
+  return flpa(g, cfg, nullptr);
 }
 
 }  // namespace nulpa

@@ -10,6 +10,7 @@
 
 #include "baselines/result.hpp"
 #include "graph/csr.hpp"
+#include "observe/trace.hpp"
 
 namespace nulpa {
 
@@ -20,6 +21,11 @@ struct FlpaConfig {
   std::uint64_t max_processed_factor = 64;  // max processed = factor * |V|
 };
 
+/// Tracing note: FLPA has no sweep boundary, so one trace "iteration" is an
+/// epoch of |V| processed queue entries; active_vertices is the queue depth
+/// at the epoch boundary.
+ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg,
+                      observe::Tracer* tracer);
 ClusteringResult flpa(const Graph& g, const FlpaConfig& cfg);
 
 }  // namespace nulpa

@@ -8,14 +8,18 @@
 namespace nulpa {
 
 GunrockSimtResult gunrock_lpa_simt(const Graph& g,
-                                   const GunrockLpaConfig& cfg) {
+                                   const GunrockLpaConfig& cfg,
+                                   observe::Tracer* tracer) {
   Timer timer;
   GunrockSimtResult res;
+  res.has_counters = true;
   const Vertex n = g.num_vertices();
   res.labels.resize(n);
   for (Vertex v = 0; v < n; ++v) res.labels[v] = v;
+  const observe::RunTrace trace(tracer, "gunrock", n, g.num_edges());
   if (n == 0) {
     res.seconds = timer.seconds();
+    trace.run_end(0, true, 0, 0, res.seconds);
     return res;
   }
 
@@ -32,7 +36,14 @@ GunrockSimtResult gunrock_lpa_simt(const Graph& g,
   const auto grid =
       static_cast<std::uint32_t>(ceil_div(n, launch.block_dim));
 
+  std::uint64_t total_changed = 0;
   for (int it = 0; it < cfg.iterations; ++it) {
+    Timer iter_timer;
+    simt::PerfCounters iter_ctr0;
+    if (trace.on()) {
+      iter_ctr0 = res.counters.snapshot();
+      trace.iteration_start(it, n);  // no frontier pruning: full sweep
+    }
     simt::launch(grid, launch, res.counters, [&](simt::Lane& lane) {
       const std::uint32_t v = lane.global_thread();
       if (v >= n) return;
@@ -73,13 +84,45 @@ GunrockSimtResult gunrock_lpa_simt(const Graph& g,
       next[v] = best;  // double-buffered: synchronous by construction
       lane.count_store(1);
     });
+    if (trace.on()) {
+      // Host-side diff of the double buffers; not counted as device work.
+      std::uint64_t changed = 0;
+      for (Vertex v = 0; v < n; ++v) changed += next[v] != res.labels[v];
+      total_changed += changed;
+      observe::TraceEvent ev =
+          trace.make(observe::EventKind::kIterationEnd, it);
+      ev.active_vertices = n;
+      ev.labels_changed = changed;
+      ev.seconds = iter_timer.seconds();
+      ev.has_counters = true;
+      ev.counters = res.counters - iter_ctr0;
+      ev.edges_scanned = ev.counters.edges_scanned;
+      trace.record(ev);
+    }
     res.labels.swap(next);
     ++res.iterations;
   }
 
   res.edges_scanned = res.counters.edges_scanned;
   res.seconds = timer.seconds();
+  if (trace.on()) {
+    observe::TraceEvent ev = trace.make(observe::EventKind::kRunEnd, -1);
+    // Gunrock's fixed schedule never "converges"; it just stops.
+    ev.iterations = res.iterations;
+    ev.converged = false;
+    ev.labels_changed = total_changed;
+    ev.edges_scanned = res.edges_scanned;
+    ev.seconds = res.seconds;
+    ev.has_counters = true;
+    ev.counters = res.counters;
+    trace.record(ev);
+  }
   return res;
+}
+
+GunrockSimtResult gunrock_lpa_simt(const Graph& g,
+                                   const GunrockLpaConfig& cfg) {
+  return gunrock_lpa_simt(g, cfg, nullptr);
 }
 
 }  // namespace nulpa

@@ -6,22 +6,19 @@
 // Gunrock's LpProblem.
 #pragma once
 
-#include <vector>
-
 #include "baselines/gunrock_lpa.hpp"
+#include "core/report.hpp"
 #include "graph/csr.hpp"
-#include "simt/counters.hpp"
+#include "observe/trace.hpp"
 
 namespace nulpa {
 
-struct GunrockSimtResult {
-  std::vector<Vertex> labels;
-  int iterations = 0;
-  double seconds = 0.0;  // host wall-clock of the simulation
-  std::uint64_t edges_scanned = 0;
-  simt::PerfCounters counters;
-};
+/// RunReport with `has_counters` set (simulated hardware events included).
+using GunrockSimtResult = RunReport;
 
+GunrockSimtResult gunrock_lpa_simt(const Graph& g,
+                                   const GunrockLpaConfig& cfg,
+                                   observe::Tracer* tracer);
 GunrockSimtResult gunrock_lpa_simt(const Graph& g,
                                    const GunrockLpaConfig& cfg);
 

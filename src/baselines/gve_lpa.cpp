@@ -50,7 +50,7 @@ struct DenseTable {
 }  // namespace
 
 ClusteringResult gve_lpa(const Graph& g, ThreadPool& pool,
-                         const GveLpaConfig& cfg) {
+                         const GveLpaConfig& cfg, observe::Tracer* tracer) {
   Timer timer;
   const Vertex n = g.num_vertices();
   ClusteringResult res;
@@ -65,7 +65,18 @@ ClusteringResult gve_lpa(const Graph& g, ThreadPool& pool,
     tables.emplace_back(n, 0x9e3779b9u * (t + 1));
   }
 
+  const observe::RunTrace trace(tracer, "gve", n, g.num_edges());
+  const auto count_active = [&] {
+    std::uint64_t active = 0;
+    for (const std::uint8_t f : unprocessed) active += f;
+    return active;
+  };
+  bool converged = false;
+  std::uint64_t total_changed = 0;
+
   for (int it = 0; it < cfg.max_iterations; ++it) {
+    Timer iter_timer;
+    if (trace.on()) trace.iteration_start(it, count_active());
     // Per-thread change counts combined by parallel reduce (no shared
     // atomic counter).
     const std::uint64_t changed = parallel_reduce<std::uint64_t>(
@@ -94,10 +105,20 @@ ClusteringResult gve_lpa(const Graph& g, ThreadPool& pool,
 
     res.edges_scanned += g.num_edges();
     ++res.iterations;
-    if (static_cast<double>(changed) / n < cfg.tolerance) break;
+    total_changed += changed;
+    if (trace.on()) {
+      trace.iteration_end(it, count_active(), changed, g.num_edges(),
+                          iter_timer.seconds());
+    }
+    if (static_cast<double>(changed) / n < cfg.tolerance) {
+      converged = true;
+      break;
+    }
   }
 
   res.seconds = timer.seconds();
+  trace.run_end(res.iterations, converged || n == 0, total_changed,
+                res.edges_scanned, res.seconds);
   return res;
 }
 

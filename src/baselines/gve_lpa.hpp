@@ -7,6 +7,7 @@
 
 #include "baselines/result.hpp"
 #include "graph/csr.hpp"
+#include "observe/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace nulpa {
@@ -17,7 +18,12 @@ struct GveLpaConfig {
 };
 
 ClusteringResult gve_lpa(const Graph& g, ThreadPool& pool,
-                         const GveLpaConfig& cfg);
+                         const GveLpaConfig& cfg, observe::Tracer* tracer);
+
+inline ClusteringResult gve_lpa(const Graph& g, ThreadPool& pool,
+                                const GveLpaConfig& cfg) {
+  return gve_lpa(g, pool, cfg, nullptr);
+}
 
 inline ClusteringResult gve_lpa(const Graph& g, const GveLpaConfig& cfg) {
   return gve_lpa(g, ThreadPool::global(), cfg);

@@ -99,20 +99,28 @@ Graph aggregate(const Graph& g, const std::vector<Vertex>& compact_community,
 
 }  // namespace
 
-ClusteringResult louvain(const Graph& g, const LouvainConfig& cfg) {
+ClusteringResult louvain(const Graph& g, const LouvainConfig& cfg,
+                         observe::Tracer* tracer) {
   Timer timer;
   const Vertex n = g.num_vertices();
   ClusteringResult res;
   res.labels.resize(n);
   for (Vertex v = 0; v < n; ++v) res.labels[v] = v;
+  const observe::RunTrace trace(tracer, "louvain", n, g.num_edges());
   if (n == 0) {
     res.seconds = timer.seconds();
+    trace.run_end(0, true, 0, 0, res.seconds);
     return res;
   }
 
+  bool converged = false;
+  std::uint64_t total_merged = 0;
   Graph level = g;
   // membership[v] on the original graph, refined after each level.
   for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    Timer pass_timer;
+    const std::uint64_t edges0 = res.edges_scanned;
+    trace.iteration_start(pass, level.num_vertices());
     std::vector<Vertex> community =
         local_moving(level, cfg, res.edges_scanned);
     ++res.iterations;
@@ -123,17 +131,31 @@ ClusteringResult louvain(const Graph& g, const LouvainConfig& cfg) {
     // Project this level's communities onto the original vertices.
     for (Vertex v = 0; v < n; ++v) res.labels[v] = compact[res.labels[v]];
 
+    // "Labels changed" for a coarsening pass: vertices merged away (the
+    // level shrinking from |level| communities to k).
+    const std::uint64_t merged = level.num_vertices() - k;
+    total_merged += merged;
+    trace.iteration_end(pass, level.num_vertices(), merged,
+                        res.edges_scanned - edges0, pass_timer.seconds());
+
     if (k == level.num_vertices() ||
         static_cast<double>(k) >
             cfg.aggregation_tolerance *
                 static_cast<double>(level.num_vertices())) {
+      converged = true;
       break;  // no meaningful coarsening left
     }
     level = aggregate(level, compact, k);
   }
 
   res.seconds = timer.seconds();
+  trace.run_end(res.iterations, converged, total_merged, res.edges_scanned,
+                res.seconds);
   return res;
+}
+
+ClusteringResult louvain(const Graph& g, const LouvainConfig& cfg) {
+  return louvain(g, cfg, nullptr);
 }
 
 }  // namespace nulpa

@@ -8,6 +8,7 @@
 
 #include "baselines/result.hpp"
 #include "graph/csr.hpp"
+#include "observe/trace.hpp"
 
 namespace nulpa {
 
@@ -18,6 +19,10 @@ struct LouvainConfig {
   double aggregation_tolerance = 0.8;  // stop if graph shrinks < 20%
 };
 
+/// Tracing note: one trace "iteration" is a coarsening pass (local moving
+/// plus aggregation); active_vertices is the size of the level graph.
+ClusteringResult louvain(const Graph& g, const LouvainConfig& cfg,
+                         observe::Tracer* tracer);
 ClusteringResult louvain(const Graph& g, const LouvainConfig& cfg);
 
 }  // namespace nulpa

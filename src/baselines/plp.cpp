@@ -10,7 +10,8 @@
 
 namespace nulpa {
 
-ClusteringResult plp(const Graph& g, ThreadPool& pool, const PlpConfig& cfg) {
+ClusteringResult plp(const Graph& g, ThreadPool& pool, const PlpConfig& cfg,
+                     observe::Tracer* tracer) {
   Timer timer;
   const Vertex n = g.num_vertices();
   ClusteringResult res;
@@ -25,7 +26,18 @@ ClusteringResult plp(const Graph& g, ThreadPool& pool, const PlpConfig& cfg) {
     worker_rng.push_back(Xoshiro256(cfg.seed).split(w));
   }
 
+  const observe::RunTrace trace(tracer, "plp", n, g.num_edges());
+  const auto count_active = [&] {
+    std::uint64_t count = 0;
+    for (const std::uint8_t f : active) count += f;
+    return count;
+  };
+  bool converged = false;
+  std::uint64_t total_changed = 0;
+
   for (int it = 0; it < cfg.max_iterations; ++it) {
+    Timer iter_timer;
+    if (trace.on()) trace.iteration_start(it, count_active());
     // Shared atomic counter of updated vertices — the contention pattern
     // the paper criticizes but NetworKit uses.
     std::atomic<std::uint64_t> changed{0};
@@ -72,14 +84,22 @@ ClusteringResult plp(const Graph& g, ThreadPool& pool, const PlpConfig& cfg) {
 
     edges_scanned += local_edges.load();
     ++res.iterations;
+    total_changed += changed.load();
+    if (trace.on()) {
+      trace.iteration_end(it, count_active(), changed.load(),
+                          local_edges.load(), iter_timer.seconds());
+    }
     if (static_cast<double>(changed.load()) <
         cfg.tolerance * static_cast<double>(n)) {
+      converged = true;
       break;
     }
   }
 
   res.edges_scanned = edges_scanned.load();
   res.seconds = timer.seconds();
+  trace.run_end(res.iterations, converged, total_changed, res.edges_scanned,
+                res.seconds);
   return res;
 }
 

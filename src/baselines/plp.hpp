@@ -8,6 +8,7 @@
 
 #include "baselines/result.hpp"
 #include "graph/csr.hpp"
+#include "observe/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace nulpa {
@@ -23,7 +24,13 @@ struct PlpConfig {
   std::uint64_t seed = 1;
 };
 
-ClusteringResult plp(const Graph& g, ThreadPool& pool, const PlpConfig& cfg);
+ClusteringResult plp(const Graph& g, ThreadPool& pool, const PlpConfig& cfg,
+                     observe::Tracer* tracer);
+
+inline ClusteringResult plp(const Graph& g, ThreadPool& pool,
+                            const PlpConfig& cfg) {
+  return plp(g, pool, cfg, nullptr);
+}
 
 inline ClusteringResult plp(const Graph& g, const PlpConfig& cfg) {
   return plp(g, ThreadPool::global(), cfg);

@@ -1,19 +1,13 @@
 // Common result type for every community-detection algorithm in the
 // library (baselines and ν-LPA alike), so benches can sweep them uniformly.
+// The canonical definition is RunReport (core/report.hpp); ClusteringResult
+// remains as the name the baseline signatures were written against.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "graph/csr.hpp"
+#include "core/report.hpp"
 
 namespace nulpa {
 
-struct ClusteringResult {
-  std::vector<Vertex> labels;       // community of each vertex
-  int iterations = 0;               // passes over the vertex set
-  double seconds = 0.0;             // measured wall-clock of the run
-  std::uint64_t edges_scanned = 0;  // algorithm-level work metric
-};
+using ClusteringResult = RunReport;
 
 }  // namespace nulpa

@@ -45,7 +45,8 @@ struct LabelChooser {
 
 }  // namespace
 
-ClusteringResult seq_lpa(const Graph& g, const SeqLpaConfig& cfg) {
+ClusteringResult seq_lpa(const Graph& g, const SeqLpaConfig& cfg,
+                         observe::Tracer* tracer) {
   Timer timer;
   Xoshiro256 rng(cfg.seed);
   const Vertex n = g.num_vertices();
@@ -56,8 +57,14 @@ ClusteringResult seq_lpa(const Graph& g, const SeqLpaConfig& cfg) {
   std::vector<Vertex> next;
   if (!cfg.asynchronous) next = res.labels;
   LabelChooser chooser;
+  const observe::RunTrace trace(tracer, "seq", n, g.num_edges());
+  bool converged = false;
+  std::uint64_t total_changed = 0;
 
   for (int it = 0; it < cfg.max_iterations; ++it) {
+    trace.iteration_start(it, n);  // no pruning: every vertex is swept
+    Timer iter_timer;
+    const std::uint64_t edges0 = res.edges_scanned;
     std::uint64_t changed = 0;
     std::vector<Vertex>& write = cfg.asynchronous ? res.labels : next;
     for (Vertex v = 0; v < n; ++v) {
@@ -70,10 +77,22 @@ ClusteringResult seq_lpa(const Graph& g, const SeqLpaConfig& cfg) {
     }
     if (!cfg.asynchronous) res.labels = next;
     ++res.iterations;
-    if (static_cast<double>(changed) / n < cfg.tolerance) break;
+    total_changed += changed;
+    trace.iteration_end(it, n, changed, res.edges_scanned - edges0,
+                        iter_timer.seconds());
+    if (static_cast<double>(changed) / n < cfg.tolerance) {
+      converged = true;
+      break;
+    }
   }
   res.seconds = timer.seconds();
+  trace.run_end(res.iterations, converged || n == 0, total_changed,
+                res.edges_scanned, res.seconds);
   return res;
+}
+
+ClusteringResult seq_lpa(const Graph& g, const SeqLpaConfig& cfg) {
+  return seq_lpa(g, cfg, nullptr);
 }
 
 }  // namespace nulpa

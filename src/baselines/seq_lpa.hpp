@@ -6,6 +6,7 @@
 
 #include "baselines/result.hpp"
 #include "graph/csr.hpp"
+#include "observe/trace.hpp"
 
 namespace nulpa {
 
@@ -22,6 +23,8 @@ struct SeqLpaConfig {
 };
 
 /// Sequential LPA (Equation 3), processing vertices in ascending id order.
+ClusteringResult seq_lpa(const Graph& g, const SeqLpaConfig& cfg,
+                         observe::Tracer* tracer);
 ClusteringResult seq_lpa(const Graph& g, const SeqLpaConfig& cfg);
 
 }  // namespace nulpa

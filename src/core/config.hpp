@@ -20,6 +20,22 @@ struct SwapPrevention {
   int cross_check_every = 0;  // CC rho; 0 = disabled
 
   [[nodiscard]] std::string label() const;
+
+  // Fluent builders: each returns a modified copy, so configurations can
+  // be assembled in one expression (and from const contexts).
+  [[nodiscard]] SwapPrevention with_pick_less(int every) const {
+    SwapPrevention s = *this;
+    s.pick_less_every = every;
+    return s;
+  }
+  [[nodiscard]] SwapPrevention with_cross_check(int every) const {
+    SwapPrevention s = *this;
+    s.cross_check_every = every;
+    return s;
+  }
+  [[nodiscard]] static SwapPrevention none() {
+    return SwapPrevention{.pick_less_every = 0, .cross_check_every = 0};
+  }
 };
 
 struct NuLpaConfig {
@@ -50,6 +66,50 @@ struct NuLpaConfig {
                             .shared_bytes = 0, .stack_bytes = 1 << 13};
   std::uint32_t bpv_block_dim = 32;
   std::uint32_t bpv_resident_blocks = 1024;
+
+  // Fluent builders mirroring SwapPrevention's: modified-copy style, so
+  // the CLI, benches, and tests can express one-off variations without
+  // mutating a shared default instance.
+  [[nodiscard]] NuLpaConfig with_max_iterations(int n) const {
+    NuLpaConfig c = *this;
+    c.max_iterations = n;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_tolerance(double tau) const {
+    NuLpaConfig c = *this;
+    c.tolerance = tau;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_swap(SwapPrevention s) const {
+    NuLpaConfig c = *this;
+    c.swap = s;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_pruning(bool on) const {
+    NuLpaConfig c = *this;
+    c.pruning = on;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_probing(Probing p) const {
+    NuLpaConfig c = *this;
+    c.probing = p;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_double_values(bool on) const {
+    NuLpaConfig c = *this;
+    c.use_double_values = on;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_shared_memory_tables(bool on) const {
+    NuLpaConfig c = *this;
+    c.shared_memory_tables = on;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_switch_degree(std::uint32_t deg) const {
+    NuLpaConfig c = *this;
+    c.switch_degree = deg;
+    return c;
+  }
 };
 
 }  // namespace nulpa

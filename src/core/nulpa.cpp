@@ -49,11 +49,12 @@ struct BlockScratchLayout {
 template <typename V>
 class Engine {
  public:
-  Engine(const Graph& g, const NuLpaConfig& cfg)
+  Engine(const Graph& g, const NuLpaConfig& cfg, observe::Tracer* tracer)
       : g_(g),
         cfg_(cfg),
         part_(partition_by_degree(g, cfg.switch_degree)),
-        scratch_(cfg.bpv_block_dim) {
+        scratch_(cfg.bpv_block_dim),
+        tracer_(tracer) {
     const Vertex n = g.num_vertices();
     labels_.resize(n);
     for (Vertex v = 0; v < n; ++v) labels_[v] = v;
@@ -85,16 +86,42 @@ class Engine {
     Timer timer;
     NuLpaResult res;
     const Vertex n = g_.num_vertices();
-    if (n == 0) {
-      res.seconds = timer.seconds();
-      return res;
+    const bool tracing = observe::active(tracer_);
+    if (tracing) {
+      observe::TraceEvent ev;
+      ev.kind = observe::EventKind::kRunStart;
+      ev.algo = "nulpa";
+      ev.vertices = n;
+      ev.edges = g_.num_edges();
+      tracer_->record(ev);
     }
+    bool converged = false;
+    std::uint64_t total_changed = 0;
 
-    for (int iter = 0; iter < cfg_.max_iterations; ++iter) {
+    for (int iter = 0; n != 0 && iter < cfg_.max_iterations; ++iter) {
+      iter_ = iter;
       pick_less_ = cfg_.swap.pick_less_every > 0 &&
                    iter % cfg_.swap.pick_less_every == 0;
       const bool cross_check = cfg_.swap.cross_check_every > 0 &&
                                iter % cfg_.swap.cross_check_every == 0;
+
+      // Iteration-span snapshots for the trace deltas. All tracer work is
+      // host-side observation: nothing here touches lane counters or the
+      // label state, so a traced run is bit-identical to an untraced one.
+      simt::PerfCounters iter_ctr0;
+      HashStats iter_hs0;
+      Timer iter_timer;
+      if (tracing) {
+        iter_ctr0 = ctr_.snapshot();
+        iter_hs0 = hstats_;
+        observe::TraceEvent ev;
+        ev.kind = observe::EventKind::kIterationStart;
+        ev.algo = "nulpa";
+        ev.iteration = iter;
+        ev.active_vertices = cfg_.pruning ? count_unprocessed() : n;
+        tracer_->record(ev);
+      }
+
       if (cross_check) {
         prev_labels_ = labels_;
         ctr_.global_loads += n;
@@ -102,26 +129,96 @@ class Engine {
       }
 
       delta_n_ = 0;
-      launch_thread_per_vertex();
-      launch_block_per_vertex();
-      if (cross_check) launch_cross_check();
+      traced_kernel("tpv", part_.low.size(),
+                    [&] { launch_thread_per_vertex(); });
+      traced_kernel("bpv", part_.high.size(),
+                    [&] { launch_block_per_vertex(); });
+      if (cross_check) {
+        traced_kernel("cross-check", n, [&] { launch_cross_check(); });
+      }
 
       ++res.iterations;
+      if (tracing) {
+        total_changed += delta_n_;
+        observe::TraceEvent ev;
+        ev.kind = observe::EventKind::kIterationEnd;
+        ev.algo = "nulpa";
+        ev.iteration = iter;
+        ev.active_vertices = cfg_.pruning ? count_unprocessed() : n;
+        ev.labels_changed = delta_n_;
+        ev.seconds = iter_timer.seconds();
+        ev.has_counters = true;
+        ev.counters = ctr_ - iter_ctr0;
+        ev.hash_stats = hstats_ - iter_hs0;
+        ev.edges_scanned = ev.counters.edges_scanned;
+        tracer_->record(ev);
+      }
       if (!pick_less_ &&
           static_cast<double>(delta_n_) / n < cfg_.tolerance) {
+        converged = true;
         break;
       }
     }
 
     res.labels = std::move(labels_);
+    res.has_counters = true;
     res.counters = ctr_;
     res.hash_stats = hstats_;
     res.edges_scanned = ctr_.edges_scanned;
     res.seconds = timer.seconds();
+    if (tracing) {
+      observe::TraceEvent ev;
+      ev.kind = observe::EventKind::kRunEnd;
+      ev.algo = "nulpa";
+      ev.iterations = res.iterations;
+      ev.converged = converged || n == 0;
+      ev.labels_changed = total_changed;
+      ev.edges_scanned = res.edges_scanned;
+      ev.seconds = res.seconds;
+      ev.has_counters = true;
+      ev.counters = res.counters;
+      ev.hash_stats = res.hash_stats;
+      tracer_->record(ev);
+    }
     return res;
   }
 
  private:
+  /// Vertices still flagged for processing — the pruning frontier the
+  /// tracer reports. Host-side read; deliberately not counted as device
+  /// traffic so traced and untraced runs report identical counters.
+  [[nodiscard]] std::uint64_t count_unprocessed() const {
+    std::uint64_t active = 0;
+    for (const std::uint8_t f : unprocessed_) active += f;
+    return active;
+  }
+
+  /// Runs one kernel launch, recording a kernel_launch event with the
+  /// launch's work-item count and counter delta when a tracer is attached.
+  template <typename F>
+  void traced_kernel(const char* name, std::size_t work_items, F&& fn) {
+    if (!observe::active(tracer_)) {
+      fn();
+      return;
+    }
+    const simt::PerfCounters ctr0 = ctr_.snapshot();
+    const HashStats hs0 = hstats_;
+    Timer t;
+    fn();
+    observe::TraceEvent ev;
+    ev.kind = observe::EventKind::kKernelLaunch;
+    ev.algo = "nulpa";
+    ev.iteration = iter_;
+    ev.kernel = name;
+    ev.work_items = work_items;
+    ev.seconds = t.seconds();
+    ev.has_counters = true;
+    ev.counters = ctr_ - ctr0;
+    ev.hash_stats = hstats_ - hs0;
+    ev.edges_scanned = ev.counters.edges_scanned;
+    tracer_->record(ev);
+  }
+
   // ---- Thread-per-vertex kernel: one lane per low-degree vertex. The
   // syncwarp between the gather and commit phases models warp lockstep —
   // all 32 lanes read neighbour labels before any of them writes, which is
@@ -398,15 +495,22 @@ class Engine {
   HashStats hstats_;
   std::uint32_t delta_n_ = 0;
   bool pick_less_ = false;
+  observe::Tracer* tracer_ = nullptr;
+  int iter_ = 0;
 };
 
 }  // namespace
 
-NuLpaResult nu_lpa(const Graph& g, const NuLpaConfig& cfg) {
+NuLpaResult nu_lpa(const Graph& g, const NuLpaConfig& cfg,
+                   observe::Tracer* tracer) {
   if (cfg.use_double_values) {
-    return Engine<double>(g, cfg).run();
+    return Engine<double>(g, cfg, tracer).run();
   }
-  return Engine<float>(g, cfg).run();
+  return Engine<float>(g, cfg, tracer).run();
+}
+
+NuLpaResult nu_lpa(const Graph& g, const NuLpaConfig& cfg) {
+  return nu_lpa(g, cfg, nullptr);
 }
 
 NuLpaResult nu_lpa(const Graph& g) { return nu_lpa(g, NuLpaConfig{}); }

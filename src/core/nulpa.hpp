@@ -4,26 +4,24 @@
 // kernels.hpp; this header is the public entry point.
 #pragma once
 
-#include <vector>
-
 #include "core/config.hpp"
+#include "core/report.hpp"
 #include "graph/csr.hpp"
-#include "hash/vertex_table.hpp"
-#include "simt/counters.hpp"
+#include "observe/trace.hpp"
 
 namespace nulpa {
 
-struct NuLpaResult {
-  std::vector<Vertex> labels;  // community of each vertex (a vertex id)
-  int iterations = 0;          // LPA iterations executed
-  double seconds = 0.0;        // host wall-clock of the simulated run
-  std::uint64_t edges_scanned = 0;
-  simt::PerfCounters counters;  // simulated hardware events (cost model in)
-  HashStats hash_stats;         // probe/fallback totals
-};
+/// ν-LPA's result is the unified RunReport with `has_counters` set: labels,
+/// iteration count, host wall-clock, plus the simulated hardware events the
+/// cost model consumes and the hashtable probe/fallback totals.
+using NuLpaResult = RunReport;
 
 /// Runs ν-LPA on `g`. Deterministic for a fixed graph and configuration
-/// (the simulator schedules warps in a fixed order).
+/// (the simulator schedules warps in a fixed order). An attached tracer
+/// observes iteration boundaries, kernel launches, and per-iteration
+/// counter deltas; it never alters labels, counters, or convergence.
+NuLpaResult nu_lpa(const Graph& g, const NuLpaConfig& cfg,
+                   observe::Tracer* tracer);
 NuLpaResult nu_lpa(const Graph& g, const NuLpaConfig& cfg);
 NuLpaResult nu_lpa(const Graph& g);
 

@@ -1,0 +1,37 @@
+// The unified result type every algorithm in the library returns. The old
+// per-algorithm result structs (ClusteringResult, NuLpaResult,
+// GunrockSimtResult) are aliases of this one type, so quality metrics,
+// benches, and the CLI consume a single shape regardless of which runner
+// produced it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "hash/vertex_table.hpp"
+#include "simt/counters.hpp"
+
+namespace nulpa {
+
+struct RunReport {
+  std::vector<Vertex> labels;       // community of each vertex
+  int iterations = 0;               // passes over the vertex set
+  double seconds = 0.0;             // measured host wall-clock of the run
+  std::uint64_t edges_scanned = 0;  // algorithm-level work metric
+
+  // Extensions populated only by simulator-backed algorithms (ν-LPA and
+  // the Gunrock-style SIMT baseline). `has_counters` says whether the two
+  // structs below carry real data or their zero defaults.
+  bool has_counters = false;
+  simt::PerfCounters counters{};  // simulated hardware events
+  HashStats hash_stats{};         // probe/fallback totals
+
+  // Modeled wall-clock on each algorithm's reference platform (A100 for
+  // the GPU rows, 32-core Xeon for the multicore rows). Filled by the
+  // registry runners (core/runner.hpp); 0 when the measured `seconds` is
+  // the reported time.
+  double modeled_seconds = 0.0;
+};
+
+}  // namespace nulpa

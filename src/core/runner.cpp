@@ -1,0 +1,162 @@
+#include "core/runner.hpp"
+
+#include <stdexcept>
+
+#include "perfmodel/machine.hpp"
+
+namespace nulpa {
+
+namespace {
+
+// Per-algorithm reference-platform accounting (DESIGN.md "Hardware
+// substitutions"), previously duplicated by bench/compare and the CLI:
+//  * nulpa / gunrock — modeled A100 time from simulator hardware counters
+//    (gunrock's scaled for segmented-sort aggregation and frontier kernels);
+//  * seq / flpa      — measured wall-clock (sequential in the paper too);
+//  * plp / gve       — measured wall-clock scaled to 32 cores at 50%
+//    parallel efficiency;
+//  * louvain         — modeled A100 time from its edge-scan work.
+
+RunReport run_nulpa(const Graph& g, const RunOptions& opts) {
+  RunReport r = nu_lpa(g, opts.nulpa, opts.tracer);
+  r.modeled_seconds = modeled_gpu_seconds(a100(), r.counters);
+  return r;
+}
+
+RunReport run_gve(const Graph& g, const RunOptions& opts) {
+  RunReport r = gve_lpa(g, ThreadPool::global(), opts.gve, opts.tracer);
+  r.modeled_seconds = modeled_cpu_seconds(r.seconds, 32, 0.5);
+  return r;
+}
+
+RunReport run_flpa(const Graph& g, const RunOptions& opts) {
+  RunReport r = flpa(g, opts.flpa, opts.tracer);
+  r.modeled_seconds = r.seconds;
+  return r;
+}
+
+RunReport run_plp(const Graph& g, const RunOptions& opts) {
+  RunReport r = plp(g, ThreadPool::global(), opts.plp, opts.tracer);
+  r.modeled_seconds = modeled_cpu_seconds(r.seconds, 32, 0.5);
+  return r;
+}
+
+RunReport run_seq(const Graph& g, const RunOptions& opts) {
+  RunReport r = seq_lpa(g, opts.seq, opts.tracer);
+  r.modeled_seconds = r.seconds;
+  return r;
+}
+
+RunReport run_gunrock(const Graph& g, const RunOptions& opts) {
+  RunReport r = gunrock_lpa_simt(g, opts.gunrock, opts.tracer);
+  // Gunrock's label aggregation is a segmented *sort* in the real system:
+  // ~4 radix passes, each reading and writing key+value for every edge,
+  // plus the frontier machinery — about 8x the traffic of the hashed
+  // single pass our work-equivalent kernel counts. The report keeps the
+  // raw counters; only the modeled time gets the scaling.
+  simt::PerfCounters scaled = r.counters;
+  scaled.global_loads *= 8;
+  scaled.global_stores *= 8;
+  scaled.kernel_launches *= 4;  // advance / filter / sort / reduce per step
+  r.modeled_seconds = modeled_gpu_seconds(a100(), scaled);
+  return r;
+}
+
+RunReport run_louvain(const Graph& g, const RunOptions& opts) {
+  RunReport r = louvain(g, opts.louvain, opts.tracer);
+  // cuGraph Louvain: per-edge hashmap work plus graph contraction dominate,
+  // and each pass issues dozens of kernels — modeled as 16 words + 2
+  // dependent random accesses per scanned edge and ~25 launches/pass.
+  r.modeled_seconds = modeled_gpu_seconds_from_work(
+      a100(), r.edges_scanned, 25 * r.iterations,
+      /*words_per_edge=*/16.0, /*random_per_edge=*/2.0);
+  return r;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& algorithm_registry() {
+  static const std::vector<AlgorithmInfo> kRegistry = {
+      {"nulpa", "nu-LPA on the SIMT simulator (modeled A100 time)",
+       run_nulpa},
+      {"gve", "GVE-LPA multicore baseline (modeled 32-core time)", run_gve},
+      {"flpa", "Fast LPA, queue-driven sequential (measured time)", run_flpa},
+      {"plp", "NetworKit-style parallel LPA (modeled 32-core time)", run_plp},
+      {"seq", "textbook sequential LPA (measured time)", run_seq},
+      {"gunrock",
+       "Gunrock-style synchronous LPA on the simulator (modeled A100 time)",
+       run_gunrock},
+      {"louvain", "Louvain stand-in for cuGraph (modeled A100 time)",
+       run_louvain},
+  };
+  return kRegistry;
+}
+
+const AlgorithmInfo* find_algorithm(std::string_view name) {
+  for (const auto& info : algorithm_registry()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::string algorithm_names() {
+  std::string names;
+  for (const auto& info : algorithm_registry()) {
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+Probing parse_probing(std::string_view name) {
+  if (name == "linear") return Probing::kLinear;
+  if (name == "quadratic") return Probing::kQuadratic;
+  if (name == "double") return Probing::kDouble;
+  if (name == "quad-double") return Probing::kQuadDouble;
+  if (name == "coalesced") return Probing::kCoalesced;
+  throw std::runtime_error("unknown --probing " + std::string(name));
+}
+
+NuLpaConfig nulpa_config_from_flags(const CommonFlags& flags) {
+  NuLpaConfig cfg =
+      NuLpaConfig{}
+          .with_swap(SwapPrevention{}
+                         .with_pick_less(flags.pick_less)
+                         .with_cross_check(flags.cross_check))
+          .with_switch_degree(flags.switch_degree)
+          .with_probing(parse_probing(flags.probing))
+          .with_double_values(flags.double_values)
+          .with_shared_memory_tables(flags.shared_tables)
+          .with_pruning(flags.pruning);
+  if (flags.tolerance) cfg = cfg.with_tolerance(*flags.tolerance);
+  if (flags.max_iterations) {
+    cfg = cfg.with_max_iterations(*flags.max_iterations);
+  }
+  return cfg;
+}
+
+RunOptions run_options_from_flags(const CommonFlags& flags) {
+  RunOptions opts;
+  opts.nulpa = nulpa_config_from_flags(flags);
+  if (flags.tolerance) {
+    opts.seq.tolerance = *flags.tolerance;
+    opts.plp.tolerance = *flags.tolerance;
+    opts.gve.tolerance = *flags.tolerance;
+    opts.louvain.tolerance = *flags.tolerance;
+  }
+  if (flags.max_iterations) {
+    opts.seq.max_iterations = *flags.max_iterations;
+    opts.plp.max_iterations = *flags.max_iterations;
+    opts.gve.max_iterations = *flags.max_iterations;
+    opts.gunrock.iterations = *flags.max_iterations;
+    opts.louvain.max_passes = *flags.max_iterations;
+  }
+  if (flags.seed) {
+    opts.seq.seed = *flags.seed;
+    opts.flpa.seed = *flags.seed;
+    opts.plp.seed = *flags.seed;
+  }
+  return opts;
+}
+
+}  // namespace nulpa

@@ -1,0 +1,74 @@
+// The uniform algorithm-runner API. Seven algorithms used to expose seven
+// ad-hoc free-function signatures, so every tool (the CLI's --algo chain,
+// bench/compare's sweep, the tests) re-implemented dispatch and flag
+// plumbing. The registry maps each algorithm name to one Runner signature
+// `(const Graph&, const RunOptions&) -> RunReport`; RunOptions carries
+// every per-algorithm config plus the optional tracer, and each registered
+// runner also fills RunReport::modeled_seconds with its reference-platform
+// time (the per-algorithm accounting bench/compare documents).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/flpa.hpp"
+#include "baselines/gunrock_lpa.hpp"
+#include "baselines/gunrock_lpa_simt.hpp"
+#include "baselines/gve_lpa.hpp"
+#include "baselines/louvain.hpp"
+#include "baselines/plp.hpp"
+#include "baselines/seq_lpa.hpp"
+#include "core/config.hpp"
+#include "core/nulpa.hpp"
+#include "core/report.hpp"
+#include "observe/trace.hpp"
+#include "util/cli.hpp"
+
+namespace nulpa {
+
+/// One options bag for every algorithm: a runner reads only its own config
+/// (plus the shared tracer), so callers can fill the whole struct once and
+/// sweep the registry.
+struct RunOptions {
+  NuLpaConfig nulpa{};
+  SeqLpaConfig seq{};
+  FlpaConfig flpa{};
+  PlpConfig plp{};
+  GveLpaConfig gve{};
+  GunrockLpaConfig gunrock{};
+  LouvainConfig louvain{};
+  observe::Tracer* tracer = nullptr;
+};
+
+using Runner = RunReport (*)(const Graph& g, const RunOptions& opts);
+
+struct AlgorithmInfo {
+  std::string_view name;
+  std::string_view description;
+  Runner run;
+};
+
+/// Every registered algorithm, in presentation order: "nulpa", "gve",
+/// "flpa", "plp", "seq", "gunrock", "louvain".
+const std::vector<AlgorithmInfo>& algorithm_registry();
+
+/// Registry lookup; nullptr when `name` is unknown.
+const AlgorithmInfo* find_algorithm(std::string_view name);
+
+/// Comma-separated registered names, for usage/error messages.
+std::string algorithm_names();
+
+/// Probing-policy names as the CLI spells them; throws on unknown names.
+Probing parse_probing(std::string_view name);
+
+/// ν-LPA configuration from the shared flag set.
+NuLpaConfig nulpa_config_from_flags(const CommonFlags& flags);
+
+/// Full options bag from the shared flag set: ν-LPA knobs map onto
+/// NuLpaConfig; tolerance/max-iterations/seed map onto every algorithm
+/// that has the matching knob, preserving per-algorithm defaults when a
+/// flag is absent. The tracer is attached separately by the caller.
+RunOptions run_options_from_flags(const CommonFlags& flags);
+
+}  // namespace nulpa

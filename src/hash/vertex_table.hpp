@@ -23,6 +23,27 @@ struct HashStats {
   std::uint64_t inserts = 0;
   std::uint64_t probes = 0;
   std::uint64_t fallbacks = 0;
+
+  HashStats& operator+=(const HashStats& o) {
+    inserts += o.inserts;
+    probes += o.probes;
+    fallbacks += o.fallbacks;
+    return *this;
+  }
+  /// Span delta between two snapshots (stats only ever grow).
+  HashStats& operator-=(const HashStats& o) {
+    inserts -= o.inserts;
+    probes -= o.probes;
+    fallbacks -= o.fallbacks;
+    return *this;
+  }
+  friend HashStats operator+(HashStats a, const HashStats& b) {
+    return a += b;
+  }
+  friend HashStats operator-(HashStats a, const HashStats& b) {
+    return a -= b;
+  }
+  friend bool operator==(const HashStats&, const HashStats&) = default;
 };
 
 template <typename V>

@@ -1,0 +1,447 @@
+#include "observe/trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace nulpa::observe {
+
+namespace {
+
+constexpr struct {
+  EventKind kind;
+  std::string_view name;
+} kKindNames[] = {
+    {EventKind::kRunStart, "run_start"},
+    {EventKind::kIterationStart, "iteration_start"},
+    {EventKind::kKernelLaunch, "kernel_launch"},
+    {EventKind::kIterationEnd, "iteration_end"},
+    {EventKind::kRunEnd, "run_end"},
+};
+
+/// Counter fields in wire order; shared by the writer and the parser.
+constexpr struct {
+  const char* key;
+  std::uint64_t simt::PerfCounters::* member;
+} kCounterFields[] = {
+    {"c_loads", &simt::PerfCounters::global_loads},
+    {"c_stores", &simt::PerfCounters::global_stores},
+    {"c_sloads", &simt::PerfCounters::shared_loads},
+    {"c_sstores", &simt::PerfCounters::shared_stores},
+    {"c_atomics", &simt::PerfCounters::atomic_ops},
+    {"c_inserts", &simt::PerfCounters::hash_inserts},
+    {"c_probes", &simt::PerfCounters::hash_probes},
+    {"c_fallbacks", &simt::PerfCounters::hash_fallbacks},
+    {"c_wsyncs", &simt::PerfCounters::warp_syncs},
+    {"c_bsyncs", &simt::PerfCounters::block_syncs},
+    {"c_launches", &simt::PerfCounters::kernel_launches},
+    {"c_switches", &simt::PerfCounters::fiber_switches},
+    {"c_edges", &simt::PerfCounters::edges_scanned},
+    {"c_threads", &simt::PerfCounters::threads_run},
+};
+
+/// Accumulates one flat JSON object; keys are emitted in insertion order so
+/// traces diff cleanly between runs.
+class JsonObjectWriter {
+ public:
+  void str(std::string_view key, std::string_view value) {
+    begin(key);
+    os_ << '"';
+    for (const char ch : value) {
+      switch (ch) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        default: os_ << ch;
+      }
+    }
+    os_ << '"';
+  }
+
+  void num(std::string_view key, std::uint64_t value) {
+    begin(key);
+    os_ << value;
+  }
+
+  void num(std::string_view key, int value) {
+    begin(key);
+    os_ << value;
+  }
+
+  void num(std::string_view key, double value) {
+    begin(key);
+    // max_digits10 keeps seconds round-trippable; JSON has no Inf/NaN.
+    os_ << fmt(value, 17);
+  }
+
+  void boolean(std::string_view key, bool value) {
+    begin(key);
+    os_ << (value ? "true" : "false");
+  }
+
+  [[nodiscard]] std::string finish() {
+    os_ << '}';
+    return os_.str();
+  }
+
+ private:
+  void begin(std::string_view key) {
+    os_ << (first_ ? '{' : ',') << '"' << key << "\":";
+    first_ = false;
+  }
+
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+void write_counters(JsonObjectWriter& w, const TraceEvent& ev,
+                    const std::optional<MachineModel>& model) {
+  if (!ev.has_counters) return;
+  for (const auto& f : kCounterFields) w.num(f.key, ev.counters.*f.member);
+  w.num("h_inserts", ev.hash_stats.inserts);
+  w.num("h_probes", ev.hash_stats.probes);
+  w.num("h_fallbacks", ev.hash_stats.fallbacks);
+  if (model) {
+    const GpuCostBreakdown b = modeled_gpu_breakdown(*model, ev.counters);
+    w.num("m_total_s", b.total());
+    w.num("m_stream_s", b.stream_s);
+    w.num("m_random_s", b.random_s);
+    w.num("m_atomic_s", b.atomic_s);
+    w.num("m_launch_s", b.launch_s);
+    w.num("m_shared_s", b.shared_s);
+  } else if (ev.modeled_seconds > 0.0) {
+    w.num("m_total_s", ev.modeled_seconds);
+  }
+}
+
+// ---- Minimal parser for the flat JSON objects JsonlEmitter writes. Values
+// are strings, numbers, or booleans; nesting is not part of the schema.
+
+[[noreturn]] void malformed(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("trace line " + std::to_string(line_no) +
+                           ": " + why);
+}
+
+struct FlatJson {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, std::string> numbers;  // raw text, converted per use
+  std::map<std::string, bool> bools;
+  std::size_t line_no = 0;
+
+  // Conversions funnel std::sto* failures (invalid_argument/out_of_range)
+  // into the parser's uniform runtime_error so callers catch one type.
+  template <typename F>
+  auto convert(const std::string& key, const std::string& raw, F&& fn) const {
+    try {
+      return fn(raw);
+    } catch (const std::exception&) {
+      malformed(line_no, "bad number \"" + raw + "\" for " + key);
+    }
+  }
+  [[nodiscard]] std::uint64_t u64(const std::string& key) const {
+    const auto it = numbers.find(key);
+    if (it == numbers.end()) return 0;
+    return convert(key, it->second,
+                   [](const std::string& s) { return std::stoull(s); });
+  }
+  [[nodiscard]] double f64(const std::string& key) const {
+    const auto it = numbers.find(key);
+    if (it == numbers.end()) return 0.0;
+    return convert(key, it->second,
+                   [](const std::string& s) { return std::stod(s); });
+  }
+  [[nodiscard]] int i32(const std::string& key, int fallback) const {
+    const auto it = numbers.find(key);
+    if (it == numbers.end()) return fallback;
+    return convert(key, it->second,
+                   [](const std::string& s) { return std::stoi(s); });
+  }
+  [[nodiscard]] std::string str(const std::string& key) const {
+    const auto it = strings.find(key);
+    return it == strings.end() ? std::string{} : it->second;
+  }
+};
+
+FlatJson parse_flat_object(const std::string& line, std::size_t line_no) {
+  FlatJson out;
+  out.line_no = line_no;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  const auto expect = [&](char ch) {
+    skip_ws();
+    if (i >= line.size() || line[i] != ch) {
+      malformed(line_no, std::string("expected '") + ch + "'");
+    }
+    ++i;
+  };
+  const auto parse_string = [&]() -> std::string {
+    expect('"');
+    std::string s;
+    while (i < line.size() && line[i] != '"') {
+      char ch = line[i++];
+      if (ch == '\\' && i < line.size()) {
+        const char esc = line[i++];
+        ch = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+      }
+      s.push_back(ch);
+    }
+    expect('"');
+    return s;
+  };
+
+  expect('{');
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return out;
+  while (true) {
+    const std::string key = parse_string();
+    expect(':');
+    skip_ws();
+    if (i >= line.size()) malformed(line_no, "truncated value");
+    if (line[i] == '"') {
+      out.strings[key] = parse_string();
+    } else if (line.compare(i, 4, "true") == 0) {
+      out.bools[key] = true;
+      i += 4;
+    } else if (line.compare(i, 5, "false") == 0) {
+      out.bools[key] = false;
+      i += 5;
+    } else {
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      std::string raw = line.substr(start, i - start);
+      while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t')) {
+        raw.pop_back();
+      }
+      if (raw.empty()) malformed(line_no, "empty value for " + key);
+      out.numbers[key] = raw;
+    }
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  expect('}');
+  return out;
+}
+
+}  // namespace
+
+std::string_view kind_name(EventKind kind) noexcept {
+  for (const auto& k : kKindNames) {
+    if (k.kind == kind) return k.name;
+  }
+  return "unknown";
+}
+
+bool kind_from_name(std::string_view name, EventKind& out) noexcept {
+  for (const auto& k : kKindNames) {
+    if (k.name == name) {
+      out = k.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void JsonlEmitter::record(const TraceEvent& ev) {
+  JsonObjectWriter w;
+  w.str("kind", kind_name(ev.kind));
+  w.str("algo", ev.algo);
+  if (!ev.context.empty()) w.str("context", ev.context);
+  if (ev.iteration >= 0) w.num("iter", ev.iteration);
+
+  switch (ev.kind) {
+    case EventKind::kRunStart:
+      w.num("vertices", ev.vertices);
+      w.num("edges", ev.edges);
+      break;
+    case EventKind::kIterationStart:
+      w.num("active", ev.active_vertices);
+      break;
+    case EventKind::kKernelLaunch:
+      w.str("kernel", ev.kernel);
+      w.num("work_items", ev.work_items);
+      w.num("changed", ev.labels_changed);
+      w.num("edges_scanned", ev.edges_scanned);
+      w.num("seconds", ev.seconds);
+      write_counters(w, ev, model_);
+      break;
+    case EventKind::kIterationEnd:
+      w.num("active", ev.active_vertices);
+      w.num("changed", ev.labels_changed);
+      w.num("edges_scanned", ev.edges_scanned);
+      w.num("seconds", ev.seconds);
+      write_counters(w, ev, model_);
+      break;
+    case EventKind::kRunEnd:
+      w.num("iterations", ev.iterations);
+      w.boolean("converged", ev.converged);
+      w.num("changed", ev.labels_changed);
+      w.num("edges_scanned", ev.edges_scanned);
+      w.num("seconds", ev.seconds);
+      write_counters(w, ev, model_);
+      break;
+  }
+  os_ << w.finish() << '\n';
+}
+
+void TableEmitter::record(const TraceEvent& ev) {
+  pending_.push_back(ev);
+  if (ev.kind == EventKind::kRunEnd) flush();
+}
+
+void TableEmitter::flush() {
+  if (pending_.empty()) return;
+  print_iteration_table(pending_, os_, model_);
+  pending_.clear();
+}
+
+std::vector<TraceEvent> parse_trace_jsonl(std::istream& is) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const FlatJson obj = parse_flat_object(line, line_no);
+
+    TraceEvent ev;
+    if (!kind_from_name(obj.str("kind"), ev.kind)) {
+      malformed(line_no, "unknown kind \"" + obj.str("kind") + "\"");
+    }
+    ev.algo = obj.str("algo");
+    ev.context = obj.str("context");
+    ev.kernel = obj.str("kernel");
+    ev.iteration = obj.i32("iter", -1);
+    ev.vertices = obj.u64("vertices");
+    ev.edges = obj.u64("edges");
+    ev.active_vertices = obj.u64("active");
+    ev.work_items = obj.u64("work_items");
+    ev.labels_changed = obj.u64("changed");
+    ev.edges_scanned = obj.u64("edges_scanned");
+    ev.seconds = obj.f64("seconds");
+    ev.iterations = obj.i32("iterations", 0);
+    ev.modeled_seconds = obj.f64("m_total_s");
+    if (const auto it = obj.bools.find("converged"); it != obj.bools.end()) {
+      ev.converged = it->second;
+    }
+    if (obj.numbers.contains("c_loads")) {
+      ev.has_counters = true;
+      for (const auto& f : kCounterFields) {
+        ev.counters.*f.member = obj.u64(f.key);
+      }
+      ev.hash_stats.inserts = obj.u64("h_inserts");
+      ev.hash_stats.probes = obj.u64("h_probes");
+      ev.hash_stats.fallbacks = obj.u64("h_fallbacks");
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+void print_iteration_table(const std::vector<TraceEvent>& events,
+                           std::ostream& os,
+                           const std::optional<MachineModel>& model) {
+  const auto modeled = [&](const TraceEvent& ev) -> double {
+    if (ev.has_counters && model) {
+      return modeled_gpu_breakdown(*model, ev.counters).total();
+    }
+    return ev.modeled_seconds;
+  };
+  // Probe counts live in the host-side HashStats for ν-LPA's per-vertex
+  // tables and in the device counters for kernels that count them in-lane;
+  // the two views never both populate, so take whichever is nonzero.
+  const auto probes = [](const TraceEvent& ev) -> std::uint64_t {
+    return std::max(ev.hash_stats.probes, ev.counters.hash_probes);
+  };
+
+  // Split the stream into runs at run_start boundaries; a stream without
+  // run markers renders as one anonymous run.
+  std::size_t i = 0;
+  while (i < events.size()) {
+    std::size_t end = i + 1;
+    while (end < events.size() &&
+           events[end].kind != EventKind::kRunStart) {
+      ++end;
+    }
+
+    const TraceEvent& head = events[i];
+    os << "== " << (head.algo.empty() ? "trace" : head.algo);
+    if (!head.context.empty()) os << " on " << head.context;
+    if (head.kind == EventKind::kRunStart) {
+      os << " (" << head.vertices << " vertices, " << head.edges
+         << " arcs)";
+    }
+    os << '\n';
+
+    TextTable table({"iter", "active", "changed", "edges", "mem words",
+                     "atomics", "probes", "host s", "model s"});
+    TraceEvent total;
+    total.has_counters = false;
+    const TraceEvent* run_end = nullptr;
+    std::vector<std::string> kernels;
+    for (std::size_t k = i; k < end; ++k) {
+      const TraceEvent& ev = events[k];
+      if (ev.kind == EventKind::kRunEnd) run_end = &ev;
+      if (ev.kind == EventKind::kKernelLaunch && ev.iteration == 0) {
+        kernels.push_back(ev.kernel + "(" +
+                          fmt_count(static_cast<double>(ev.work_items)) +
+                          ")");
+      }
+      if (ev.kind != EventKind::kIterationEnd) continue;
+      const std::uint64_t words =
+          ev.counters.global_loads + ev.counters.global_stores +
+          ev.counters.shared_loads + ev.counters.shared_stores;
+      table.add_row({std::to_string(ev.iteration),
+                     fmt_count(static_cast<double>(ev.active_vertices)),
+                     fmt_count(static_cast<double>(ev.labels_changed)),
+                     fmt_count(static_cast<double>(ev.edges_scanned)),
+                     fmt_count(static_cast<double>(words)),
+                     fmt_count(static_cast<double>(ev.counters.atomic_ops)),
+                     fmt_count(static_cast<double>(probes(ev))),
+                     fmt(ev.seconds, 3), fmt(modeled(ev), 3)});
+      total.labels_changed += ev.labels_changed;
+      total.edges_scanned += ev.edges_scanned;
+      total.seconds += ev.seconds;
+      total.counters += ev.counters;
+      total.hash_stats += ev.hash_stats;
+      total.has_counters = total.has_counters || ev.has_counters;
+      total.modeled_seconds += modeled(ev);
+    }
+    const std::uint64_t total_words =
+        total.counters.global_loads + total.counters.global_stores +
+        total.counters.shared_loads + total.counters.shared_stores;
+    table.add_row({"total", "",
+                   fmt_count(static_cast<double>(total.labels_changed)),
+                   fmt_count(static_cast<double>(total.edges_scanned)),
+                   fmt_count(static_cast<double>(total_words)),
+                   fmt_count(static_cast<double>(total.counters.atomic_ops)),
+                   fmt_count(static_cast<double>(probes(total))),
+                   fmt(total.seconds, 3), fmt(total.modeled_seconds, 3)});
+    table.print(os);
+    if (!kernels.empty()) {
+      os << "kernels at iter 0:";
+      for (const std::string& k : kernels) os << ' ' << k;
+      os << '\n';
+    }
+    if (run_end != nullptr) {
+      os << (run_end->converged ? "converged" : "stopped") << " after "
+         << run_end->iterations << " iterations\n";
+    }
+    os << '\n';
+    i = end;
+  }
+}
+
+}  // namespace nulpa::observe

@@ -1,0 +1,274 @@
+// Iteration-level observability for every algorithm in the library.
+//
+// The paper's headline effects (PL4 breaking community-swap livelock, the
+// hybrid probing scheme cutting probe chains, the switch-degree kernel
+// split) are all per-iteration phenomena, but results only carry end-of-run
+// aggregates. This subsystem records a TraceEvent stream — run/iteration
+// boundaries, kernel launches with their TPV/BPV split sizes, label-change
+// and active-vertex counts, per-span PerfCounters and hashtable deltas —
+// behind a Tracer interface that costs nothing when no tracer is attached
+// (producers guard every event behind observe::active(tracer)).
+//
+// Sinks: JsonlEmitter (one JSON object per line, machine-readable),
+// TableEmitter (human-readable per-iteration table), CollectingTracer
+// (in-memory, for tests and the `nulpa trace-summary` subcommand), and
+// MultiTracer (fan-out). parse_trace_jsonl() reads back what JsonlEmitter
+// wrote.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hash/vertex_table.hpp"
+#include "perfmodel/machine.hpp"
+#include "simt/counters.hpp"
+
+namespace nulpa::observe {
+
+enum class EventKind : std::uint8_t {
+  kRunStart,
+  kIterationStart,
+  kKernelLaunch,
+  kIterationEnd,
+  kRunEnd,
+};
+
+/// Stable wire name of a kind ("run_start", "iteration_end", ...).
+std::string_view kind_name(EventKind kind) noexcept;
+
+/// Inverse of kind_name. Returns false on an unknown name.
+bool kind_from_name(std::string_view name, EventKind& out) noexcept;
+
+/// One observation. Which fields are meaningful depends on `kind`; unused
+/// fields keep their zero defaults and are omitted from the JSONL wire
+/// format (see DESIGN.md "Trace schema" for the field table).
+struct TraceEvent {
+  EventKind kind = EventKind::kIterationEnd;
+  std::string algo;     // algorithm that produced the event
+  std::string context;  // caller-set run label (e.g. graph name); optional
+  int iteration = -1;   // 0-based; -1 on run-level events
+
+  // kRunStart: problem size.
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+
+  // kIterationStart / kIterationEnd: vertices eligible for processing this
+  // sweep (|V| when the algorithm has no pruning).
+  std::uint64_t active_vertices = 0;
+
+  // kKernelLaunch: which kernel and how many work items it covers (for
+  // ν-LPA: "tpv" low-degree lanes, "bpv" high-degree blocks, "cross-check").
+  std::string kernel;
+  std::uint64_t work_items = 0;
+
+  // kKernelLaunch / kIterationEnd / kRunEnd: span totals.
+  std::uint64_t labels_changed = 0;
+  std::uint64_t edges_scanned = 0;
+  double seconds = 0.0;  // host wall-clock of the span
+
+  // Simulator-backed algorithms: hardware-event deltas for the span.
+  bool has_counters = false;
+  simt::PerfCounters counters{};
+  HashStats hash_stats{};
+
+  // Cost-model seconds of the span (filled by emitters from `counters`
+  // when they carry a machine model, and by the JSONL parser on read).
+  double modeled_seconds = 0.0;
+
+  // kRunEnd: final report shape.
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Event sink. Producers emit through a `Tracer*` that is nullptr by
+/// default; observe::active() keeps the disabled path to one pointer test.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  /// Sinks may report false to let producers skip event construction
+  /// entirely (MultiTracer with no live sinks, for example).
+  [[nodiscard]] virtual bool enabled() const noexcept { return true; }
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// The producer-side guard: `if (observe::active(tracer)) { ...record... }`.
+[[nodiscard]] inline bool active(const Tracer* t) noexcept {
+  return t != nullptr && t->enabled();
+}
+
+/// Buffers events in memory; the sink for tests and programmatic analysis.
+class CollectingTracer : public Tracer {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Writes one JSON object per event (JSON lines). When constructed with a
+/// machine model, counter-carrying events also get the cost-model seconds
+/// breakdown (m_total_s, m_stream_s, m_random_s, m_atomic_s, m_launch_s,
+/// m_shared_s).
+class JsonlEmitter : public Tracer {
+ public:
+  explicit JsonlEmitter(std::ostream& os,
+                        std::optional<MachineModel> model = std::nullopt)
+      : os_(os), model_(std::move(model)) {}
+
+  void record(const TraceEvent& event) override;
+
+ private:
+  std::ostream& os_;
+  std::optional<MachineModel> model_;
+};
+
+/// Buffers a run's events and prints a per-iteration table at run end (or
+/// on flush() for truncated streams).
+class TableEmitter : public Tracer {
+ public:
+  explicit TableEmitter(std::ostream& os,
+                        std::optional<MachineModel> model = std::nullopt)
+      : os_(os), model_(std::move(model)) {}
+  ~TableEmitter() override { flush(); }
+
+  void record(const TraceEvent& event) override;
+  void flush();
+
+ private:
+  std::ostream& os_;
+  std::optional<MachineModel> model_;
+  std::vector<TraceEvent> pending_;
+};
+
+/// Producer-side wrapper for the common run/iteration emission pattern the
+/// baselines share. All methods are no-ops when no tracer is attached;
+/// check on() before doing any work whose only purpose is the event (e.g.
+/// counting active vertices).
+class RunTrace {
+ public:
+  RunTrace(Tracer* tracer, std::string algo, std::uint64_t vertices,
+           std::uint64_t edges)
+      : tracer_(tracer), algo_(std::move(algo)) {
+    if (!on()) return;
+    TraceEvent ev = make(EventKind::kRunStart, -1);
+    ev.vertices = vertices;
+    ev.edges = edges;
+    tracer_->record(ev);
+  }
+
+  [[nodiscard]] bool on() const noexcept { return active(tracer_); }
+
+  /// Event pre-filled with kind, algorithm, and iteration — for producers
+  /// that attach extra payload (counters, kernel info) before record().
+  [[nodiscard]] TraceEvent make(EventKind kind, int iteration) const {
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.algo = algo_;
+    ev.iteration = iteration;
+    return ev;
+  }
+
+  void record(const TraceEvent& ev) const {
+    if (on()) tracer_->record(ev);
+  }
+
+  void iteration_start(int iteration, std::uint64_t active_vertices) const {
+    if (!on()) return;
+    TraceEvent ev = make(EventKind::kIterationStart, iteration);
+    ev.active_vertices = active_vertices;
+    tracer_->record(ev);
+  }
+
+  void iteration_end(int iteration, std::uint64_t active_vertices,
+                     std::uint64_t labels_changed,
+                     std::uint64_t edges_scanned, double seconds) const {
+    if (!on()) return;
+    TraceEvent ev = make(EventKind::kIterationEnd, iteration);
+    ev.active_vertices = active_vertices;
+    ev.labels_changed = labels_changed;
+    ev.edges_scanned = edges_scanned;
+    ev.seconds = seconds;
+    tracer_->record(ev);
+  }
+
+  void run_end(int iterations, bool converged, std::uint64_t labels_changed,
+               std::uint64_t edges_scanned, double seconds) const {
+    if (!on()) return;
+    TraceEvent ev = make(EventKind::kRunEnd, -1);
+    ev.iterations = iterations;
+    ev.converged = converged;
+    ev.labels_changed = labels_changed;
+    ev.edges_scanned = edges_scanned;
+    ev.seconds = seconds;
+    tracer_->record(ev);
+  }
+
+ private:
+  Tracer* tracer_;
+  std::string algo_;
+};
+
+/// Stamps a caller-supplied context (e.g. dataset name) on every event
+/// before forwarding — for the bench harnesses, which stream many graphs'
+/// runs into one trace file.
+class ContextTracer : public Tracer {
+ public:
+  ContextTracer(Tracer* sink, std::string context)
+      : sink_(sink), context_(std::move(context)) {}
+  [[nodiscard]] bool enabled() const noexcept override {
+    return active(sink_);
+  }
+  void record(const TraceEvent& event) override {
+    TraceEvent ev = event;
+    ev.context = context_;
+    sink_->record(ev);
+  }
+
+ private:
+  Tracer* sink_;
+  std::string context_;
+};
+
+/// Fan-out to several sinks; used when both --trace and --metrics are set.
+class MultiTracer : public Tracer {
+ public:
+  void add(Tracer* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  [[nodiscard]] bool enabled() const noexcept override {
+    for (const Tracer* s : sinks_) {
+      if (s->enabled()) return true;
+    }
+    return false;
+  }
+  void record(const TraceEvent& event) override {
+    for (Tracer* s : sinks_) {
+      if (s->enabled()) s->record(event);
+    }
+  }
+
+ private:
+  std::vector<Tracer*> sinks_;
+};
+
+/// Parses a JSONL trace back into events (inverse of JsonlEmitter for the
+/// fields the schema defines; unknown keys are ignored). Throws
+/// std::runtime_error on malformed lines.
+std::vector<TraceEvent> parse_trace_jsonl(std::istream& is);
+
+/// Renders the per-iteration table for a (possibly multi-run) event stream:
+/// one table per run_start/run_end span, plus totals. Both `nulpa
+/// trace-summary` and TableEmitter print through this.
+void print_iteration_table(const std::vector<TraceEvent>& events,
+                           std::ostream& os,
+                           const std::optional<MachineModel>& model);
+
+}  // namespace nulpa::observe

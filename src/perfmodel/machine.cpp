@@ -26,37 +26,40 @@ MachineModel xeon_gold_6226r_dual() {
   };
 }
 
-double modeled_gpu_seconds(const MachineModel& m,
-                           const simt::PerfCounters& c) {
+GpuCostBreakdown modeled_gpu_breakdown(const MachineModel& m,
+                                       const simt::PerfCounters& c) {
+  GpuCostBreakdown b;
   // Word-granular counters; labels/weights are 32-bit (Section 5.1.2).
   const double bytes = 4.0 * static_cast<double>(c.global_loads +
                                                  c.global_stores);
-  const double t_stream = bytes / m.mem_bandwidth_Bps;
+  b.stream_s = bytes / m.mem_bandwidth_Bps;
 
   // Every hash insert is one random access; every extra probe is another,
   // and divergent re-probes serialize the warp, so they cost ~2x.
   const double random =
       static_cast<double>(c.hash_inserts) +
       2.0 * static_cast<double>(c.hash_probes + 8 * c.hash_fallbacks);
-  const double t_random = random / m.random_access_per_s;
+  b.random_s = random / m.random_access_per_s;
 
-  const double t_atomic =
-      static_cast<double>(c.atomic_ops) / m.atomic_per_s;
+  b.atomic_s = static_cast<double>(c.atomic_ops) / m.atomic_per_s;
 
-  const double t_launch =
-      static_cast<double>(c.kernel_launches) * m.kernel_launch_s;
+  b.launch_s = static_cast<double>(c.kernel_launches) * m.kernel_launch_s;
 
   // Shared memory runs an order of magnitude faster than HBM on the A100
   // (aggregate ~19 TB/s): charge it separately so shared-table variants
   // model correctly.
   const double shared_bytes =
       4.0 * static_cast<double>(c.shared_loads + c.shared_stores);
-  const double t_shared = shared_bytes / 1.6e13;
+  b.shared_s = shared_bytes / 1.6e13;
+  return b;
+}
 
+double modeled_gpu_seconds(const MachineModel& m,
+                           const simt::PerfCounters& c) {
   // Additive bottleneck model: streaming traffic, dependent random
   // accesses (hashtable probes serialize divergent warps and cannot hide
   // behind the streams), and atomics each contribute.
-  return t_launch + t_stream + t_random + t_atomic + t_shared;
+  return modeled_gpu_breakdown(m, c).total();
 }
 
 double modeled_gpu_seconds_from_work(const MachineModel& m,

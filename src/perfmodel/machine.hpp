@@ -28,11 +28,31 @@ MachineModel a100();
 /// Dual Intel Xeon Gold 6226R (2 x 16 cores @ 2.9 GHz), the paper's CPU box.
 MachineModel xeon_gold_6226r_dual();
 
+/// Per-resource components of a modeled GPU kernel time: launch overhead,
+/// streaming traffic, dependent random accesses, atomics, and shared-memory
+/// traffic. The trace layer emits these per iteration so a reviewer can see
+/// which resource binds where inside a run, not just the end-of-run total.
+struct GpuCostBreakdown {
+  double launch_s = 0.0;
+  double stream_s = 0.0;
+  double random_s = 0.0;
+  double atomic_s = 0.0;
+  double shared_s = 0.0;
+
+  [[nodiscard]] double total() const {
+    return launch_s + stream_s + random_s + atomic_s + shared_s;
+  }
+};
+
+GpuCostBreakdown modeled_gpu_breakdown(const MachineModel& m,
+                                       const simt::PerfCounters& c);
+
 /// Modeled GPU kernel time from simulator counters: launch overhead plus
 /// the largest of the bandwidth, random-access, and atomic bottlenecks
 /// (graph kernels are memory-bound, so the binding resource dominates).
 /// Hash probes beyond the first slot serialize divergent warps, so they are
 /// charged as additional random accesses with a divergence factor.
+/// Equals modeled_gpu_breakdown(m, c).total().
 double modeled_gpu_seconds(const MachineModel& m,
                            const simt::PerfCounters& c);
 

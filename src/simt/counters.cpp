@@ -1,16 +1,67 @@
 #include "simt/counters.hpp"
 
+#include <istream>
 #include <ostream>
+#include <string>
 
 namespace nulpa::simt {
 
+namespace {
+
+/// Field table shared by the stream inserter and extractor so the two stay
+/// in sync (the round-trip property the tests pin down).
+struct Field {
+  const char* key;
+  std::uint64_t PerfCounters::* member;
+};
+
+constexpr Field kFields[] = {
+    {"loads", &PerfCounters::global_loads},
+    {"stores", &PerfCounters::global_stores},
+    {"sloads", &PerfCounters::shared_loads},
+    {"sstores", &PerfCounters::shared_stores},
+    {"atomics", &PerfCounters::atomic_ops},
+    {"inserts", &PerfCounters::hash_inserts},
+    {"probes", &PerfCounters::hash_probes},
+    {"fallbacks", &PerfCounters::hash_fallbacks},
+    {"wsyncs", &PerfCounters::warp_syncs},
+    {"bsyncs", &PerfCounters::block_syncs},
+    {"launches", &PerfCounters::kernel_launches},
+    {"switches", &PerfCounters::fiber_switches},
+    {"edges", &PerfCounters::edges_scanned},
+    {"threads", &PerfCounters::threads_run},
+};
+
+}  // namespace
+
 std::ostream& operator<<(std::ostream& os, const PerfCounters& c) {
-  os << "loads=" << c.global_loads << " stores=" << c.global_stores
-     << " atomics=" << c.atomic_ops << " probes=" << c.hash_probes
-     << " inserts=" << c.hash_inserts << " fallbacks=" << c.hash_fallbacks
-     << " edges=" << c.edges_scanned << " launches=" << c.kernel_launches
-     << " switches=" << c.fiber_switches;
+  bool first = true;
+  for (const Field& f : kFields) {
+    if (!first) os << ' ';
+    os << f.key << '=' << c.*f.member;
+    first = false;
+  }
   return os;
+}
+
+std::istream& operator>>(std::istream& is, PerfCounters& c) {
+  c.reset();
+  // Exactly one token per field, in any order — reading a fixed count (not
+  // until extraction fails) leaves the stream usable for whatever follows.
+  std::string token;
+  for (std::size_t n = 0; n < std::size(kFields); ++n) {
+    if (!(is >> token)) return is;
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = token.substr(0, eq);
+    for (const Field& f : kFields) {
+      if (key == f.key) {
+        c.*f.member = std::stoull(token.substr(eq + 1));
+        break;
+      }
+    }
+  }
+  return is;
 }
 
 }  // namespace nulpa::simt

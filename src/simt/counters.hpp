@@ -31,6 +31,9 @@ struct PerfCounters {
 
   void reset() { *this = PerfCounters{}; }
 
+  /// Copy of the current totals; subtract two snapshots for a span delta.
+  [[nodiscard]] PerfCounters snapshot() const { return *this; }
+
   PerfCounters& operator+=(const PerfCounters& o) {
     global_loads += o.global_loads;
     global_stores += o.global_stores;
@@ -48,8 +51,40 @@ struct PerfCounters {
     threads_run += o.threads_run;
     return *this;
   }
+
+  /// Per-span delta: counters only ever grow, so `later -= earlier` is the
+  /// work done between two snapshots (the per-iteration quantities the
+  /// trace layer records).
+  PerfCounters& operator-=(const PerfCounters& o) {
+    global_loads -= o.global_loads;
+    global_stores -= o.global_stores;
+    shared_loads -= o.shared_loads;
+    shared_stores -= o.shared_stores;
+    atomic_ops -= o.atomic_ops;
+    hash_inserts -= o.hash_inserts;
+    hash_probes -= o.hash_probes;
+    hash_fallbacks -= o.hash_fallbacks;
+    warp_syncs -= o.warp_syncs;
+    block_syncs -= o.block_syncs;
+    kernel_launches -= o.kernel_launches;
+    fiber_switches -= o.fiber_switches;
+    edges_scanned -= o.edges_scanned;
+    threads_run -= o.threads_run;
+    return *this;
+  }
+
+  friend PerfCounters operator+(PerfCounters a, const PerfCounters& b) {
+    return a += b;
+  }
+  friend PerfCounters operator-(PerfCounters a, const PerfCounters& b) {
+    return a -= b;
+  }
+  friend bool operator==(const PerfCounters&, const PerfCounters&) = default;
 };
 
+/// Writes every field as `key=value` tokens; operator>> parses the same
+/// format back (tokens may appear in any order, unknown keys are skipped).
 std::ostream& operator<<(std::ostream& os, const PerfCounters& c);
+std::istream& operator>>(std::istream& is, PerfCounters& c);
 
 }  // namespace nulpa::simt

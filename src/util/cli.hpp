@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -24,7 +25,9 @@ class CliArgs {
       if (auto eq = arg.find('='); eq != std::string_view::npos) {
         options_[std::string(arg.substr(0, eq))] =
             std::string(arg.substr(eq + 1));
-      } else if (i + 1 < argc && std::string_view(argv[i + 1])[0] != '-') {
+      } else if (i + 1 < argc && (std::string_view(argv[i + 1]) == "-" ||
+                                  std::string_view(argv[i + 1])[0] != '-')) {
+        // A lone "-" is a value (conventionally stdout/stdin), not a flag.
         options_[std::string(arg)] = argv[++i];
       } else {
         options_[std::string(arg)] = "true";  // bare flag
@@ -68,5 +71,56 @@ class CliArgs {
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };
+
+/// The algorithm-facing flags the CLI, benches, and tests all accept,
+/// parsed once by parse_common_flags() instead of each tool re-reading the
+/// raw CliArgs. ν-LPA-specific knobs carry the paper's defaults;
+/// cross-algorithm knobs stay unset (std::nullopt) unless given so every
+/// algorithm keeps its own published default.
+struct CommonFlags {
+  std::string algo = "nulpa";  // --algo
+
+  // ν-LPA knobs (paper's final design).
+  int pick_less = 4;                      // --pick-less
+  int cross_check = 0;                    // --cross-check
+  std::uint32_t switch_degree = 32;       // --switch-degree
+  std::string probing = "quad-double";    // --probing
+  bool double_values = false;             // --double-values
+  bool shared_tables = false;             // --shared-tables
+  bool pruning = true;                    // --pruning
+
+  // Cross-algorithm knobs.
+  std::optional<double> tolerance;        // --tolerance
+  std::optional<int> max_iterations;      // --max-iterations
+  std::optional<std::uint64_t> seed;      // --seed (tie-break RNG)
+
+  // Observability sinks (empty = disabled; "-" = stdout).
+  std::string trace_file;    // --trace FILE -> JSONL event stream
+  std::string metrics_file;  // --metrics FILE -> per-iteration table
+};
+
+inline CommonFlags parse_common_flags(const CliArgs& args) {
+  CommonFlags f;
+  f.algo = args.get("algo", f.algo);
+  f.pick_less = static_cast<int>(args.get_int("pick-less", f.pick_less));
+  f.cross_check =
+      static_cast<int>(args.get_int("cross-check", f.cross_check));
+  f.switch_degree = static_cast<std::uint32_t>(
+      args.get_int("switch-degree", f.switch_degree));
+  f.probing = args.get("probing", f.probing);
+  f.double_values = args.get_bool("double-values", f.double_values);
+  f.shared_tables = args.get_bool("shared-tables", f.shared_tables);
+  f.pruning = args.get_bool("pruning", f.pruning);
+  if (args.has("tolerance")) f.tolerance = args.get_double("tolerance", 0.0);
+  if (args.has("max-iterations")) {
+    f.max_iterations = static_cast<int>(args.get_int("max-iterations", 0));
+  }
+  if (args.has("seed")) {
+    f.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  }
+  f.trace_file = args.get("trace", "");
+  f.metrics_file = args.get("metrics", "");
+  return f;
+}
 
 }  // namespace nulpa

@@ -139,5 +139,53 @@ TEST(Counters, AccumulateAndReset) {
   EXPECT_EQ(a.global_loads, 0u);
 }
 
+TEST(Counters, SnapshotDeltaIsolatesASpan) {
+  // The pattern every traced kernel uses: snapshot before, subtract after.
+  simt::PerfCounters live;
+  live.global_loads = 100;
+  live.atomic_ops = 10;
+  const simt::PerfCounters before = live.snapshot();
+  live.global_loads += 40;
+  live.atomic_ops += 5;
+  live.hash_probes += 7;
+  const simt::PerfCounters delta = live - before;
+  EXPECT_EQ(delta.global_loads, 40u);
+  EXPECT_EQ(delta.atomic_ops, 5u);
+  EXPECT_EQ(delta.hash_probes, 7u);
+  EXPECT_EQ(delta.global_stores, 0u);
+  // snapshot() is a copy: mutating the live counters left it alone.
+  EXPECT_EQ(before.global_loads, 100u);
+  // Deltas recompose: before + (live - before) == live.
+  EXPECT_EQ(before + delta, live);
+}
+
+TEST(Counters, StreamRoundTripPreservesEveryField) {
+  simt::PerfCounters c;
+  // Distinct primes in every field so any swapped/missed field is caught.
+  c.global_loads = 2;
+  c.global_stores = 3;
+  c.shared_loads = 5;
+  c.shared_stores = 7;
+  c.atomic_ops = 11;
+  c.hash_inserts = 13;
+  c.hash_probes = 17;
+  c.hash_fallbacks = 19;
+  c.warp_syncs = 23;
+  c.block_syncs = 29;
+  c.kernel_launches = 31;
+  c.fiber_switches = 37;
+  c.edges_scanned = 41;
+  c.threads_run = 43;
+
+  std::ostringstream os;
+  os << c;
+  simt::PerfCounters back;
+  back.global_loads = 999;  // must be overwritten, not accumulated
+  std::istringstream is(os.str());
+  is >> back;
+  EXPECT_TRUE(static_cast<bool>(is));
+  EXPECT_EQ(back, c);
+}
+
 }  // namespace
 }  // namespace nulpa

@@ -1,0 +1,40 @@
+# End-to-end smoke of the observability pipeline, run as a ctest script:
+# generate a graph, run `nulpa detect --trace`, then render the capture
+# with `nulpa trace-summary` and check the table made it out.
+#
+# Inputs: -DNULPA=<path to the nulpa binary> -DWORK_DIR=<scratch dir>
+
+function(run_or_die)
+  execute_process(COMMAND ${ARGV}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+set(graph "${WORK_DIR}/trace_smoke.mtx")
+set(trace "${WORK_DIR}/trace_smoke.jsonl")
+
+run_or_die(${NULPA} generate --kind web --vertices 800 --output ${graph})
+run_or_die(${NULPA} detect --input ${graph} --algo nulpa --trace ${trace})
+
+if(NOT EXISTS ${trace})
+  message(FATAL_ERROR "detect --trace did not write ${trace}")
+endif()
+file(STRINGS ${trace} trace_lines)
+list(LENGTH trace_lines n_events)
+if(n_events LESS 3)
+  message(FATAL_ERROR "trace has only ${n_events} events")
+endif()
+
+run_or_die(${NULPA} trace-summary --input ${trace})
+foreach(needle "== nulpa" "iter" "total" "iterations")
+  string(FIND "${last_output}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "trace-summary output missing \"${needle}\":\n${last_output}")
+  endif()
+endforeach()

@@ -1,34 +1,40 @@
 // nulpa — command-line community detection.
 //
 // Usage:
-//   nulpa detect   --input g.mtx [--format mtx|edges|bin|metis] [--algo nulpa|flpa|
-//                  plp|gve|gunrock|louvain|seq] [--output labels.txt]
-//                  [--pick-less 4] [--cross-check 0] [--switch-degree 32]
-//                  [--probing quad-double|linear|quadratic|double|coalesced]
-//                  [--tolerance 0.05] [--max-iterations 20] [--double-values]
+//   nulpa detect   --input g.mtx [--format mtx|edges|bin|metis]
+//                  [--algo nulpa|gve|flpa|plp|seq|gunrock|louvain]
+//                  [--output labels.txt] [--pick-less 4] [--cross-check 0]
+//                  [--switch-degree 32] [--probing quad-double|linear|
+//                  quadratic|double|coalesced] [--tolerance 0.05]
+//                  [--max-iterations 20] [--double-values] [--shared-tables]
+//                  [--pruning true|false] [--seed N]
+//                  [--trace run.jsonl] [--metrics table.txt]
+//   nulpa trace-summary --input run.jsonl    (per-iteration table from a
+//                                             --trace capture; "-" = stdin)
 //   nulpa convert  --input g.mtx --output g.bin       (to binary CSR)
 //   nulpa info     --input g.mtx                      (graph statistics)
 //   nulpa generate --kind web|social|road|kmer|er --vertices N --output g.mtx
+//
+// --trace writes one JSON object per event (run/iteration boundaries,
+// kernel launches, counter deltas); --metrics writes the human-readable
+// per-iteration table. "-" sends either stream to stdout. The trace schema
+// is documented in DESIGN.md ("Trace schema").
 //
 // Exit code 0 on success, 1 on usage errors, 2 on IO/algorithm failure.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
-#include "baselines/flpa.hpp"
-#include "baselines/gunrock_lpa.hpp"
-#include "baselines/gve_lpa.hpp"
-#include "baselines/louvain.hpp"
-#include "baselines/plp.hpp"
-#include "baselines/seq_lpa.hpp"
-#include "core/nulpa.hpp"
+#include "core/runner.hpp"
 #include "graph/binary_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/metis_io.hpp"
 #include "graph/stats.hpp"
+#include "observe/trace.hpp"
 #include "perfmodel/machine.hpp"
 #include "quality/communities.hpp"
 #include "quality/metrics.hpp"
@@ -42,8 +48,8 @@ using namespace nulpa;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: nulpa <detect|convert|info|generate> --input FILE "
-               "[options]\n"
+               "usage: nulpa <detect|trace-summary|convert|info|generate> "
+               "--input FILE [options]\n"
                "run `nulpa` with no arguments for the full option list "
                "(see the header of tools/nulpa_cli.cpp)\n");
   return 1;
@@ -71,96 +77,89 @@ Graph load(const CliArgs& args) {
   throw std::runtime_error("unknown --format " + format);
 }
 
-Probing parse_probing(const std::string& name) {
-  if (name == "linear") return Probing::kLinear;
-  if (name == "quadratic") return Probing::kQuadratic;
-  if (name == "double") return Probing::kDouble;
-  if (name == "quad-double") return Probing::kQuadDouble;
-  if (name == "coalesced") return Probing::kCoalesced;
-  throw std::runtime_error("unknown --probing " + name);
+/// Opens `path` for writing, or aliases stdout when path is "-".
+std::ostream& open_sink(std::ofstream& file, const std::string& path) {
+  if (path == "-") return std::cout;
+  file.open(path);
+  if (!file) throw std::runtime_error("cannot open for write: " + path);
+  return file;
 }
 
 int cmd_detect(const CliArgs& args) {
   const Graph g = load(args);
-  const std::string algo = args.get("algo", "nulpa");
+  const CommonFlags flags = parse_common_flags(args);
 
-  std::vector<Vertex> labels;
-  int iterations = 0;
-  double seconds = 0.0;
-  std::string modeled_note;
-
-  if (algo == "nulpa") {
-    NuLpaConfig cfg;
-    cfg.swap.pick_less_every = static_cast<int>(args.get_int("pick-less", 4));
-    cfg.swap.cross_check_every =
-        static_cast<int>(args.get_int("cross-check", 0));
-    cfg.switch_degree =
-        static_cast<std::uint32_t>(args.get_int("switch-degree", 32));
-    cfg.probing = parse_probing(args.get("probing", "quad-double"));
-    cfg.tolerance = args.get_double("tolerance", 0.05);
-    cfg.max_iterations = static_cast<int>(args.get_int("max-iterations", 20));
-    cfg.use_double_values = args.get_bool("double-values", false);
-    cfg.shared_memory_tables = args.get_bool("shared-tables", false);
-    const auto r = nu_lpa(g, cfg);
-    labels = r.labels;
-    iterations = r.iterations;
-    seconds = r.seconds;
-    modeled_note = "modeled A100 time: " +
-                   std::to_string(modeled_gpu_seconds(a100(), r.counters)) +
-                   " s";
-  } else if (algo == "flpa") {
-    const auto r = flpa(g, FlpaConfig{});
-    labels = r.labels;
-    iterations = r.iterations;
-    seconds = r.seconds;
-  } else if (algo == "plp") {
-    const auto r = plp(g, PlpConfig{});
-    labels = r.labels;
-    iterations = r.iterations;
-    seconds = r.seconds;
-  } else if (algo == "gve") {
-    const auto r = gve_lpa(g, GveLpaConfig{});
-    labels = r.labels;
-    iterations = r.iterations;
-    seconds = r.seconds;
-  } else if (algo == "gunrock") {
-    const auto r = gunrock_lpa(g, GunrockLpaConfig{});
-    labels = r.labels;
-    iterations = r.iterations;
-    seconds = r.seconds;
-  } else if (algo == "louvain") {
-    const auto r = louvain(g, LouvainConfig{});
-    labels = r.labels;
-    iterations = r.iterations;
-    seconds = r.seconds;
-  } else if (algo == "seq") {
-    const auto r = seq_lpa(g, SeqLpaConfig{});
-    labels = r.labels;
-    iterations = r.iterations;
-    seconds = r.seconds;
-  } else {
-    throw std::runtime_error("unknown --algo " + algo);
+  const AlgorithmInfo* algo = find_algorithm(flags.algo);
+  if (algo == nullptr) {
+    throw std::runtime_error("unknown --algo " + flags.algo +
+                             " (choose from: " + algorithm_names() + ")");
   }
 
-  std::printf("algorithm:   %s\n", algo.c_str());
+  // Observability sinks; both flags may be set at once (fan-out).
+  std::ofstream trace_file, metrics_file;
+  std::optional<observe::JsonlEmitter> jsonl;
+  std::optional<observe::TableEmitter> table;
+  observe::MultiTracer tracer;
+  if (!flags.trace_file.empty()) {
+    jsonl.emplace(open_sink(trace_file, flags.trace_file), a100());
+    tracer.add(&*jsonl);
+  }
+  if (!flags.metrics_file.empty()) {
+    table.emplace(open_sink(metrics_file, flags.metrics_file), a100());
+    tracer.add(&*table);
+  }
+
+  RunOptions opts = run_options_from_flags(flags);
+  if (tracer.enabled()) opts.tracer = &tracer;
+
+  const RunReport r = algo->run(g, opts);
+  if (table) table->flush();
+
+  std::printf("algorithm:   %s\n", flags.algo.c_str());
   std::printf("graph:       %u vertices, %llu arcs\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()));
-  std::printf("iterations:  %d\n", iterations);
-  std::printf("runtime:     %.4f s%s%s\n", seconds,
-              modeled_note.empty() ? "" : "  |  ", modeled_note.c_str());
-  std::printf("communities: %u\n", count_communities(labels));
-  std::printf("modularity:  %.4f\n", modularity(g, labels));
-  std::printf("coverage:    %.4f\n", coverage(g, labels));
-  std::printf("edge cut:    %.1f\n", edge_cut(g, labels));
+  std::printf("iterations:  %d\n", r.iterations);
+  std::printf("runtime:     %.4f s (this host)\n", r.seconds);
+  std::printf("modeled:     %.6f s  [%.*s]\n", r.modeled_seconds,
+              static_cast<int>(algo->description.size()),
+              algo->description.data());
+  std::printf("communities: %u\n", count_communities(r.labels));
+  std::printf("modularity:  %.4f\n", modularity(g, r.labels));
+  std::printf("coverage:    %.4f\n", coverage(g, r.labels));
+  std::printf("edge cut:    %.1f\n", edge_cut(g, r.labels));
+  if (!flags.trace_file.empty() && flags.trace_file != "-") {
+    std::printf("trace:       %s\n", flags.trace_file.c_str());
+  }
+  if (!flags.metrics_file.empty() && flags.metrics_file != "-") {
+    std::printf("metrics:     %s\n", flags.metrics_file.c_str());
+  }
 
   if (const std::string out = args.get("output", ""); !out.empty()) {
     std::ofstream os(out);
     if (!os) throw std::runtime_error("cannot open for write: " + out);
-    for (std::size_t v = 0; v < labels.size(); ++v) {
-      os << v << ' ' << labels[v] << '\n';
+    for (std::size_t v = 0; v < r.labels.size(); ++v) {
+      os << v << ' ' << r.labels[v] << '\n';
     }
     std::printf("labels written to %s\n", out.c_str());
   }
+  return 0;
+}
+
+int cmd_trace_summary(const CliArgs& args) {
+  const std::string path = args.get("input", "");
+  if (path.empty()) throw std::runtime_error("--input is required");
+  std::vector<observe::TraceEvent> events;
+  if (path == "-") {
+    events = observe::parse_trace_jsonl(std::cin);
+  } else {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open: " + path);
+    events = observe::parse_trace_jsonl(is);
+  }
+  if (events.empty()) throw std::runtime_error("no trace events in " + path);
+  // The JSONL already carries modeled seconds (m_total_s) when the capture
+  // had a machine model; don't re-model on read.
+  observe::print_iteration_table(events, std::cout, std::nullopt);
   return 0;
 }
 
@@ -236,6 +235,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc - 1, argv + 1);
   try {
     if (command == "detect") return cmd_detect(args);
+    if (command == "trace-summary") return cmd_trace_summary(args);
     if (command == "convert") return cmd_convert(args);
     if (command == "info") return cmd_info(args);
     if (command == "generate") return cmd_generate(args);
