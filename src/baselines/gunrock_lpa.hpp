@@ -13,6 +13,12 @@ namespace nulpa {
 
 struct GunrockLpaConfig {
   int iterations = 5;  // Gunrock runs a fixed short schedule by default
+  // SIMT variant only: launch each iteration over the frontier of vertices
+  // whose neighborhood changed last iteration instead of the full range.
+  // Synchronous LPA reads a snapshot, so a vertex with no changed neighbor
+  // recomputes its previous answer — skipping it is label-identical by
+  // construction (Gunrock itself is frontier-based).
+  bool frontier_compaction = true;
 };
 
 ClusteringResult gunrock_lpa(const Graph& g, const GunrockLpaConfig& cfg);

@@ -43,6 +43,14 @@ struct NuLpaConfig {
   double tolerance = 0.05;    // Section 4: per-iteration tolerance (3)
   SwapPrevention swap{};      // PL4 by default
   bool pruning = true;        // Section 4: vertex pruning (4)
+  // Launch kernels over compacted worklists of still-active vertices
+  // instead of the full partition ranges (Traag & Šubelj-style frontier
+  // processing, arXiv:2209.13338). Compaction happens per resident-set
+  // window of the degree partitions, which keeps the set of vertices that
+  // gather together — and therefore the labels — byte-identical to the
+  // full-range launch; only the inactive lanes disappear. No effect when
+  // `pruning` is off (every vertex is always active).
+  bool frontier_compaction = true;
 
   // Section 4.2 — hashtable design.
   Probing probing = Probing::kQuadDouble;
@@ -88,6 +96,11 @@ struct NuLpaConfig {
   [[nodiscard]] NuLpaConfig with_pruning(bool on) const {
     NuLpaConfig c = *this;
     c.pruning = on;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_frontier_compaction(bool on) const {
+    NuLpaConfig c = *this;
+    c.frontier_compaction = on;
     return c;
   }
   [[nodiscard]] NuLpaConfig with_probing(Probing p) const {

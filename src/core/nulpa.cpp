@@ -1,6 +1,8 @@
 #include "core/nulpa.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <optional>
 #include <sstream>
 
 #include "core/shared_accumulate.hpp"
@@ -80,6 +82,20 @@ class Engine {
     } else {
       cfg_.shared_memory_tables = false;
     }
+    // Persistent launch sessions: fiber stacks, lane arrays and shared
+    // arenas are allocated once here and reused by every kernel launch of
+    // every iteration (the seed engine re-allocated them per launch).
+    tpv_cfg_ = cfg_.launch;
+    if (cfg_.shared_memory_tables) {
+      tpv_cfg_.shared_bytes =
+          static_cast<std::uint32_t>(tpv_cfg_.block_dim * shared_slice_);
+    }
+    bpv_cfg_ = cfg_.launch;
+    bpv_cfg_.block_dim = cfg_.bpv_block_dim;
+    bpv_cfg_.resident_blocks = cfg_.bpv_resident_blocks;
+    bpv_cfg_.shared_bytes = static_cast<std::uint32_t>(scratch_.total);
+    tpv_session_.emplace(tpv_cfg_, ctr_);
+    bpv_session_.emplace(bpv_cfg_, ctr_);
   }
 
   NuLpaResult run() {
@@ -129,12 +145,10 @@ class Engine {
       }
 
       delta_n_ = 0;
-      traced_kernel("tpv", part_.low.size(),
-                    [&] { launch_thread_per_vertex(); });
-      traced_kernel("bpv", part_.high.size(),
-                    [&] { launch_block_per_vertex(); });
+      traced_kernel("tpv", [&] { return launch_thread_per_vertex(); });
+      traced_kernel("bpv", [&] { return launch_block_per_vertex(); });
       if (cross_check) {
-        traced_kernel("cross-check", n, [&] { launch_cross_check(); });
+        traced_kernel("cross-check", [&] { return launch_cross_check(); });
       }
 
       ++res.iterations;
@@ -194,9 +208,11 @@ class Engine {
   }
 
   /// Runs one kernel launch, recording a kernel_launch event with the
-  /// launch's work-item count and counter delta when a tracer is attached.
+  /// launched work-item count (the compacted frontier size, or the full
+  /// range when compaction is off) and counter delta when a tracer is
+  /// attached. `fn` returns the number of work items it launched.
   template <typename F>
-  void traced_kernel(const char* name, std::size_t work_items, F&& fn) {
+  void traced_kernel(const char* name, F&& fn) {
     if (!observe::active(tracer_)) {
       fn();
       return;
@@ -204,7 +220,7 @@ class Engine {
     const simt::PerfCounters ctr0 = ctr_.snapshot();
     const HashStats hs0 = hstats_;
     Timer t;
-    fn();
+    const std::uint64_t work_items = fn();
     observe::TraceEvent ev;
     ev.kind = observe::EventKind::kKernelLaunch;
     ev.algo = "nulpa";
@@ -219,39 +235,78 @@ class Engine {
     tracer_->record(ev);
   }
 
+  /// Frontier compaction happens per resident-set window: a window is the
+  /// slice of the partition order one resident set of blocks would cover,
+  /// i.e. the set of vertices that gather together before any of them
+  /// commits. Compacting within a window (and scanning the activity flags
+  /// right before launching it, so mid-iteration re-activations from
+  /// earlier windows are honoured exactly like a lane's own flag read
+  /// would) keeps every active vertex in the same gather cohort as the
+  /// full-range launch — which is why compacted and full-range runs
+  /// produce byte-identical labels. The host-side scan and worklist write
+  /// are charged to the device counters as the stream-compaction kernel a
+  /// real GPU would run.
+  [[nodiscard]] bool compacting() const {
+    return cfg_.frontier_compaction && cfg_.pruning;
+  }
+
   // ---- Thread-per-vertex kernel: one lane per low-degree vertex. The
   // syncwarp between the gather and commit phases models warp lockstep —
   // all 32 lanes read neighbour labels before any of them writes, which is
   // exactly the execution pattern that produces community swaps.
-  void launch_thread_per_vertex() {
-    const auto count = static_cast<std::uint32_t>(part_.low.size());
-    if (count == 0) return;
-    const auto grid = static_cast<std::uint32_t>(
-        ceil_div(count, cfg_.launch.block_dim));
+  std::uint64_t launch_thread_per_vertex() {
+    const std::vector<Vertex>& items = part_.low;
+    if (items.empty()) return 0;
+    const std::uint32_t bdim = tpv_cfg_.block_dim;
+    const std::size_t window =
+        static_cast<std::size_t>(std::max(1u, tpv_cfg_.resident_blocks)) *
+        bdim;
+    const bool compact = compacting();
+    std::uint64_t launched = 0;
+    bool counted_launch = false;
 
-    simt::LaunchConfig launch = cfg_.launch;
-    if (cfg_.shared_memory_tables) {
-      launch.shared_bytes =
-          static_cast<std::uint32_t>(launch.block_dim * shared_slice_);
-    }
-
-    simt::launch(grid, launch, ctr_, [&](simt::Lane& lane) {
-      const std::uint32_t t = lane.global_thread();
-      if (t >= count) return;
-      const Vertex v = part_.low[t];
-
-      Vertex cstar = kEmptyKey;
-      lane.count_load(1);  // unprocessed flag
-      if (!cfg_.pruning || unprocessed_[v]) {
-        unprocessed_[v] = 0;
-        lane.count_store(1);
-        cstar = gather_unshared(lane, v);
+    for (std::size_t base = 0; base < items.size(); base += window) {
+      const std::size_t wcount = std::min(window, items.size() - base);
+      const Vertex* work = items.data() + base;
+      auto count = static_cast<std::uint32_t>(wcount);
+      if (compact) {
+        frontier_lo_.clear();
+        for (std::size_t i = base; i < base + wcount; ++i) {
+          if (unprocessed_[items[i]]) frontier_lo_.push_back(items[i]);
+        }
+        count = static_cast<std::uint32_t>(frontier_lo_.size());
+        work = frontier_lo_.data();
+        ctr_.frontier_vertices += count;
+        ctr_.skipped_lanes += wcount - count;
+        ctr_.global_loads += wcount;  // compaction kernel: flag scan
+        ctr_.global_stores += count;  // compaction kernel: worklist write
+        if (count == 0) continue;
       }
+      if (!counted_launch) {
+        ctr_.kernel_launches++;
+        counted_launch = true;
+      }
+      launched += count;
+      const auto grid = static_cast<std::uint32_t>(ceil_div(count, bdim));
+      tpv_session_->run(grid, [&](simt::Lane& lane) {
+        const std::uint32_t t = lane.global_thread();
+        if (t >= count) return;
+        const Vertex v = work[t];
 
-      lane.syncwarp();  // lockstep boundary: warp gathers, then commits
+        Vertex cstar = kEmptyKey;
+        lane.count_load(1);  // unprocessed flag (or worklist entry)
+        if (!cfg_.pruning || unprocessed_[v]) {
+          unprocessed_[v] = 0;
+          lane.count_store(1);
+          cstar = gather_unshared(lane, v);
+        }
 
-      commit(lane, v, cstar);
-    });
+        lane.syncwarp();  // lockstep boundary: warp gathers, then commits
+
+        commit(lane, v, cstar);
+      });
+    }
+    return launched;
   }
 
   /// Gather phase for a single lane: clear the vertex's table, accumulate
@@ -350,128 +405,166 @@ class Engine {
   // ---- Block-per-vertex kernel: a whole block cooperates on one
   // high-degree vertex; the hashtable is shared, so slot claims use
   // atomicCAS and weight updates atomicAdd (Algorithm 2, shared path).
-  void launch_block_per_vertex() {
-    const auto blocks = static_cast<std::uint32_t>(part_.high.size());
-    if (blocks == 0) return;
+  std::uint64_t launch_block_per_vertex() {
+    const std::vector<Vertex>& items = part_.high;
+    if (items.empty()) return 0;
+    // One vertex per block, so a window is one resident set of blocks.
+    const std::size_t window = std::max(1u, bpv_cfg_.resident_blocks);
+    const bool compact = compacting();
+    std::uint64_t launched = 0;
+    bool counted_launch = false;
 
-    simt::LaunchConfig cfg = cfg_.launch;
-    cfg.block_dim = cfg_.bpv_block_dim;
-    cfg.resident_blocks = cfg_.bpv_resident_blocks;
-    cfg.shared_bytes = static_cast<std::uint32_t>(scratch_.total);
-
-    simt::launch(blocks, cfg, ctr_, [&](simt::Lane& lane) {
-      const Vertex v = part_.high[lane.block_idx()];
-      const std::uint32_t tid = lane.thread_idx();
-      const std::uint32_t bdim = lane.block_dim();
-
-      // Block-uniform pruning decision: lane 0 reads the flag once and
-      // broadcasts through shared memory. Letting every lane read the
-      // global flag would race with lane 0's clearing write (benign on
-      // lockstep hardware, fatal under any other interleaving).
-      auto* flags =
-          reinterpret_cast<std::uint32_t*>(lane.shared() + scratch_.flag_off);
-      std::uint32_t* moved = flags;     // set by lane 0 after the reduce
-      std::uint32_t* skip = flags + 1;  // pruning verdict broadcast
-      if (tid == 0) {
-        lane.count_load(1);
-        *skip = cfg_.pruning && !unprocessed_[v];
-        if (!*skip) {
-          unprocessed_[v] = 0;
-          lane.count_store(1);
+    for (std::size_t base = 0; base < items.size(); base += window) {
+      const std::size_t wcount = std::min(window, items.size() - base);
+      const Vertex* work = items.data() + base;
+      auto count = static_cast<std::uint32_t>(wcount);
+      if (compact) {
+        frontier_hi_.clear();
+        for (std::size_t i = base; i < base + wcount; ++i) {
+          if (unprocessed_[items[i]]) frontier_hi_.push_back(items[i]);
         }
+        count = static_cast<std::uint32_t>(frontier_hi_.size());
+        work = frontier_hi_.data();
+        ctr_.frontier_vertices += count;
+        ctr_.skipped_lanes += wcount - count;
+        ctr_.global_loads += wcount;  // compaction kernel: flag scan
+        ctr_.global_stores += count;  // compaction kernel: worklist write
+        if (count == 0) continue;
       }
-      lane.syncthreads();
-      if (*skip) return;
-
-      const std::uint32_t deg = g_.degree(v);
-      const std::uint32_t p1 = hashtable_capacity(deg);
-      const std::uint32_t p2 = secondary_prime(p1);
-      const EdgeIndex off = 2 * g_.offset(v);
-      Vertex* keys = buf_k_.data() + off;
-      V* values = buf_v_.data() + off;
-
-      // Phase 1: parallel clear (Algorithm 1 line 19).
-      for (std::uint32_t s = tid; s < p1; s += bdim) {
-        keys[s] = kEmptyKey;
-        values[s] = V{};
-        lane.count_store(2);
+      if (!counted_launch) {
+        ctr_.kernel_launches++;
+        counted_launch = true;
       }
-      lane.syncthreads();
+      launched += count;
+      bpv_session_->run(count, [&](simt::Lane& lane) {
+        const Vertex v = work[lane.block_idx()];
+        const std::uint32_t tid = lane.thread_idx();
+        const std::uint32_t bdim = lane.block_dim();
 
-      // Phase 2: parallel accumulate over the adjacency list.
-      const auto nbrs = g_.neighbors(v);
-      const auto wts = g_.weights_of(v);
-      for (std::uint32_t e = tid; e < deg; e += bdim) {
-        if (nbrs[e] == v) continue;
-        lane.count_load(3);
-        shared_accumulate(lane, keys, values, p1, p2, labels_[nbrs[e]],
-                          static_cast<V>(wts[e]), cfg_.probing, &hstats_);
-      }
-      if (tid == 0) ctr_.edges_scanned += deg;
-      lane.syncthreads();
-
-      // Phase 3: parallel max-reduce (Algorithm 1 line 27).
-      auto* best_w =
-          reinterpret_cast<double*>(lane.shared() + scratch_.best_w_off);
-      auto* best_k =
-          reinterpret_cast<Vertex*>(lane.shared() + scratch_.best_k_off);
-      Vertex lk = kEmptyKey;
-      double lw = -1.0;
-      for (std::uint32_t s = tid; s < p1; s += bdim) {
-        lane.count_load(2);
-        if (keys[s] != kEmptyKey && static_cast<double>(values[s]) > lw) {
-          lk = keys[s];
-          lw = static_cast<double>(values[s]);
+        // Block-uniform pruning decision: lane 0 reads the flag once and
+        // broadcasts through shared memory. Letting every lane read the
+        // global flag would race with lane 0's clearing write (benign on
+        // lockstep hardware, fatal under any other interleaving).
+        auto* flags =
+            reinterpret_cast<std::uint32_t*>(lane.shared() + scratch_.flag_off);
+        std::uint32_t* moved = flags;     // set by lane 0 after the reduce
+        std::uint32_t* skip = flags + 1;  // pruning verdict broadcast
+        if (tid == 0) {
+          lane.count_load(1);
+          *skip = cfg_.pruning && !unprocessed_[v];
+          if (!*skip) {
+            unprocessed_[v] = 0;
+            lane.count_store(1);
+          }
         }
-      }
-      const Vertex cstar =
-          simt::block_argmax(lane, lk, lw, best_k, best_w, kEmptyKey);
+        lane.syncthreads();
+        if (*skip) return;
 
-      if (tid == 0) {
-        *moved = 0;
-        lane.count_load(1);
-        if (cstar != kEmptyKey && cstar != labels_[v] &&
-            (!pick_less_ || cstar < labels_[v])) {
-          labels_[v] = cstar;
-          lane.count_store(1);
-          lane.atomic_add(delta_n_, std::uint32_t{1});
-          *moved = 1;
+        const std::uint32_t deg = g_.degree(v);
+        const std::uint32_t p1 = hashtable_capacity(deg);
+        const std::uint32_t p2 = secondary_prime(p1);
+        const EdgeIndex off = 2 * g_.offset(v);
+        Vertex* keys = buf_k_.data() + off;
+        V* values = buf_v_.data() + off;
+
+        // Phase 1: parallel clear (Algorithm 1 line 19).
+        for (std::uint32_t s = tid; s < p1; s += bdim) {
+          keys[s] = kEmptyKey;
+          values[s] = V{};
+          lane.count_store(2);
         }
-      }
-      lane.syncthreads();
+        lane.syncthreads();
 
-      // Phase 4: parallel neighbour re-activation on a move.
-      if (*moved && cfg_.pruning) {
+        // Phase 2: parallel accumulate over the adjacency list.
+        const auto nbrs = g_.neighbors(v);
+        const auto wts = g_.weights_of(v);
         for (std::uint32_t e = tid; e < deg; e += bdim) {
-          unprocessed_[nbrs[e]] = 1;
-          lane.count_store(1);
+          if (nbrs[e] == v) continue;
+          lane.count_load(3);
+          shared_accumulate(lane, keys, values, p1, p2, labels_[nbrs[e]],
+                            static_cast<V>(wts[e]), cfg_.probing, &hstats_);
         }
-      }
-    });
+        if (tid == 0) ctr_.edges_scanned += deg;
+        lane.syncthreads();
+
+        // Phase 3: parallel max-reduce (Algorithm 1 line 27).
+        auto* best_w =
+            reinterpret_cast<double*>(lane.shared() + scratch_.best_w_off);
+        auto* best_k =
+            reinterpret_cast<Vertex*>(lane.shared() + scratch_.best_k_off);
+        Vertex lk = kEmptyKey;
+        double lw = -1.0;
+        for (std::uint32_t s = tid; s < p1; s += bdim) {
+          lane.count_load(2);
+          if (keys[s] != kEmptyKey && static_cast<double>(values[s]) > lw) {
+            lk = keys[s];
+            lw = static_cast<double>(values[s]);
+          }
+        }
+        const Vertex cstar =
+            simt::block_argmax(lane, lk, lw, best_k, best_w, kEmptyKey);
+
+        if (tid == 0) {
+          *moved = 0;
+          lane.count_load(1);
+          if (cstar != kEmptyKey && cstar != labels_[v] &&
+              (!pick_less_ || cstar < labels_[v])) {
+            labels_[v] = cstar;
+            lane.count_store(1);
+            lane.atomic_add(delta_n_, std::uint32_t{1});
+            *moved = 1;
+          }
+        }
+        lane.syncthreads();
+
+        // Phase 4: parallel neighbour re-activation on a move.
+        if (*moved && cfg_.pruning) {
+          for (std::uint32_t e = tid; e < deg; e += bdim) {
+            unprocessed_[nbrs[e]] = 1;
+            lane.count_store(1);
+          }
+        }
+      });
+    }
+    return launched;
   }
 
   // ---- Cross-Check kernel (Section 4.1): a community change is "good" iff
   // the new community's leader vertex carries its own id as label; bad
   // changes revert to the pre-iteration label via atomicCAS.
-  void launch_cross_check() {
+  std::uint64_t launch_cross_check() {
+    // Always a full sweep: the check needs every changed vertex, and the
+    // kernel is barrier-free, so launching it in resident-set windows
+    // through the retained session is exactly equivalent to one big grid.
     const Vertex n = g_.num_vertices();
-    const auto grid =
-        static_cast<std::uint32_t>(ceil_div(n, cfg_.launch.block_dim));
-
-    simt::launch(grid, cfg_.launch, ctr_, [&](simt::Lane& lane) {
-      const std::uint32_t v = lane.global_thread();
-      if (v >= n) return;
-      lane.count_load(2);
-      const Vertex cstar = labels_[v];
-      if (cstar == prev_labels_[v]) return;
-      lane.count_load(1);
-      if (labels_[cstar] != cstar) {
-        // Bad change: the adopted community has no leader. Revert, but let
-        // at most one side of a swap do so (CAS against the adopted label).
-        const Vertex old = lane.atomic_cas(labels_[v], cstar, prev_labels_[v]);
-        if (old == cstar) lane.atomic_add(delta_n_, std::uint32_t{1});
-      }
-    });
+    const std::uint32_t bdim = tpv_cfg_.block_dim;
+    const std::size_t window =
+        static_cast<std::size_t>(std::max(1u, tpv_cfg_.resident_blocks)) *
+        bdim;
+    ctr_.kernel_launches++;
+    for (Vertex base = 0; base < n; base += window) {
+      const auto count =
+          static_cast<std::uint32_t>(std::min<std::size_t>(window, n - base));
+      const auto grid = static_cast<std::uint32_t>(ceil_div(count, bdim));
+      tpv_session_->run(grid, [&](simt::Lane& lane) {
+        const std::uint32_t t = lane.global_thread();
+        if (t >= count) return;
+        const Vertex v = base + t;
+        lane.count_load(2);
+        const Vertex cstar = labels_[v];
+        if (cstar == prev_labels_[v]) return;
+        lane.count_load(1);
+        if (labels_[cstar] != cstar) {
+          // Bad change: the adopted community has no leader. Revert, but
+          // let at most one side of a swap do so (CAS against the adopted
+          // label).
+          const Vertex old =
+              lane.atomic_cas(labels_[v], cstar, prev_labels_[v]);
+          if (old == cstar) lane.atomic_add(delta_n_, std::uint32_t{1});
+        }
+      });
+    }
+    return n;
   }
 
   const Graph& g_;
@@ -493,6 +586,18 @@ class Engine {
 
   simt::PerfCounters ctr_;
   HashStats hstats_;
+
+  // Per-kernel launch configurations (fixed for the run) and the sessions
+  // that retain fiber stacks and shared arenas across all launches.
+  // Declared after ctr_, which the sessions reference.
+  simt::LaunchConfig tpv_cfg_;
+  simt::LaunchConfig bpv_cfg_;
+  std::optional<simt::LaunchSession> tpv_session_;
+  std::optional<simt::LaunchSession> bpv_session_;
+  // Compacted per-window worklists, reused every iteration.
+  std::vector<Vertex> frontier_lo_;
+  std::vector<Vertex> frontier_hi_;
+
   std::uint32_t delta_n_ = 0;
   bool pick_less_ = false;
   observe::Tracer* tracer_ = nullptr;

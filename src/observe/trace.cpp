@@ -44,6 +44,9 @@ constexpr struct {
     {"c_switches", &simt::PerfCounters::fiber_switches},
     {"c_edges", &simt::PerfCounters::edges_scanned},
     {"c_threads", &simt::PerfCounters::threads_run},
+    {"c_frontier", &simt::PerfCounters::frontier_vertices},
+    {"c_skipped", &simt::PerfCounters::skipped_lanes},
+    {"c_barchecks", &simt::PerfCounters::barrier_checks},
 };
 
 /// Accumulates one flat JSON object; keys are emitted in insertion order so

@@ -30,6 +30,9 @@ constexpr Field kFields[] = {
     {"switches", &PerfCounters::fiber_switches},
     {"edges", &PerfCounters::edges_scanned},
     {"threads", &PerfCounters::threads_run},
+    {"frontier", &PerfCounters::frontier_vertices},
+    {"skipped", &PerfCounters::skipped_lanes},
+    {"barchecks", &PerfCounters::barrier_checks},
 };
 
 }  // namespace

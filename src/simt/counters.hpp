@@ -28,6 +28,14 @@ struct PerfCounters {
   // Algorithm-level work.
   std::uint64_t edges_scanned = 0;
   std::uint64_t threads_run = 0;
+  // Frontier compaction: active vertices launched through compacted
+  // worklists, and lanes never spawned because compaction dropped the
+  // inactive entries they would have covered.
+  std::uint64_t frontier_vertices = 0;
+  std::uint64_t skipped_lanes = 0;
+  // Barrier-release verdicts reached by the O(1) arrival counters — each
+  // of these would have been a lane rescan in the pre-session scheduler.
+  std::uint64_t barrier_checks = 0;
 
   void reset() { *this = PerfCounters{}; }
 
@@ -49,6 +57,9 @@ struct PerfCounters {
     fiber_switches += o.fiber_switches;
     edges_scanned += o.edges_scanned;
     threads_run += o.threads_run;
+    frontier_vertices += o.frontier_vertices;
+    skipped_lanes += o.skipped_lanes;
+    barrier_checks += o.barrier_checks;
     return *this;
   }
 
@@ -70,6 +81,9 @@ struct PerfCounters {
     fiber_switches -= o.fiber_switches;
     edges_scanned -= o.edges_scanned;
     threads_run -= o.threads_run;
+    frontier_vertices -= o.frontier_vertices;
+    skipped_lanes -= o.skipped_lanes;
+    barrier_checks -= o.barrier_checks;
     return *this;
   }
 

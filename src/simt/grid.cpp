@@ -2,197 +2,238 @@
 
 #include <algorithm>
 #include <cstring>
-#include <memory>
 #include <numeric>
 #include <stdexcept>
 
-#include "util/rng.hpp"
-
 namespace nulpa::simt {
 
-/// Runs one grid. Blocks are scheduled onto `resident_blocks` slots (the
-/// simulated SMs); within a slot, lanes are resumed in thread-id order and
-/// each runs until its next barrier — so every lane of a warp finishes the
-/// segment before any lane crosses the warp barrier, which is the lockstep
-/// property the algorithms rely on.
-class Scheduler {
- public:
-  Scheduler(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
-            const Kernel& kernel)
-      : grid_dim_(grid_dim), cfg_(cfg), ctr_(ctr), kernel_(kernel) {
-    // Never allocate more residency than the grid can use; fiber stacks
-    // dominate the scheduler's memory footprint.
-    const std::uint32_t slots =
-        std::min(std::max(1u, cfg.resident_blocks), std::max(1u, grid_dim));
-    const std::size_t lanes = static_cast<std::size_t>(slots) * cfg.block_dim;
-    stacks_ = std::make_unique_for_overwrite<std::byte[]>(
-        lanes * cfg.stack_bytes);
-    lanes_ = std::make_unique<Lane[]>(lanes);
-    blocks_.resize(slots);
-    lane_order_.resize(cfg.block_dim);
-    std::iota(lane_order_.begin(), lane_order_.end(), 0u);
-    if (cfg.schedule_seed != 0) {
-      shuffle_rng_ = Xoshiro256(cfg.schedule_seed);
+// Scheduling model (unchanged from the original scheduler, faster
+// bookkeeping): blocks occupy `resident_blocks` slots (the simulated SMs);
+// within a slot, lanes are resumed in thread-id order and each runs until
+// its next barrier — so every lane of a warp finishes the segment before
+// any lane crosses the warp barrier, which is the lockstep property the
+// algorithms rely on. One outer pass steps every runnable lane of every
+// resident block once; a block that drains frees its slot for the next
+// block of the grid at the end of its slot's turn.
+
+LaunchSession::LaunchSession(const LaunchConfig& cfg, PerfCounters& ctr)
+    : cfg_(cfg), ctr_(ctr) {
+  if (cfg.block_dim == 0) {
+    throw std::invalid_argument("simt: block_dim must be > 0");
+  }
+  if (cfg.schedule_seed != 0) {
+    shuffle_rng_ = Xoshiro256(cfg.schedule_seed);
+  }
+}
+
+LaunchSession::~LaunchSession() = default;
+
+void LaunchSession::ensure_capacity(std::uint32_t grid_dim) {
+  // Never allocate more residency than the grid can use; fiber stacks
+  // dominate the session's memory footprint. Buffers only ever grow, and
+  // persist across run() calls — that is the point of the session.
+  const std::uint32_t slots =
+      std::min(std::max(1u, cfg_.resident_blocks), std::max(1u, grid_dim));
+  if (slots <= slots_) return;
+  const std::size_t lanes = static_cast<std::size_t>(slots) * cfg_.block_dim;
+  stacks_ =
+      std::make_unique_for_overwrite<std::byte[]>(lanes * cfg_.stack_bytes);
+  lanes_ = std::make_unique<Lane[]>(lanes);
+  shared_arena_ =
+      cfg_.shared_bytes == 0
+          ? nullptr
+          : std::make_unique_for_overwrite<std::byte[]>(
+                static_cast<std::size_t>(slots) * cfg_.shared_bytes);
+  const std::uint32_t warps =
+      (cfg_.block_dim + kWarpSize - 1) / kWarpSize;
+  blocks_.assign(slots, ResidentBlock{});
+  for (std::uint32_t s = 0; s < slots; ++s) {
+    ResidentBlock& rb = blocks_[s];
+    rb.first_lane = s * cfg_.block_dim;
+    rb.shared = shared_arena_ == nullptr
+                    ? nullptr
+                    : shared_arena_.get() +
+                          static_cast<std::size_t>(s) * cfg_.shared_bytes;
+    rb.warp_ready.resize(warps);
+    rb.warp_at_bar.resize(warps);
+    rb.live_lanes.reserve(cfg_.block_dim);
+  }
+  slots_ = slots;
+}
+
+void LaunchSession::lane_entry(void* arg) {
+  auto* lane = static_cast<Lane*>(arg);
+  auto* self = static_cast<LaunchSession*>(lane->runner_context_);
+  (*self->kernel_)(*lane);
+}
+
+void LaunchSession::init_block(ResidentBlock& rb, std::uint32_t block_idx) {
+  rb.active = true;
+  rb.block_idx = block_idx;
+  rb.live = cfg_.block_dim;
+  // Zero-fill the retained arena slice — the original scheduler re-ran
+  // vector::assign here, reallocating per block.
+  if (cfg_.shared_bytes != 0) {
+    std::memset(rb.shared, 0, cfg_.shared_bytes);
+  }
+  rb.live_lanes.resize(cfg_.block_dim);
+  std::iota(rb.live_lanes.begin(), rb.live_lanes.end(), 0u);
+  for (std::size_t w = 0; w < rb.warp_ready.size(); ++w) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(w) * kWarpSize;
+    rb.warp_ready[w] = std::min(kWarpSize, cfg_.block_dim - lo);
+    rb.warp_at_bar[w] = 0;
+  }
+  rb.ready_total = cfg_.block_dim;
+  rb.warp_bar_total = 0;
+  rb.block_bar_total = 0;
+  for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    lane.runner_context_ = this;
+    lane.counters_ = &ctr_;
+    lane.shared_ = rb.shared;
+    lane.thread_idx_ = t;
+    lane.block_idx_ = block_idx;
+    lane.block_dim_ = cfg_.block_dim;
+    lane.grid_dim_ = grid_dim_;
+    lane.state_ = Lane::State::kReady;
+    std::byte* stack =
+        stacks_.get() +
+        static_cast<std::size_t>(rb.first_lane + t) * cfg_.stack_bytes;
+    lane.fiber_.init(stack, cfg_.stack_bytes, &lane_entry, &lane);
+    ctr_.threads_run++;
+  }
+}
+
+void LaunchSession::step(ResidentBlock& rb, Lane& lane) {
+  ctr_.fiber_switches++;
+  const std::uint32_t warp = lane.thread_idx_ / kWarpSize;
+  rb.warp_ready[warp]--;
+  rb.ready_total--;
+  lane.fiber_.resume();
+  if (!lane.fiber_.stack_intact()) {
+    throw std::runtime_error(
+        "simt: fiber stack overflow (raise LaunchConfig::stack_bytes)");
+  }
+  if (lane.fiber_.finished()) {
+    lane.state_ = Lane::State::kDone;
+    --rb.live;
+  } else if (lane.state_ == Lane::State::kAtWarpBar) {
+    rb.warp_at_bar[warp]++;
+    rb.warp_bar_total++;
+  } else {  // parked at the block barrier
+    rb.block_bar_total++;
+  }
+  // The lane either finished or parked at a barrier; in both cases a
+  // barrier it participates in may now be complete.
+  try_release_warp(rb, warp);
+  try_release_block(rb);
+}
+
+void LaunchSession::try_release_warp(ResidentBlock& rb, std::uint32_t warp) {
+  if (rb.warp_ready[warp] > 0 || rb.warp_at_bar[warp] == 0) {
+    ctr_.barrier_checks++;  // O(1) verdict; the old scheduler rescanned here
+    return;
+  }
+  const std::uint32_t lo = warp * kWarpSize;
+  const std::uint32_t hi = std::min(lo + kWarpSize, cfg_.block_dim);
+  const std::uint32_t released = rb.warp_at_bar[warp];
+  for (std::uint32_t t = lo; t < hi; ++t) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    if (lane.state_ == Lane::State::kAtWarpBar) {
+      lane.state_ = Lane::State::kReadyNext;
     }
   }
+  rb.warp_at_bar[warp] = 0;
+  rb.warp_ready[warp] += released;
+  rb.warp_bar_total -= released;
+  rb.ready_total += released;
+}
 
-  void run() {
-    std::uint32_t next_block = 0;
-    for (auto& rb : blocks_) {
-      rb.active = false;
-      if (next_block < grid_dim_) init_block(rb, next_block++);
+void LaunchSession::try_release_block(ResidentBlock& rb) {
+  if (rb.ready_total > 0 || rb.warp_bar_total > 0 ||
+      rb.block_bar_total == 0) {
+    ctr_.barrier_checks++;  // O(1) verdict; the old scheduler rescanned here
+    return;
+  }
+  for (const std::uint32_t t : rb.live_lanes) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    if (lane.state_ == Lane::State::kAtBlockBar) {
+      lane.state_ = Lane::State::kReadyNext;
+      rb.warp_ready[t / kWarpSize]++;
     }
+  }
+  rb.ready_total += rb.block_bar_total;
+  rb.block_bar_total = 0;
+}
 
-    for (;;) {
-      bool any_active = false;
-      bool progress = false;
-      for (std::size_t s = 0; s < blocks_.size(); ++s) {
-        ResidentBlock& rb = blocks_[s];
-        if (!rb.active) continue;
-        any_active = true;
-        if (cfg_.schedule_seed != 0) {
-          // Fuzzed warp scheduling: resume lanes in a fresh random order
-          // each pass. Fisher-Yates with the seeded generator.
-          for (std::size_t i = lane_order_.size(); i > 1; --i) {
-            std::swap(lane_order_[i - 1],
-                      lane_order_[shuffle_rng_.next_bounded(i)]);
-          }
+void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel) {
+  if (grid_dim == 0) return;
+  ensure_capacity(grid_dim);
+  grid_dim_ = grid_dim;
+  kernel_ = &kernel;
+
+  std::uint32_t next_block = 0;
+  for (auto& rb : blocks_) {
+    rb.active = false;
+    if (next_block < grid_dim) init_block(rb, next_block++);
+  }
+
+  for (;;) {
+    bool any_active = false;
+    bool progress = false;
+    for (std::size_t s = 0; s < blocks_.size(); ++s) {
+      ResidentBlock& rb = blocks_[s];
+      if (!rb.active) continue;
+      any_active = true;
+      if (cfg_.schedule_seed != 0) {
+        // Fuzzed warp scheduling: resume live lanes in a fresh random
+        // order each pass. Fisher-Yates with the seeded generator.
+        for (std::size_t i = rb.live_lanes.size(); i > 1; --i) {
+          std::swap(rb.live_lanes[i - 1],
+                    rb.live_lanes[shuffle_rng_.next_bounded(i)]);
         }
-        for (const std::uint32_t t : lane_order_) {
-          Lane& lane = lanes_[rb.first_lane + t];
-          if (lane.state_ != Lane::State::kReady) continue;
-          step(rb, lane);
+      }
+      const std::uint32_t live_before = rb.live;
+      for (const std::uint32_t t : rb.live_lanes) {
+        Lane& lane = lanes_[rb.first_lane + t];
+        if (lane.state_ != Lane::State::kReady) continue;
+        step(rb, lane);
+        progress = true;
+      }
+      // Lanes a barrier released this pass become runnable next pass (see
+      // Lane::State::kReadyNext). Under the default thread-order schedule
+      // they were all stepped before the release, so this changes nothing;
+      // under fuzzed orders it keeps the phases strict.
+      for (const std::uint32_t t : rb.live_lanes) {
+        Lane& lane = lanes_[rb.first_lane + t];
+        if (lane.state_ == Lane::State::kReadyNext) {
+          lane.state_ = Lane::State::kReady;
+        }
+      }
+      if (rb.live != live_before) {
+        // Drop drained lanes so later passes never revisit Done fibers.
+        std::erase_if(rb.live_lanes, [&](std::uint32_t t) {
+          return lanes_[rb.first_lane + t].state_ == Lane::State::kDone;
+        });
+      }
+      if (rb.live == 0) {
+        rb.active = false;
+        if (next_block < grid_dim_) {
+          init_block(rb, next_block++);
           progress = true;
         }
-        if (rb.live == 0) {
-          rb.active = false;
-          if (next_block < grid_dim_) {
-            init_block(rb, next_block++);
-            progress = true;
-          }
-        }
-      }
-      if (!any_active) return;
-      if (!progress) {
-        throw std::runtime_error(
-            "simt: barrier deadlock — lanes waiting on a barrier no peer "
-            "will reach");
       }
     }
-  }
-
- private:
-  struct ResidentBlock {
-    bool active = false;
-    std::uint32_t block_idx = 0;
-    std::uint32_t first_lane = 0;
-    std::uint32_t live = 0;  // lanes not yet Done
-    std::vector<std::byte> shared;
-  };
-
-  static void lane_entry(void* arg) {
-    auto* lane = static_cast<Lane*>(arg);
-    auto* self = static_cast<Scheduler*>(lane->runner_context_);
-    self->kernel_(*lane);
-  }
-
-  void init_block(ResidentBlock& rb, std::uint32_t block_idx) {
-    const auto slot = static_cast<std::uint32_t>(&rb - blocks_.data());
-    rb.active = true;
-    rb.block_idx = block_idx;
-    rb.first_lane = slot * cfg_.block_dim;
-    rb.live = cfg_.block_dim;
-    rb.shared.assign(cfg_.shared_bytes, std::byte{0});
-    for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
-      Lane& lane = lanes_[rb.first_lane + t];
-      lane.runner_context_ = this;
-      lane.counters_ = &ctr_;
-      lane.shared_ = rb.shared.data();
-      lane.thread_idx_ = t;
-      lane.block_idx_ = block_idx;
-      lane.block_dim_ = cfg_.block_dim;
-      lane.grid_dim_ = grid_dim_;
-      lane.state_ = Lane::State::kReady;
-      std::byte* stack =
-          stacks_.get() +
-          static_cast<std::size_t>(rb.first_lane + t) * cfg_.stack_bytes;
-      lane.fiber_.init(stack, cfg_.stack_bytes, &lane_entry, &lane);
-      ctr_.threads_run++;
-    }
-  }
-
-  void step(ResidentBlock& rb, Lane& lane) {
-    ctr_.fiber_switches++;
-    lane.fiber_.resume();
-    if (!lane.fiber_.stack_intact()) {
+    if (!any_active) break;
+    if (!progress) {
+      kernel_ = nullptr;
       throw std::runtime_error(
-          "simt: fiber stack overflow (raise LaunchConfig::stack_bytes)");
-    }
-    if (lane.fiber_.finished()) {
-      lane.state_ = Lane::State::kDone;
-      --rb.live;
-    }
-    // The lane either finished or parked at a barrier; in both cases a
-    // barrier it participates in may now be complete.
-    try_release_warp(rb, lane.thread_idx_ / kWarpSize);
-    try_release_block(rb);
-  }
-
-  void try_release_warp(ResidentBlock& rb, std::uint32_t warp) {
-    const std::uint32_t lo = warp * kWarpSize;
-    const std::uint32_t hi = std::min(lo + kWarpSize, cfg_.block_dim);
-    bool any_waiting = false;
-    for (std::uint32_t t = lo; t < hi; ++t) {
-      const Lane& lane = lanes_[rb.first_lane + t];
-      switch (lane.state_) {
-        case Lane::State::kReady:
-          return;  // a peer is still running its segment
-        case Lane::State::kAtWarpBar:
-          any_waiting = true;
-          break;
-        case Lane::State::kAtBlockBar:  // suspended beyond the warp barrier
-        case Lane::State::kDone:        // exited lanes do not participate
-          break;
-      }
-    }
-    if (!any_waiting) return;
-    for (std::uint32_t t = lo; t < hi; ++t) {
-      Lane& lane = lanes_[rb.first_lane + t];
-      if (lane.state_ == Lane::State::kAtWarpBar) {
-        lane.state_ = Lane::State::kReady;
-      }
+          "simt: barrier deadlock — lanes waiting on a barrier no peer "
+          "will reach");
     }
   }
-
-  void try_release_block(ResidentBlock& rb) {
-    bool any_waiting = false;
-    for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
-      const Lane& lane = lanes_[rb.first_lane + t];
-      if (lane.state_ == Lane::State::kReady ||
-          lane.state_ == Lane::State::kAtWarpBar) {
-        return;  // someone has not reached the block barrier yet
-      }
-      if (lane.state_ == Lane::State::kAtBlockBar) any_waiting = true;
-    }
-    if (!any_waiting) return;
-    for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
-      Lane& lane = lanes_[rb.first_lane + t];
-      if (lane.state_ == Lane::State::kAtBlockBar) {
-        lane.state_ = Lane::State::kReady;
-      }
-    }
-  }
-
-  std::uint32_t grid_dim_;
-  LaunchConfig cfg_;
-  PerfCounters& ctr_;
-  const Kernel& kernel_;
-  std::unique_ptr<std::byte[]> stacks_;
-  std::unique_ptr<Lane[]> lanes_;
-  std::vector<ResidentBlock> blocks_;
-  std::vector<std::uint32_t> lane_order_;
-  nulpa::Xoshiro256 shuffle_rng_;
-};
+  kernel_ = nullptr;
+}
 
 void Lane::syncwarp() {
   counters().warp_syncs++;
@@ -211,14 +252,14 @@ std::byte* Lane::shared() const noexcept { return shared_; }
 PerfCounters& Lane::counters() const noexcept { return *counters_; }
 
 void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
-            const Kernel& kernel) {
+            KernelRef kernel) {
   if (cfg.block_dim == 0) {
     throw std::invalid_argument("simt::launch: block_dim must be > 0");
   }
   ctr.kernel_launches++;
   if (grid_dim == 0) return;
-  Scheduler scheduler(grid_dim, cfg, ctr, kernel);
-  scheduler.run();
+  LaunchSession session(cfg, ctr);
+  session.run(grid_dim, kernel);
 }
 
 }  // namespace nulpa::simt

@@ -8,15 +8,29 @@
 // between their gather phase (reading neighbour labels) and commit phase
 // (writing the new label) — exactly the implicit lockstep of real warps
 // that causes the community-swap livelock of Section 4.1.
+//
+// Two entry points:
+//   - launch(): one-shot grid, allocates its fiber stacks per call.
+//   - LaunchSession: reusable launch context. Fiber stacks, lane array and
+//     the shared-memory arena persist across run() calls, so per-iteration
+//     kernels (ν-LPA launches two per iteration, twenty iterations deep)
+//     pay the allocation cost once. Barrier release uses per-warp and
+//     per-block arrival counters (O(1) per step instead of rescanning the
+//     block), and drained lanes drop off the resume list so Done fibers
+//     are never revisited.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "simt/counters.hpp"
 #include "simt/fiber.hpp"
+#include "util/rng.hpp"
 
 namespace nulpa::simt {
 
@@ -36,7 +50,7 @@ struct LaunchConfig {
   std::uint64_t schedule_seed = 0;
 };
 
-class Scheduler;
+class LaunchSession;
 
 /// Per-thread kernel context — the CUDA built-ins plus barriers, atomics,
 /// and counter hooks. Only valid inside a running kernel.
@@ -109,11 +123,19 @@ class Lane {
   }
 
  private:
-  friend class Scheduler;
+  friend class LaunchSession;
 
-  enum class State : std::uint8_t { kReady, kAtWarpBar, kAtBlockBar, kDone };
+  // kReadyNext: released from a barrier mid-pass; runnable from the next
+  // pass on. Deferring the resume keeps barrier-separated phases strict
+  // under schedule fuzzing — no lane crosses a barrier in the same pass
+  // its peers are still arriving in — which in turn makes the scheduler's
+  // gather cohorts independent of lane order (the property frontier
+  // compaction's byte-identity relies on).
+  enum class State : std::uint8_t {
+    kReady, kReadyNext, kAtWarpBar, kAtBlockBar, kDone
+  };
 
-  void* runner_context_ = nullptr;  // owning Scheduler
+  void* runner_context_ = nullptr;  // owning LaunchSession
   PerfCounters* counters_ = nullptr;
   std::byte* shared_ = nullptr;
   Fiber fiber_;
@@ -126,10 +148,98 @@ class Lane {
 
 using Kernel = std::function<void(Lane&)>;
 
+/// Non-owning reference to any `void(Lane&)` callable: one indirect call,
+/// no type erasure allocation. The referenced callable must outlive the
+/// run() it is passed to (trivially true for launch-scoped lambdas).
+class KernelRef {
+ public:
+  template <typename K>
+    requires(!std::is_same_v<std::remove_cvref_t<K>, KernelRef> &&
+             std::invocable<K&, Lane&>)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — call sites pass lambdas directly.
+  KernelRef(K&& kernel) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(
+            std::addressof(kernel)))),
+        call_([](void* obj, Lane& lane) {
+          (*static_cast<std::remove_reference_t<K>*>(obj))(lane);
+        }) {}
+
+  void operator()(Lane& lane) const { call_(obj_, lane); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, Lane&);
+};
+
+/// Reusable launch context bound to one LaunchConfig and counter sink.
+/// run() executes one grid with the same semantics as launch() but without
+/// bumping PerfCounters::kernel_launches — callers that assemble a logical
+/// kernel from several window launches (the frontier-compacted engines)
+/// bump it once per logical kernel themselves.
+class LaunchSession {
+ public:
+  LaunchSession(const LaunchConfig& cfg, PerfCounters& ctr);
+  ~LaunchSession();
+  LaunchSession(const LaunchSession&) = delete;
+  LaunchSession& operator=(const LaunchSession&) = delete;
+
+  /// Runs `grid_dim` blocks of `cfg.block_dim` threads to completion.
+  /// Throws std::runtime_error on barrier deadlock or stack overflow.
+  void run(std::uint32_t grid_dim, KernelRef kernel);
+
+  [[nodiscard]] const LaunchConfig& config() const noexcept { return cfg_; }
+
+ private:
+  friend class Lane;
+
+  /// One simulated SM slot with its arrival counters. `warp_ready` /
+  /// `warp_at_bar` track, per warp, how many lanes are runnable vs parked
+  /// at the warp barrier; the block-level totals do the same across the
+  /// whole block. Barrier release is then a counter compare instead of a
+  /// lane rescan (the seed scheduler's O(block_dim) per step).
+  struct ResidentBlock {
+    bool active = false;
+    std::uint32_t block_idx = 0;
+    std::uint32_t first_lane = 0;
+    std::uint32_t live = 0;  // lanes not yet Done
+    std::byte* shared = nullptr;
+    std::vector<std::uint32_t> warp_ready;
+    std::vector<std::uint32_t> warp_at_bar;
+    std::uint32_t ready_total = 0;
+    std::uint32_t warp_bar_total = 0;
+    std::uint32_t block_bar_total = 0;
+    // Non-Done lanes in resume order; rebuilt once per pass so drained
+    // lanes are never revisited.
+    std::vector<std::uint32_t> live_lanes;
+  };
+
+  static void lane_entry(void* arg);
+
+  void ensure_capacity(std::uint32_t grid_dim);
+  void init_block(ResidentBlock& rb, std::uint32_t block_idx);
+  void step(ResidentBlock& rb, Lane& lane);
+  void try_release_warp(ResidentBlock& rb, std::uint32_t warp);
+  void try_release_block(ResidentBlock& rb);
+
+  LaunchConfig cfg_;
+  PerfCounters& ctr_;
+  std::uint32_t grid_dim_ = 0;  // grid of the run() in progress
+  std::uint32_t slots_ = 0;     // allocated residency
+  const KernelRef* kernel_ = nullptr;
+  std::unique_ptr<std::byte[]> stacks_;
+  std::unique_ptr<Lane[]> lanes_;
+  std::unique_ptr<std::byte[]> shared_arena_;
+  std::vector<ResidentBlock> blocks_;
+  nulpa::Xoshiro256 shuffle_rng_;
+};
+
 /// Launches `grid_dim` blocks of `cfg.block_dim` threads running `kernel`,
 /// and blocks until the grid drains. Counter totals accumulate into `ctr`.
 /// Throws std::runtime_error on barrier deadlock or stack overflow.
+/// One-shot: allocates a fresh LaunchSession per call; iteration-hot code
+/// should hold a LaunchSession instead.
 void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
-            const Kernel& kernel);
+            KernelRef kernel);
 
 }  // namespace nulpa::simt

@@ -176,6 +176,9 @@ TEST(Counters, StreamRoundTripPreservesEveryField) {
   c.fiber_switches = 37;
   c.edges_scanned = 41;
   c.threads_run = 43;
+  c.frontier_vertices = 47;
+  c.skipped_lanes = 53;
+  c.barrier_checks = 59;
 
   std::ostringstream os;
   os << c;

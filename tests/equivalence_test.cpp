@@ -203,5 +203,67 @@ TEST(Equivalence, ConvergedStateIsAFixedPoint) {
   EXPECT_LT(improvable, static_cast<int>(0.10 * g.num_vertices()));
 }
 
+// Frontier compaction must be invisible in the labels: the compacted
+// worklists preserve each resident window's gather cohort, so every run
+// below must agree byte-for-byte with its full-range twin — across graph
+// shapes, schedule seeds, and kernel splits.
+
+NuLpaConfig fuzz_config(std::uint64_t schedule_seed) {
+  NuLpaConfig cfg;
+  cfg.launch.schedule_seed = schedule_seed;
+  return cfg;
+}
+
+void expect_compaction_transparent(const Graph& g, const NuLpaConfig& cfg,
+                                   const char* what) {
+  const auto full = nu_lpa(g, cfg.with_frontier_compaction(false));
+  const auto comp = nu_lpa(g, cfg.with_frontier_compaction(true));
+  EXPECT_EQ(full.labels, comp.labels) << what;
+  EXPECT_EQ(full.iterations, comp.iterations) << what;
+  // The compacted run must never launch more lane slots than it skips
+  // plus processes — i.e. the counters actually reflect compaction.
+  EXPECT_EQ(full.counters.edges_scanned, comp.counters.edges_scanned)
+      << what;
+}
+
+TEST(Equivalence, FrontierCompactionByteIdenticalOnDistinctWeights) {
+  const Graph g = distinct_weight_graph(700, 2800, 77);
+  expect_compaction_transparent(g, NuLpaConfig{}, "distinct weights");
+}
+
+TEST(Equivalence, FrontierCompactionByteIdenticalOnTieHeavyGraph) {
+  // Unit weights everywhere: winners decided purely by tie-break order, so
+  // any cohort perturbation compaction introduced would surface here.
+  const Graph g = generate_erdos_renyi(900, 6.0, 1234);
+  expect_compaction_transparent(g, NuLpaConfig{}, "tie-heavy");
+}
+
+TEST(Equivalence, FrontierCompactionByteIdenticalWithMixedKernels) {
+  // Hub-rich web graph exercises both the TPV and BPV paths (degree
+  // threshold 8 forces plenty of block-per-vertex work).
+  const Graph g = generate_web(1200, 7, 0.85, 5);
+  expect_compaction_transparent(
+      g, NuLpaConfig{}.with_switch_degree(8), "mixed kernels");
+}
+
+TEST(Equivalence, FrontierCompactionByteIdenticalUnderScheduleFuzz) {
+  const Graph g = generate_web(800, 6, 0.85, 23);
+  for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL, 424242ULL}) {
+    expect_compaction_transparent(
+        g, fuzz_config(seed),
+        ("schedule_seed=" + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(Equivalence, FrontierCompactionByteIdenticalUnderFuzzWithTies) {
+  // The hardest combination: random lane order AND tie-decided winners.
+  const Graph g = generate_erdos_renyi(600, 5.0, 31);
+  for (const std::uint64_t seed : {3ULL, 17ULL, 1234ULL}) {
+    expect_compaction_transparent(
+        g, fuzz_config(seed).with_swap(SwapPrevention::none()),
+        ("ties schedule_seed=" + std::to_string(seed)).c_str());
+  }
+}
+
 }  // namespace
 }  // namespace nulpa

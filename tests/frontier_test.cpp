@@ -1,0 +1,91 @@
+// Frontier-compaction pipeline: counter accounting, the scheduler-cost
+// regression ceiling, and the baselines sharing the launch path. The label
+// byte-identity guarantees live in equivalence_test.cpp; these tests pin
+// the *performance* contract — compaction must actually shrink what the
+// simulator spawns, and must never regress past the recorded ceiling.
+#include <gtest/gtest.h>
+
+#include "baselines/gunrock_lpa_simt.hpp"
+#include "core/nulpa.hpp"
+#include "graph/generators.hpp"
+
+namespace nulpa {
+namespace {
+
+/// The fixed geometric graph all regression numbers below were recorded
+/// on: a 64x64 road grid with 2% shortcut edges, seed 7 (4096 vertices).
+Graph regression_graph() { return generate_road(64, 64, 0.02, 7); }
+
+TEST(FrontierRegression, FiberSwitchesStayUnderRecordedCeiling) {
+  // Recorded on the session-scheduler + per-window-compaction
+  // implementation: 33794 fiber switches over 7 iterations (the full-range
+  // launch needs 57344). The ceiling leaves ~18% headroom for benign
+  // scheduling changes; anything above it means lanes are being spawned or
+  // revisited that compaction used to skip.
+  const auto r = nu_lpa(regression_graph());
+  EXPECT_LE(r.counters.fiber_switches, 40000u);
+  EXPECT_EQ(r.iterations, 7);
+}
+
+TEST(FrontierRegression, CompactionSpawnsFewerFibersThanFullRange) {
+  const Graph g = regression_graph();
+  const auto compacted = nu_lpa(g);
+  const auto full = nu_lpa(g, NuLpaConfig{}.with_frontier_compaction(false));
+  EXPECT_LT(compacted.counters.fiber_switches,
+            full.counters.fiber_switches);
+  EXPECT_LT(compacted.counters.threads_run, full.counters.threads_run);
+  EXPECT_EQ(compacted.labels, full.labels);
+}
+
+TEST(FrontierCounters, CompactedRunAccountsEveryLaneSlot) {
+  // Per iteration the compaction scan walks both degree partitions once,
+  // so launched actives plus skipped slots must equal iterations * |V|.
+  const Graph g = regression_graph();
+  const auto r = nu_lpa(g);
+  EXPECT_GT(r.counters.skipped_lanes, 0u);
+  EXPECT_GT(r.counters.frontier_vertices, 0u);
+  EXPECT_EQ(r.counters.frontier_vertices + r.counters.skipped_lanes,
+            static_cast<std::uint64_t>(r.iterations) * g.num_vertices());
+}
+
+TEST(FrontierCounters, FullRangeRunReportsNoFrontier) {
+  const auto r = nu_lpa(regression_graph(),
+                        NuLpaConfig{}.with_frontier_compaction(false));
+  EXPECT_EQ(r.counters.frontier_vertices, 0u);
+  EXPECT_EQ(r.counters.skipped_lanes, 0u);
+}
+
+TEST(FrontierCounters, CompactionIsInertWithoutPruning) {
+  // Without pruning every vertex stays active, so the compacted launch
+  // degenerates to the full range — and the engine skips the scan
+  // entirely rather than charging for a no-op compaction kernel.
+  const Graph g = regression_graph();
+  NuLpaConfig cfg;
+  cfg.pruning = false;
+  const auto on = nu_lpa(g, cfg.with_frontier_compaction(true));
+  const auto off = nu_lpa(g, cfg.with_frontier_compaction(false));
+  EXPECT_EQ(on.labels, off.labels);
+  EXPECT_EQ(on.counters, off.counters);
+}
+
+TEST(GunrockFrontier, MatchesFullSweepAndKeepsLaunchSchedule) {
+  // The Gunrock SIMT baseline shares the session launch path. Synchronous
+  // LPA reads a snapshot, so its changed-neighborhood frontier is label
+  // identical by construction — and its fixed schedule must still report
+  // one launch per iteration either way.
+  const Graph g = generate_web(2000, 6, 0.85, 9);
+  GunrockLpaConfig cfg;
+  const auto compacted = gunrock_lpa_simt(g, cfg);
+  cfg.frontier_compaction = false;
+  const auto full = gunrock_lpa_simt(g, cfg);
+  EXPECT_EQ(compacted.labels, full.labels);
+  EXPECT_EQ(compacted.counters.kernel_launches,
+            static_cast<std::uint64_t>(compacted.iterations));
+  EXPECT_EQ(full.counters.kernel_launches,
+            static_cast<std::uint64_t>(full.iterations));
+  EXPECT_EQ(full.counters.frontier_vertices,
+            static_cast<std::uint64_t>(full.iterations) * g.num_vertices());
+}
+
+}  // namespace
+}  // namespace nulpa

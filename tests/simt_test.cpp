@@ -365,5 +365,117 @@ TEST(Counters, MemoryHooksAccumulate) {
   EXPECT_EQ(ctr.global_stores, 16u);
 }
 
+TEST(Atomics, FloatAddSumsLaneDistinctValuesAcrossBlocks) {
+  LaunchConfig cfg;
+  cfg.block_dim = 96;  // 3 warps, last one partial when grid pads
+  cfg.resident_blocks = 2;
+  PerfCounters ctr;
+  float fsum = 0.0f;
+  launch(4, cfg, ctr, [&](Lane& lane) {
+    // Each lane adds its own power-of-two-scaled index: exactly
+    // representable, so any lost update shows as an exact mismatch.
+    lane.atomic_add(fsum, 0.25f * static_cast<float>(lane.thread_idx()));
+  });
+  // 4 blocks * sum(0..95)/4 = 4 * 4560 * 0.25
+  EXPECT_FLOAT_EQ(fsum, 4560.0f);
+  EXPECT_EQ(ctr.atomic_ops, 4u * 96u);
+}
+
+TEST(Atomics, DoubleAddHandlesNegativeAndBarrierSeparatedPhases) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  PerfCounters ctr;
+  double dsum = 1024.0;
+  bool mid_ok = true;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    lane.atomic_add(dsum, -8.0);
+    lane.syncthreads();
+    // Phase boundary: every lane's subtraction must be visible here.
+    if (dsum != 1024.0 - 64.0 * 8.0) mid_ok = false;
+    lane.syncthreads();
+    lane.atomic_add(dsum, 0.5);
+  });
+  EXPECT_TRUE(mid_ok);
+  EXPECT_DOUBLE_EQ(dsum, 1024.0 - 64.0 * 8.0 + 64.0 * 0.5);
+}
+
+TEST(Session, RunDoesNotBumpKernelLaunches) {
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  PerfCounters ctr;
+  LaunchSession session(cfg, ctr);
+  int runs = 0;
+  for (int i = 0; i < 3; ++i) {
+    session.run(2, [&](Lane&) { ++runs; });
+  }
+  // Sessions let callers compose several run() windows into one logical
+  // kernel; the caller decides what counts as a launch.
+  EXPECT_EQ(ctr.kernel_launches, 0u);
+  EXPECT_EQ(runs, 3 * 2 * 32);
+  EXPECT_EQ(ctr.threads_run, 3u * 2u * 32u);
+}
+
+TEST(Session, SharedMemoryIsZeroedAcrossRuns) {
+  LaunchConfig cfg;
+  cfg.block_dim = 16;
+  cfg.shared_bytes = 64;
+  cfg.resident_blocks = 1;
+  PerfCounters ctr;
+  LaunchSession session(cfg, ctr);
+  bool zeroed = true;
+  for (int r = 0; r < 2; ++r) {
+    session.run(2, [&](Lane& lane) {
+      auto* words = reinterpret_cast<std::uint32_t*>(lane.shared());
+      if (lane.thread_idx() == 0) {
+        for (int i = 0; i < 16; ++i) {
+          if (words[i] != 0) zeroed = false;  // prior run/block must not leak
+        }
+      }
+      lane.syncthreads();
+      words[lane.thread_idx()] = 0xA5A5A5A5u;  // poison for the next block
+    });
+  }
+  EXPECT_TRUE(zeroed);
+}
+
+TEST(Barrier, ArrivalCountersReleaseMixedExitWarps) {
+  // Warps where some lanes exit before the barrier and the rest sync: the
+  // arrival counters must treat Done lanes as non-participants, at every
+  // warp fill level (full, partial, singleton).
+  LaunchConfig cfg;
+  cfg.block_dim = 70;  // 2 full warps + a 6-lane partial warp
+  PerfCounters ctr;
+  std::vector<int> after(70, 0);
+  bool phases_ok = true;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    if (lane.thread_idx() % 3 == 0) return;  // early exit, no barrier
+    lane.syncwarp();
+    after[lane.thread_idx()] = 1;
+    lane.syncthreads();
+    // All surviving lanes of all warps must have passed the syncwarp.
+    for (std::uint32_t t = 0; t < 70; ++t) {
+      if (t % 3 != 0 && after[t] != 1) phases_ok = false;
+    }
+  });
+  EXPECT_TRUE(phases_ok);
+  EXPECT_GT(ctr.barrier_checks, 0u);
+}
+
+TEST(Barrier, ReleaseVerdictsAreConstantTimePerArrival) {
+  // O(1) release: every barrier arrival produces at most two counter
+  // verdicts (warp + block), so barrier_checks is linearly bounded by
+  // arrivals — the old scheduler's rescan was quadratic in block_dim.
+  LaunchConfig cfg;
+  cfg.block_dim = 256;
+  PerfCounters ctr;
+  launch(2, cfg, ctr, [&](Lane& lane) {
+    lane.syncwarp();
+    lane.syncthreads();
+    lane.syncwarp();
+  });
+  const std::uint64_t arrivals = ctr.warp_syncs + ctr.block_syncs;
+  EXPECT_LE(ctr.barrier_checks, 2 * arrivals + 2ull * 2 * 256);
+}
+
 }  // namespace
 }  // namespace nulpa::simt
