@@ -1,0 +1,200 @@
+// Executor-mode study: ν-LPA on the fiberless direct executor vs the
+// lockstep fiber path. The split TPV kernels are barrier-free, so the
+// direct executor runs their lanes as plain calls — one context switch per
+// launch instead of two per lane — while keeping labels byte-identical
+// (DESIGN.md "Executor modes"). Sweeps the largest instance of each suite
+// category shape; road and k-mer graphs are TPV-dominated (the showcase),
+// web crawls keep a BPV hub tail that stays on fibers either way. Emits
+// machine-readable BENCH_fiberless.json for tools/bench_check.py; the
+// committed reference copy lives under bench/baselines/.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/nulpa.hpp"
+#include "graph/dataset.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace nulpa;
+
+struct ModeStats {
+  RunReport report;
+  double seconds = 0.0;
+};
+
+ModeStats run_mode(const Graph& g, const NuLpaConfig& cfg) {
+  ModeStats s;
+  Timer timer;
+  s.report = nu_lpa(g, cfg);
+  s.seconds = timer.seconds();
+  return s;
+}
+
+struct GraphResult {
+  std::string name;
+  const Graph* graph = nullptr;
+  ModeStats fiber;
+  ModeStats fiberless;
+  bool identical = false;
+  double wall_speedup = 0.0;
+  double switch_reduction = 0.0;  // fiber switches, fiber / fiberless
+};
+
+void write_mode(std::FILE* f, const char* name, const ModeStats& s) {
+  const auto& c = s.report.counters;
+  std::fprintf(f, "      \"%s\": {\n", name);
+  std::fprintf(f, "        \"seconds\": %.6f,\n", s.seconds);
+  std::fprintf(f, "        \"iterations\": %d,\n", s.report.iterations);
+  std::fprintf(f, "        \"fiber_switches\": %llu,\n",
+               static_cast<unsigned long long>(c.fiber_switches));
+  std::fprintf(f, "        \"threads_run\": %llu,\n",
+               static_cast<unsigned long long>(c.threads_run));
+  std::fprintf(f, "        \"fiberless_lanes\": %llu,\n",
+               static_cast<unsigned long long>(c.fiberless_lanes));
+  std::fprintf(f, "        \"promoted_lanes\": %llu,\n",
+               static_cast<unsigned long long>(c.promoted_lanes));
+  std::fprintf(f, "        \"stack_pool_hits\": %llu,\n",
+               static_cast<unsigned long long>(c.stack_pool_hits));
+  std::fprintf(f, "        \"shared_zero_fills\": %llu\n",
+               static_cast<unsigned long long>(c.shared_zero_fills));
+  std::fprintf(f, "      }");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nulpa;
+  const CliArgs args(argc, argv);
+  const auto scale = args.get_int("scale", 4000);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string out = args.get("out", "BENCH_fiberless.json");
+
+  // TPV-dominated suite: road networks and k-mer chains are almost
+  // entirely low-degree (every vertex under the switch threshold goes
+  // through the barrier-free split kernels); the web crawl is the stress
+  // case whose hub tail keeps real BPV fiber work in both modes. The road
+  // network runs at 3x base so the largest graph is the showcase shape.
+  struct Pick {
+    const char* name;
+    int factor;
+  };
+  const Pick picks[] = {
+      {"europe_osm", 3}, {"kmer_V1r", 1}, {"webbase-2001", 1}};
+
+  // Tolerance 0 runs the full iteration budget: the comparison should
+  // cover dense early sweeps and sparse late ones alike.
+  const NuLpaConfig base = NuLpaConfig{}.with_tolerance(0.0);
+
+  std::vector<DatasetInstance> instances;
+  std::vector<GraphResult> results;
+  for (const Pick& pick : picks) {
+    const DatasetSpec* spec = nullptr;
+    for (const DatasetSpec& s : dataset_specs()) {
+      if (s.name == pick.name) spec = &s;
+    }
+    if (spec == nullptr) continue;
+    instances.push_back(make_dataset(
+        *spec, static_cast<Vertex>(scale * pick.factor), seed));
+  }
+  std::printf("=== Executor modes: nu-LPA fiberless direct executor vs "
+              "lockstep fiber path (20 iterations)\n\n");
+
+  for (const DatasetInstance& inst : instances) {
+    GraphResult r;
+    r.name = inst.spec.name;
+    r.graph = &inst.graph;
+    r.fiber = run_mode(inst.graph, base.with_fiberless(false));
+    r.fiberless = run_mode(inst.graph, base.with_fiberless(true));
+    r.identical = r.fiber.report.labels == r.fiberless.report.labels;
+    r.wall_speedup = r.fiberless.seconds > 0
+                         ? r.fiber.seconds / r.fiberless.seconds
+                         : 0.0;
+    const auto sw_fiber = r.fiber.report.counters.fiber_switches;
+    const auto sw_direct = r.fiberless.report.counters.fiber_switches;
+    r.switch_reduction =
+        sw_direct > 0 ? static_cast<double>(sw_fiber) /
+                            static_cast<double>(sw_direct)
+                      : 0.0;
+    results.push_back(std::move(r));
+  }
+
+  TextTable table({"graph", "|V|", "wall speedup", "fiber-switch cut",
+                   "labels identical"});
+  bool all_identical = true;
+  const GraphResult* largest = nullptr;
+  for (const GraphResult& r : results) {
+    all_identical = all_identical && r.identical;
+    if (largest == nullptr ||
+        r.graph->num_vertices() > largest->graph->num_vertices()) {
+      largest = &r;
+    }
+    table.add_row({r.name,
+                   fmt_count(static_cast<double>(r.graph->num_vertices())),
+                   fmt(r.wall_speedup, 2) + "x",
+                   fmt(r.switch_reduction, 2) + "x",
+                   r.identical ? "yes" : "NO"});
+  }
+  table.print();
+  if (largest != nullptr) {
+    std::printf("\nlargest graph (%s, |V|=%u): wall %.2fx, fiber switches "
+                "cut %.2fx\n",
+                largest->name.c_str(), largest->graph->num_vertices(),
+                largest->wall_speedup, largest->switch_reduction);
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"scale\": %d,\n", static_cast<int>(scale));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  // bench_check.py reads the per-graph mode objects by these names.
+  std::fprintf(f, "  \"reference_mode\": \"fiber\",\n");
+  std::fprintf(f, "  \"optimized_mode\": \"fiberless\",\n");
+  std::fprintf(f, "  \"labels_identical\": %s,\n",
+               all_identical ? "true" : "false");
+  if (largest != nullptr) {
+    std::fprintf(f,
+                 "  \"headline\": {\"graph\": \"%s\", \"vertices\": %u, "
+                 "\"wall_clock_speedup\": %.4f, "
+                 "\"fiber_switch_reduction\": %.4f},\n",
+                 largest->name.c_str(), largest->graph->num_vertices(),
+                 largest->wall_speedup, largest->switch_reduction);
+  }
+  std::fprintf(f, "  \"graphs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const GraphResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f,
+                 "      \"name\": \"%s\", \"vertices\": %u, "
+                 "\"edges\": %llu,\n",
+                 r.name.c_str(), r.graph->num_vertices(),
+                 static_cast<unsigned long long>(r.graph->num_edges()));
+    std::fprintf(f, "      \"labels_identical\": %s,\n",
+                 r.identical ? "true" : "false");
+    std::fprintf(f,
+                 "      \"speedup\": {\"wall_clock\": %.4f, "
+                 "\"fiber_switch_reduction\": %.4f},\n",
+                 r.wall_speedup, r.switch_reduction);
+    write_mode(f, "fiber", r.fiber);
+    std::fprintf(f, ",\n");
+    write_mode(f, "fiberless", r.fiberless);
+    std::fprintf(f, "\n    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  // Gate locally too: the whole point of the mode is a >= 2x cut in
+  // context switches on the TPV-dominated showcase.
+  const bool switch_win =
+      largest != nullptr && largest->switch_reduction >= 2.0;
+  return all_identical && switch_win ? 0 : 1;
+}

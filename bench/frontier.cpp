@@ -119,8 +119,14 @@ int main(int argc, char** argv) {
       {"europe_osm", 3}, {"kmer_V1r", 1}, {"webbase-2001", 1}};
 
   // Tolerance 0 runs the full 20-iteration budget so the sparse tail —
-  // where compaction pays — is all present.
-  const NuLpaConfig base = NuLpaConfig{}.with_tolerance(0.0);
+  // where compaction pays — is all present. Pinned to the lockstep fiber
+  // path: this bench measures what compaction saves the fiber scheduler
+  // (fibers never spawned), and the committed baseline was recorded there.
+  // Under the default fiberless executor the per-lane switches compaction
+  // used to eliminate are already gone — bench/fiberless.cpp covers that
+  // comparison.
+  const NuLpaConfig base =
+      NuLpaConfig{}.with_tolerance(0.0).with_fiberless(false);
 
   std::vector<DatasetInstance> instances;
   std::vector<GraphResult> results;

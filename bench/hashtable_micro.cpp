@@ -2,6 +2,9 @@
 // per-vertex hashtable under each probing policy, plus the coalesced
 // variant and the GVE-LPA dense table for context. This is the host-side
 // cost of the structures; the figure-level benches measure them in situ.
+// BM_GatherPerExecutorMode drives the same probe loop through the SIMT
+// launch path in each executor mode, isolating how much of a simulated
+// gather's cost is scheduler overhead vs table work.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -9,6 +12,7 @@
 #include "hash/coalesced.hpp"
 #include "hash/probing.hpp"
 #include "hash/vertex_table.hpp"
+#include "simt/grid.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 
@@ -67,6 +71,46 @@ void BM_Coalesced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kDegree);
 }
 BENCHMARK(BM_Coalesced);
+
+// A TPV-style gather kernel (one hashtable accumulate loop per lane) run
+// through the SIMT session under each executor mode. Arg 0 selects the
+// mode: 0 = fiberless direct executor (barrier-free traits, the engine's
+// default for the split TPV kernels), 1 = lockstep fiber path. The probe
+// loop is identical, so the throughput gap is pure executor overhead.
+void BM_GatherPerExecutorMode(benchmark::State& state) {
+  const bool lockstep = state.range(0) == 1;
+  state.SetLabel(lockstep ? "fiber" : "fiberless");
+  constexpr std::uint32_t kLanes = 256;
+  const std::uint32_t cap = hashtable_capacity(kDegree);
+  std::vector<Vertex> slots(kLanes * cap);
+  std::vector<float> values(kLanes * cap);
+  std::vector<std::vector<Vertex>> keys;
+  keys.reserve(kLanes);
+  for (std::uint32_t t = 0; t < kLanes; ++t) {
+    keys.push_back(make_keys(kDegree, 7 + t));
+  }
+  simt::LaunchConfig cfg;
+  cfg.block_dim = kLanes;
+  simt::PerfCounters ctr;
+  simt::LaunchSession session(cfg, ctr);
+  const auto traits = lockstep ? simt::KernelTraits::lockstep()
+                               : simt::KernelTraits::barrier_free();
+  for (auto _ : state) {
+    session.run(1, [&](simt::Lane& lane) {
+      const std::uint32_t t = lane.thread_idx();
+      VertexTableView<float> table(slots.data() + t * cap,
+                                   values.data() + t * cap, cap);
+      table.clear();
+      for (const Vertex k : keys[t]) {
+        benchmark::DoNotOptimize(
+            table.accumulate(k, 1.0f, Probing::kQuadDouble));
+      }
+      benchmark::DoNotOptimize(table.max_key());
+    }, traits);
+  }
+  state.SetItemsProcessed(state.iterations() * kLanes * kDegree);
+}
+BENCHMARK(BM_GatherPerExecutorMode)->Arg(0)->Arg(1);
 
 void BM_ClearCost(benchmark::State& state) {
   const auto degree = static_cast<std::uint32_t>(state.range(0));

@@ -19,6 +19,11 @@ struct GunrockLpaConfig {
   // recomputes its previous answer — skipping it is label-identical by
   // construction (Gunrock itself is frontier-based).
   bool frontier_compaction = true;
+  // SIMT variant only: the advance kernel has no barriers, so by default it
+  // declares KernelTraits::barrier_free and runs on the fiberless direct
+  // executor. Off = the lockstep fiber path (labels are identical either
+  // way; only scheduler-cost counters move).
+  bool fiberless = true;
 };
 
 ClusteringResult gunrock_lpa(const Graph& g, const GunrockLpaConfig& cfg);

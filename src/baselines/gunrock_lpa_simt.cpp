@@ -110,7 +110,8 @@ GunrockSimtResult gunrock_lpa_simt(const Graph& g,
       }
       next[v] = best;  // double-buffered: synchronous by construction
       lane.count_store(1);
-    });
+    }, cfg.fiberless ? simt::KernelTraits::barrier_free()
+                     : simt::KernelTraits::lockstep());
     // Diff the double buffers and rebuild the active flags for the next
     // iteration; the diff itself is host-side bookkeeping (Gunrock folds it
     // into the label kernel), so it is not counted as device work.

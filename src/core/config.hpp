@@ -51,6 +51,16 @@ struct NuLpaConfig {
   // full-range launch; only the inactive lanes disappear. No effect when
   // `pruning` is off (every vertex is always active).
   bool frontier_compaction = true;
+  // Run the barrier-free kernels (TPV gather/commit, cross-check) through
+  // the simulator's fiberless direct executor: the TPV kernel is split at
+  // its syncwarp into a gather launch and a commit launch, each declared
+  // KernelTraits::barrier_free, so no lane ever allocates a fiber or pays
+  // a context switch. The split preserves the fused kernel's gather-then-
+  // commit window schedule exactly, so labels stay byte-identical; only
+  // scheduler-cost counters (fiber_switches, warp_syncs) change. The BPV
+  // kernel always keeps full fiber semantics. Off = the fused kernels on
+  // the lockstep fiber path, exactly as before this knob existed.
+  bool fiberless = true;
 
   // Section 4.2 — hashtable design.
   Probing probing = Probing::kQuadDouble;
@@ -101,6 +111,11 @@ struct NuLpaConfig {
   [[nodiscard]] NuLpaConfig with_frontier_compaction(bool on) const {
     NuLpaConfig c = *this;
     c.frontier_compaction = on;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_fiberless(bool on) const {
+    NuLpaConfig c = *this;
+    c.fiberless = on;
     return c;
   }
   [[nodiscard]] NuLpaConfig with_probing(Probing p) const {

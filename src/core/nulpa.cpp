@@ -96,6 +96,14 @@ class Engine {
     bpv_cfg_.shared_bytes = static_cast<std::uint32_t>(scratch_.total);
     tpv_session_.emplace(tpv_cfg_, ctr_);
     bpv_session_.emplace(bpv_cfg_, ctr_);
+    if (cfg_.fiberless) {
+      // Per-window gather results for the split TPV kernel: one slot per
+      // lane of a resident-set window.
+      cstar_.assign(
+          static_cast<std::size_t>(std::max(1u, tpv_cfg_.resident_blocks)) *
+              tpv_cfg_.block_dim,
+          kEmptyKey);
+    }
   }
 
   NuLpaResult run() {
@@ -288,23 +296,54 @@ class Engine {
       }
       launched += count;
       const auto grid = static_cast<std::uint32_t>(ceil_div(count, bdim));
-      tpv_session_->run(grid, [&](simt::Lane& lane) {
-        const std::uint32_t t = lane.global_thread();
-        if (t >= count) return;
-        const Vertex v = work[t];
+      if (cfg_.fiberless) {
+        // Split at the fused kernel's syncwarp: every lane of the window
+        // gathers, then every lane commits — which is exactly the schedule
+        // the lockstep scheduler produces for the fused kernel (a window is
+        // one resident set, so all its lanes park at the syncwarp before
+        // any commits). Both halves are barrier-free, so they run on the
+        // fiberless direct executor: no fibers, no context switches.
+        // `cstar_` carries each lane's candidate across the launch
+        // boundary; in the fused kernel it lives in a register across the
+        // barrier, so the buffer is deliberately not counted as device
+        // traffic — the executor mode must not shift the cost model.
+        tpv_session_->run(grid, [&](simt::Lane& lane) {
+          const std::uint32_t t = lane.global_thread();
+          if (t >= count) return;
+          const Vertex v = work[t];
+          Vertex cstar = kEmptyKey;
+          lane.count_load(1);  // unprocessed flag (or worklist entry)
+          if (!cfg_.pruning || unprocessed_[v]) {
+            unprocessed_[v] = 0;
+            lane.count_store(1);
+            cstar = gather_unshared(lane, v);
+          }
+          cstar_[t] = cstar;
+        }, simt::KernelTraits::barrier_free());
+        tpv_session_->run(grid, [&](simt::Lane& lane) {
+          const std::uint32_t t = lane.global_thread();
+          if (t >= count) return;
+          commit(lane, work[t], cstar_[t]);
+        }, simt::KernelTraits::barrier_free());
+      } else {
+        tpv_session_->run(grid, [&](simt::Lane& lane) {
+          const std::uint32_t t = lane.global_thread();
+          if (t >= count) return;
+          const Vertex v = work[t];
 
-        Vertex cstar = kEmptyKey;
-        lane.count_load(1);  // unprocessed flag (or worklist entry)
-        if (!cfg_.pruning || unprocessed_[v]) {
-          unprocessed_[v] = 0;
-          lane.count_store(1);
-          cstar = gather_unshared(lane, v);
-        }
+          Vertex cstar = kEmptyKey;
+          lane.count_load(1);  // unprocessed flag (or worklist entry)
+          if (!cfg_.pruning || unprocessed_[v]) {
+            unprocessed_[v] = 0;
+            lane.count_store(1);
+            cstar = gather_unshared(lane, v);
+          }
 
-        lane.syncwarp();  // lockstep boundary: warp gathers, then commits
+          lane.syncwarp();  // lockstep boundary: warp gathers, then commits
 
-        commit(lane, v, cstar);
-      });
+          commit(lane, v, cstar);
+        }, simt::KernelTraits::lockstep());
+      }
     }
     return launched;
   }
@@ -436,6 +475,8 @@ class Engine {
         counted_launch = true;
       }
       launched += count;
+      // The BPV kernel is built from syncthreads phases: it keeps full
+      // fiber semantics rather than promoting its lane 0 once per block.
       bpv_session_->run(count, [&](simt::Lane& lane) {
         const Vertex v = work[lane.block_idx()];
         const std::uint32_t tid = lane.thread_idx();
@@ -524,7 +565,7 @@ class Engine {
             lane.count_store(1);
           }
         }
-      });
+      }, simt::KernelTraits::lockstep());
     }
     return launched;
   }
@@ -562,7 +603,8 @@ class Engine {
               lane.atomic_cas(labels_[v], cstar, prev_labels_[v]);
           if (old == cstar) lane.atomic_add(delta_n_, std::uint32_t{1});
         }
-      });
+      }, cfg_.fiberless ? simt::KernelTraits::barrier_free()
+                        : simt::KernelTraits::lockstep());
     }
     return n;
   }
@@ -597,6 +639,9 @@ class Engine {
   // Compacted per-window worklists, reused every iteration.
   std::vector<Vertex> frontier_lo_;
   std::vector<Vertex> frontier_hi_;
+  // Fiberless TPV split: per-window gather results (the register the fused
+  // kernel carries across its syncwarp).
+  std::vector<Vertex> cstar_;
 
   std::uint32_t delta_n_ = 0;
   bool pick_less_ = false;

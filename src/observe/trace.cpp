@@ -47,6 +47,10 @@ constexpr struct {
     {"c_frontier", &simt::PerfCounters::frontier_vertices},
     {"c_skipped", &simt::PerfCounters::skipped_lanes},
     {"c_barchecks", &simt::PerfCounters::barrier_checks},
+    {"c_flanes", &simt::PerfCounters::fiberless_lanes},
+    {"c_promoted", &simt::PerfCounters::promoted_lanes},
+    {"c_poolhits", &simt::PerfCounters::stack_pool_hits},
+    {"c_zerofills", &simt::PerfCounters::shared_zero_fills},
 };
 
 /// Accumulates one flat JSON object; keys are emitted in insertion order so

@@ -33,6 +33,10 @@ constexpr Field kFields[] = {
     {"frontier", &PerfCounters::frontier_vertices},
     {"skipped", &PerfCounters::skipped_lanes},
     {"barchecks", &PerfCounters::barrier_checks},
+    {"flanes", &PerfCounters::fiberless_lanes},
+    {"promoted", &PerfCounters::promoted_lanes},
+    {"poolhits", &PerfCounters::stack_pool_hits},
+    {"zerofills", &PerfCounters::shared_zero_fills},
 };
 
 }  // namespace

@@ -36,6 +36,14 @@ struct PerfCounters {
   // Barrier-release verdicts reached by the O(1) arrival counters — each
   // of these would have been a lane rescan in the pre-session scheduler.
   std::uint64_t barrier_checks = 0;
+  // Executor modes: lanes that ran start-to-finish inline with no fiber,
+  // lanes lazily promoted onto a fiber at their first blocking collective,
+  // stack-pool checkouts served from the free list, and shared-arena
+  // zero-fills actually performed (dirty slots only).
+  std::uint64_t fiberless_lanes = 0;
+  std::uint64_t promoted_lanes = 0;
+  std::uint64_t stack_pool_hits = 0;
+  std::uint64_t shared_zero_fills = 0;
 
   void reset() { *this = PerfCounters{}; }
 
@@ -60,30 +68,44 @@ struct PerfCounters {
     frontier_vertices += o.frontier_vertices;
     skipped_lanes += o.skipped_lanes;
     barrier_checks += o.barrier_checks;
+    fiberless_lanes += o.fiberless_lanes;
+    promoted_lanes += o.promoted_lanes;
+    stack_pool_hits += o.stack_pool_hits;
+    shared_zero_fills += o.shared_zero_fills;
     return *this;
   }
 
-  /// Per-span delta: counters only ever grow, so `later -= earlier` is the
-  /// work done between two snapshots (the per-iteration quantities the
-  /// trace layer records).
+  /// Per-span delta: `later -= earlier` is the work done between two
+  /// snapshots (the per-iteration quantities the trace layer records).
+  /// Subtraction saturates at zero: counters normally only grow, but a
+  /// reset() between the two snapshots would otherwise wrap every field to
+  /// a huge unsigned value and poison any trace or report built from the
+  /// delta.
   PerfCounters& operator-=(const PerfCounters& o) {
-    global_loads -= o.global_loads;
-    global_stores -= o.global_stores;
-    shared_loads -= o.shared_loads;
-    shared_stores -= o.shared_stores;
-    atomic_ops -= o.atomic_ops;
-    hash_inserts -= o.hash_inserts;
-    hash_probes -= o.hash_probes;
-    hash_fallbacks -= o.hash_fallbacks;
-    warp_syncs -= o.warp_syncs;
-    block_syncs -= o.block_syncs;
-    kernel_launches -= o.kernel_launches;
-    fiber_switches -= o.fiber_switches;
-    edges_scanned -= o.edges_scanned;
-    threads_run -= o.threads_run;
-    frontier_vertices -= o.frontier_vertices;
-    skipped_lanes -= o.skipped_lanes;
-    barrier_checks -= o.barrier_checks;
+    const auto sub = [](std::uint64_t a, std::uint64_t b) {
+      return a >= b ? a - b : std::uint64_t{0};
+    };
+    global_loads = sub(global_loads, o.global_loads);
+    global_stores = sub(global_stores, o.global_stores);
+    shared_loads = sub(shared_loads, o.shared_loads);
+    shared_stores = sub(shared_stores, o.shared_stores);
+    atomic_ops = sub(atomic_ops, o.atomic_ops);
+    hash_inserts = sub(hash_inserts, o.hash_inserts);
+    hash_probes = sub(hash_probes, o.hash_probes);
+    hash_fallbacks = sub(hash_fallbacks, o.hash_fallbacks);
+    warp_syncs = sub(warp_syncs, o.warp_syncs);
+    block_syncs = sub(block_syncs, o.block_syncs);
+    kernel_launches = sub(kernel_launches, o.kernel_launches);
+    fiber_switches = sub(fiber_switches, o.fiber_switches);
+    edges_scanned = sub(edges_scanned, o.edges_scanned);
+    threads_run = sub(threads_run, o.threads_run);
+    frontier_vertices = sub(frontier_vertices, o.frontier_vertices);
+    skipped_lanes = sub(skipped_lanes, o.skipped_lanes);
+    barrier_checks = sub(barrier_checks, o.barrier_checks);
+    fiberless_lanes = sub(fiberless_lanes, o.fiberless_lanes);
+    promoted_lanes = sub(promoted_lanes, o.promoted_lanes);
+    stack_pool_hits = sub(stack_pool_hits, o.stack_pool_hits);
+    shared_zero_fills = sub(shared_zero_fills, o.shared_zero_fills);
     return *this;
   }
 

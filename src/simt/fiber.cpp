@@ -27,6 +27,9 @@ void fiber_trampoline_entry() {
     std::fprintf(stderr, "simt: unknown exception escaped kernel fiber\n");
     std::abort();
   }
+  // entry_() may have handed this stack to a different Fiber (lazy
+  // promotion); the identity that must finish is whoever owns it now.
+  f = t_current;
   f->finished_ = true;
   nulpa_fiber_switch(&f->sp_, f->sched_sp_);
   // A finished fiber must never be resumed.
@@ -73,6 +76,26 @@ void Fiber::resume() {
 void Fiber::yield() {
   Fiber* f = t_current;
   nulpa_fiber_switch(&f->sp_, f->sched_sp_);
+}
+
+void Fiber::handoff(Fiber& to) {
+  Fiber* donor = t_current;
+  // `to` inherits the running stack wholesale: the scheduler return point,
+  // the canary, and the entry/arg the trampoline will consult when the
+  // transplanted frames eventually return. The donor keeps nothing — it is
+  // finished the moment control leaves this frame, and its canary is
+  // detached so stack_intact() stays true after the stack changes owner.
+  to.sched_sp_ = donor->sched_sp_;
+  to.canary_ = donor->canary_;
+  to.entry_ = donor->entry_;
+  to.arg_ = donor->arg_;
+  to.finished_ = false;
+  donor->finished_ = true;
+  donor->canary_ = nullptr;
+  t_current = &to;
+  // Suspend as the new identity: saved sp lands in `to`, control returns
+  // to whoever resumed the donor. The next to.resume() continues here.
+  nulpa_fiber_switch(&to.sp_, to.sched_sp_);
 }
 
 Fiber* Fiber::current() noexcept { return t_current; }

@@ -30,6 +30,16 @@ class Fiber {
   /// caller. The next resume() continues after the yield.
   static void yield();
 
+  /// Called from inside the currently-running fiber: transfers the running
+  /// stack — with every live frame on it — to `to`, then suspends exactly
+  /// like yield(). The next `to.resume()` continues after this call on the
+  /// transplanted stack. This is the lazy-promotion primitive: a lane that
+  /// started inline on the direct executor's stack hands that stack over
+  /// and becomes an ordinary suspendable fiber, with no re-execution of the
+  /// work already done. The donor Fiber object is left finished and must
+  /// never be resumed again; `to` must not be a live fiber.
+  static void handoff(Fiber& to);
+
   /// The fiber currently executing on this OS thread (nullptr outside).
   static Fiber* current() noexcept;
 

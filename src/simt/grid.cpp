@@ -15,9 +15,34 @@ namespace nulpa::simt {
 // algorithms rely on. One outer pass steps every runnable lane of every
 // resident block once; a block that drains frees its slot for the next
 // block of the grid at the end of its slot's turn.
+//
+// The fiberless direct phase preserves that schedule exactly for runs
+// whose lanes never block: under the lockstep scheduler a barrier-free
+// lane completes in its first step, so every resident block drains within
+// its own slot turn and the grid executes block 0, block 1, ... fully
+// sequentially, each block's lanes in resume order. The direct executor
+// produces the identical order with plain calls — which is why labels are
+// byte-identical between the two paths. The moment a lane does block, it
+// is promoted (stack handoff, no re-run) and the run continues under the
+// pass loop below, semantics unchanged.
+
+std::byte* StackPool::checkout(PerfCounters& ctr) {
+  if (!free_.empty()) {
+    std::byte* stack = free_.back();
+    free_.pop_back();
+    ctr.stack_pool_hits++;
+    return stack;
+  }
+  if (slab_used_ == kStacksPerSlab) {
+    slabs_.push_back(std::make_unique_for_overwrite<std::byte[]>(
+        kStacksPerSlab * stack_bytes_));
+    slab_used_ = 0;
+  }
+  return slabs_.back().get() + slab_used_++ * stack_bytes_;
+}
 
 LaunchSession::LaunchSession(const LaunchConfig& cfg, PerfCounters& ctr)
-    : cfg_(cfg), ctr_(ctr) {
+    : cfg_(cfg), ctr_(ctr), pool_(cfg.stack_bytes) {
   if (cfg.block_dim == 0) {
     throw std::invalid_argument("simt: block_dim must be > 0");
   }
@@ -29,15 +54,25 @@ LaunchSession::LaunchSession(const LaunchConfig& cfg, PerfCounters& ctr)
 LaunchSession::~LaunchSession() = default;
 
 void LaunchSession::ensure_capacity(std::uint32_t grid_dim) {
-  // Never allocate more residency than the grid can use; fiber stacks
-  // dominate the session's memory footprint. Buffers only ever grow, and
-  // persist across run() calls — that is the point of the session.
+  // Never allocate more residency than the grid can use. Buffers only ever
+  // grow, and persist across run() calls — that is the point of the
+  // session. Fiber stacks are not allocated here at all: lanes check them
+  // out of the pool only when they actually need a fiber.
   const std::uint32_t slots =
       std::min(std::max(1u, cfg_.resident_blocks), std::max(1u, grid_dim));
   if (slots <= slots_) return;
+  if (lanes_ != nullptr) {
+    // The lane array is about to be replaced; return any stacks the old
+    // lanes still hold (possible after a run that threw mid-flight).
+    const std::size_t old_lanes =
+        static_cast<std::size_t>(slots_) * cfg_.block_dim;
+    for (std::size_t i = 0; i < old_lanes; ++i) {
+      if (lanes_[i].stack_ != nullptr) {
+        pool_.checkin(lanes_[i].stack_);
+      }
+    }
+  }
   const std::size_t lanes = static_cast<std::size_t>(slots) * cfg_.block_dim;
-  stacks_ =
-      std::make_unique_for_overwrite<std::byte[]>(lanes * cfg_.stack_bytes);
   lanes_ = std::make_unique<Lane[]>(lanes);
   shared_arena_ =
       cfg_.shared_bytes == 0
@@ -46,6 +81,8 @@ void LaunchSession::ensure_capacity(std::uint32_t grid_dim) {
                 static_cast<std::size_t>(slots) * cfg_.shared_bytes);
   const std::uint32_t warps =
       (cfg_.block_dim + kWarpSize - 1) / kWarpSize;
+  // assign() resets every slot's shared_dirty to true: the fresh arena is
+  // uninitialized memory.
   blocks_.assign(slots, ResidentBlock{});
   for (std::uint32_t s = 0; s < slots; ++s) {
     ResidentBlock& rb = blocks_[s];
@@ -67,15 +104,21 @@ void LaunchSession::lane_entry(void* arg) {
   (*self->kernel_)(*lane);
 }
 
+void LaunchSession::prepare_shared(ResidentBlock& rb) {
+  // Zero-fill the retained arena slice only if the previous occupant's
+  // kernel could have written it (it asked for the pointer), or if the
+  // slice has never been cleared.
+  if (cfg_.shared_bytes == 0 || !rb.shared_dirty) return;
+  std::memset(rb.shared, 0, cfg_.shared_bytes);
+  rb.shared_dirty = false;
+  ctr_.shared_zero_fills++;
+}
+
 void LaunchSession::init_block(ResidentBlock& rb, std::uint32_t block_idx) {
   rb.active = true;
   rb.block_idx = block_idx;
   rb.live = cfg_.block_dim;
-  // Zero-fill the retained arena slice — the original scheduler re-ran
-  // vector::assign here, reallocating per block.
-  if (cfg_.shared_bytes != 0) {
-    std::memset(rb.shared, 0, cfg_.shared_bytes);
-  }
+  prepare_shared(rb);
   rb.live_lanes.resize(cfg_.block_dim);
   std::iota(rb.live_lanes.begin(), rb.live_lanes.end(), 0u);
   for (std::size_t w = 0; w < rb.warp_ready.size(); ++w) {
@@ -91,16 +134,60 @@ void LaunchSession::init_block(ResidentBlock& rb, std::uint32_t block_idx) {
     lane.runner_context_ = this;
     lane.counters_ = &ctr_;
     lane.shared_ = rb.shared;
+    lane.shared_dirty_ = &rb.shared_dirty;
     lane.thread_idx_ = t;
     lane.block_idx_ = block_idx;
     lane.block_dim_ = cfg_.block_dim;
     lane.grid_dim_ = grid_dim_;
     lane.state_ = Lane::State::kReady;
-    std::byte* stack =
-        stacks_.get() +
-        static_cast<std::size_t>(rb.first_lane + t) * cfg_.stack_bytes;
-    lane.fiber_.init(stack, cfg_.stack_bytes, &lane_entry, &lane);
+    if (lane.stack_ == nullptr) lane.stack_ = pool_.checkout(ctr_);
+    lane.fiber_.init(lane.stack_, cfg_.stack_bytes, &lane_entry, &lane);
     ctr_.threads_run++;
+  }
+}
+
+void LaunchSession::init_block_direct(ResidentBlock& rb,
+                                      std::uint32_t block_idx) {
+  // Same lane context as init_block, minus everything fiber: no stack
+  // checkout, no fiber arming, no arrival counters (demote_block rebuilds
+  // them from lane states in the rare case a lane promotes).
+  rb.active = true;
+  rb.block_idx = block_idx;
+  rb.live = cfg_.block_dim;
+  prepare_shared(rb);
+  rb.live_lanes.resize(cfg_.block_dim);
+  std::iota(rb.live_lanes.begin(), rb.live_lanes.end(), 0u);
+  for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    lane.runner_context_ = this;
+    lane.counters_ = &ctr_;
+    lane.shared_ = rb.shared;
+    lane.shared_dirty_ = &rb.shared_dirty;
+    lane.thread_idx_ = t;
+    lane.block_idx_ = block_idx;
+    lane.block_dim_ = cfg_.block_dim;
+    lane.grid_dim_ = grid_dim_;
+    lane.state_ = Lane::State::kReady;
+    ctr_.threads_run++;
+  }
+}
+
+void LaunchSession::release_block_stacks(ResidentBlock& rb) {
+  for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    if (lane.stack_ != nullptr) {
+      pool_.checkin(lane.stack_);
+      lane.stack_ = nullptr;
+    }
+  }
+}
+
+void LaunchSession::shuffle_lanes(ResidentBlock& rb) {
+  // Fuzzed warp scheduling: resume live lanes in a fresh random order.
+  // Fisher-Yates with the seeded generator.
+  for (std::size_t i = rb.live_lanes.size(); i > 1; --i) {
+    std::swap(rb.live_lanes[i - 1],
+              rb.live_lanes[shuffle_rng_.next_bounded(i)]);
   }
 }
 
@@ -166,16 +253,160 @@ void LaunchSession::try_release_block(ResidentBlock& rb) {
   rb.block_bar_total = 0;
 }
 
-void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel) {
+void LaunchSession::direct_entry(void* arg) {
+  static_cast<LaunchSession*>(arg)->direct_loop();
+}
+
+void LaunchSession::direct_loop() {
+  // Runs on the executor fiber. The epoch pins the stack's ownership: a
+  // promotion donates this very stack to the promoted lane and bumps the
+  // epoch, and when that lane's kernel eventually returns, control lands
+  // back in this frame — which must then unwind immediately instead of
+  // starting more lanes on a stack that now belongs to someone else.
+  const std::uint64_t epoch = direct_epoch_;
+  ResidentBlock& rb = blocks_[0];
+  while (direct_next_ < grid_dim_) {
+    init_block_direct(rb, direct_next_++);
+    if (cfg_.schedule_seed != 0) shuffle_lanes(rb);
+    for (const std::uint32_t t : rb.live_lanes) {
+      Lane& lane = lanes_[rb.first_lane + t];
+      direct_lane_ = &lane;
+      (*kernel_)(lane);
+      if (direct_epoch_ != epoch) return;
+      lane.state_ = Lane::State::kDone;
+      rb.live--;
+      ctr_.fiberless_lanes++;
+    }
+    direct_lane_ = nullptr;
+    rb.active = false;
+  }
+  direct_lane_ = nullptr;
+}
+
+void LaunchSession::promote(Lane& lane) {
+  // Called from inside the lane's kernel, mid-collective, while it runs
+  // inline on the executor's stack. Hand that stack — kernel frame and all
+  // — to the lane's fiber and suspend; nothing executed so far is re-run.
+  // From here on the run belongs to the lockstep pass loop (run_direct
+  // sees direct_promoted_ and demotes), so this fires at most once per run.
+  ctr_.promoted_lanes++;
+  direct_promoted_ = true;
+  direct_lane_ = nullptr;
+  direct_epoch_++;
+  Fiber::handoff(lane.fiber_);
+  // Resumed by step(): fall through into the collective's wait-side code.
+}
+
+bool LaunchSession::run_direct(std::uint32_t& next_block) {
+  if (exec_stack_ == nullptr) exec_stack_ = pool_.checkout(ctr_);
+  direct_next_ = 0;
+  direct_promoted_ = false;
+  direct_lane_ = nullptr;
+  exec_fiber_.init(exec_stack_, cfg_.stack_bytes, &direct_entry, this);
+  // The whole direct phase costs one context switch in and (if nothing
+  // promotes) one out — versus two per lane on the fiber path.
+  ctr_.fiber_switches++;
+  exec_fiber_.resume();
+  if (!direct_promoted_) {
+    if (!exec_fiber_.stack_intact()) {
+      throw std::runtime_error(
+          "simt: fiber stack overflow (raise LaunchConfig::stack_bytes)");
+    }
+    return false;
+  }
+  // A lane took the executor's stack mid-kernel. Slot 0 is mid-flight:
+  // rebuild its lockstep bookkeeping; the caller schedules the rest.
+  demote_block(blocks_[0]);
+  next_block = direct_next_;
+  return true;
+}
+
+void LaunchSession::demote_block(ResidentBlock& rb) {
+  rb.active = true;
+  std::fill(rb.warp_ready.begin(), rb.warp_ready.end(), 0u);
+  std::fill(rb.warp_at_bar.begin(), rb.warp_at_bar.end(), 0u);
+  rb.ready_total = 0;
+  rb.warp_bar_total = 0;
+  rb.block_bar_total = 0;
+  rb.live = 0;
+  rb.live_lanes.clear();
+  std::uint32_t bar_warp = 0;
+  bool saw_warp_bar = false;
+  for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    const std::uint32_t w = t / kWarpSize;
+    switch (lane.state_) {
+      case Lane::State::kDone:
+        continue;  // completed inline; stays off the resume list
+      case Lane::State::kReady:
+        // Never started: becomes an ordinary fiber lane.
+        if (lane.stack_ == nullptr) lane.stack_ = pool_.checkout(ctr_);
+        lane.fiber_.init(lane.stack_, cfg_.stack_bytes, &lane_entry, &lane);
+        rb.warp_ready[w]++;
+        rb.ready_total++;
+        break;
+      case Lane::State::kAtWarpBar:
+        rb.warp_at_bar[w]++;
+        rb.warp_bar_total++;
+        bar_warp = w;
+        saw_warp_bar = true;
+        break;
+      case Lane::State::kAtBlockBar:
+        rb.block_bar_total++;
+        break;
+      case Lane::State::kReadyNext:
+        break;  // unreachable: the direct phase defers no releases
+    }
+    rb.live++;
+    rb.live_lanes.push_back(t);
+  }
+  // The promoted lane's barrier may already be satisfied — every peer that
+  // could arrive finished inline before it. The pass loop only re-checks
+  // on arrivals, so check here; released lanes become kReadyNext, which
+  // must flip to kReady now (the conversion normally happens after a pass
+  // has stepped someone, and a lone released lane would otherwise stall
+  // the loop into its deadlock verdict).
+  if (saw_warp_bar) try_release_warp(rb, bar_warp);
+  try_release_block(rb);
+  for (const std::uint32_t t : rb.live_lanes) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    if (lane.state_ == Lane::State::kReadyNext) {
+      lane.state_ = Lane::State::kReady;
+    }
+  }
+}
+
+void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel,
+                        KernelTraits traits) {
   if (grid_dim == 0) return;
   ensure_capacity(grid_dim);
   grid_dim_ = grid_dim;
   kernel_ = &kernel;
 
   std::uint32_t next_block = 0;
-  for (auto& rb : blocks_) {
-    rb.active = false;
-    if (next_block < grid_dim) init_block(rb, next_block++);
+  if (traits.sync != KernelTraits::Sync::kLockstep) {
+    bool promoted;
+    try {
+      promoted = run_direct(next_block);
+    } catch (...) {
+      kernel_ = nullptr;
+      throw;
+    }
+    if (!promoted) {
+      kernel_ = nullptr;
+      return;
+    }
+    // Sticky demotion: slot 0 already runs under lockstep bookkeeping;
+    // fill the remaining slots and continue under the pass loop.
+    for (std::size_t s = 1; s < blocks_.size(); ++s) {
+      blocks_[s].active = false;
+      if (next_block < grid_dim) init_block(blocks_[s], next_block++);
+    }
+  } else {
+    for (auto& rb : blocks_) {
+      rb.active = false;
+      if (next_block < grid_dim) init_block(rb, next_block++);
+    }
   }
 
   for (;;) {
@@ -185,14 +416,7 @@ void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel) {
       ResidentBlock& rb = blocks_[s];
       if (!rb.active) continue;
       any_active = true;
-      if (cfg_.schedule_seed != 0) {
-        // Fuzzed warp scheduling: resume live lanes in a fresh random
-        // order each pass. Fisher-Yates with the seeded generator.
-        for (std::size_t i = rb.live_lanes.size(); i > 1; --i) {
-          std::swap(rb.live_lanes[i - 1],
-                    rb.live_lanes[shuffle_rng_.next_bounded(i)]);
-        }
-      }
+      if (cfg_.schedule_seed != 0) shuffle_lanes(rb);
       const std::uint32_t live_before = rb.live;
       for (const std::uint32_t t : rb.live_lanes) {
         Lane& lane = lanes_[rb.first_lane + t];
@@ -217,6 +441,7 @@ void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel) {
         });
       }
       if (rb.live == 0) {
+        release_block_stacks(rb);
         rb.active = false;
         if (next_block < grid_dim_) {
           init_block(rb, next_block++);
@@ -235,31 +460,43 @@ void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel) {
   kernel_ = nullptr;
 }
 
+void Lane::suspend() {
+  auto* self = static_cast<LaunchSession*>(runner_context_);
+  if (self->direct_lane_ == this) {
+    self->promote(*this);
+  } else {
+    Fiber::yield();
+  }
+}
+
 void Lane::syncwarp() {
   counters().warp_syncs++;
   state_ = State::kAtWarpBar;
-  Fiber::yield();
+  suspend();
 }
 
 void Lane::syncthreads() {
   counters().block_syncs++;
   state_ = State::kAtBlockBar;
-  Fiber::yield();
+  suspend();
 }
 
-std::byte* Lane::shared() const noexcept { return shared_; }
+std::byte* Lane::shared() const noexcept {
+  if (shared_dirty_ != nullptr) *shared_dirty_ = true;
+  return shared_;
+}
 
 PerfCounters& Lane::counters() const noexcept { return *counters_; }
 
 void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
-            KernelRef kernel) {
+            KernelRef kernel, KernelTraits traits) {
   if (cfg.block_dim == 0) {
     throw std::invalid_argument("simt::launch: block_dim must be > 0");
   }
   ctr.kernel_launches++;
   if (grid_dim == 0) return;
   LaunchSession session(cfg, ctr);
-  session.run(grid_dim, kernel);
+  session.run(grid_dim, kernel, traits);
 }
 
 }  // namespace nulpa::simt

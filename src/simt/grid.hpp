@@ -9,15 +9,25 @@
 // (writing the new label) — exactly the implicit lockstep of real warps
 // that causes the community-swap livelock of Section 4.1.
 //
+// Executor modes: most lanes never suspend (the thread-per-vertex kernels
+// are barrier-free), so by default a run starts in the *fiberless*
+// direct-execution mode — lane bodies are plain calls on one executor
+// fiber's stack, no per-lane fiber, no per-lane context switches. The
+// first blocking collective a lane hits triggers lazy promotion: the
+// executor's stack is handed to the lane's fiber wholesale (no re-run, so
+// pre-barrier side effects happen exactly once) and the rest of the run
+// falls back to the lockstep fiber schedule below. KernelTraits lets
+// launches pick a mode statically; see DESIGN.md "executor modes".
+//
 // Two entry points:
 //   - launch(): one-shot grid, allocates its fiber stacks per call.
-//   - LaunchSession: reusable launch context. Fiber stacks, lane array and
-//     the shared-memory arena persist across run() calls, so per-iteration
-//     kernels (ν-LPA launches two per iteration, twenty iterations deep)
-//     pay the allocation cost once. Barrier release uses per-warp and
-//     per-block arrival counters (O(1) per step instead of rescanning the
-//     block), and drained lanes drop off the resume list so Done fibers
-//     are never revisited.
+//   - LaunchSession: reusable launch context. Lane array, the stack pool
+//     and the shared-memory arena persist across run() calls, so
+//     per-iteration kernels (ν-LPA launches two per iteration, twenty
+//     iterations deep) pay the allocation cost once. Barrier release uses
+//     per-warp and per-block arrival counters (O(1) per step instead of
+//     rescanning the block), and drained lanes drop off the resume list so
+//     Done fibers are never revisited.
 #pragma once
 
 #include <concepts>
@@ -50,6 +60,60 @@ struct LaunchConfig {
   std::uint64_t schedule_seed = 0;
 };
 
+/// Static execution-mode hint a launch passes alongside its kernel.
+struct KernelTraits {
+  enum class Sync : std::uint8_t {
+    // Start fiberless and lazily promote on the first blocking collective.
+    // Safe for any kernel — promotion transplants the running stack, so
+    // work done before the collective is never repeated.
+    kAuto,
+    // Caller's promise that no lane ever blocks (ν-LPA TPV gather/commit,
+    // the Gunrock advance, cross-check). Same direct execution as kAuto —
+    // the promise is documentation plus a broken-promise canary: promotion
+    // still works, but shows up in `promoted_lanes`.
+    kBarrierFree,
+    // Full fiber semantics from lane zero (the block-per-vertex kernel,
+    // whose phases are built from syncthreads; spawning fibers upfront
+    // avoids one pointless promotion per block).
+    kLockstep,
+  };
+
+  Sync sync = Sync::kAuto;
+
+  [[nodiscard]] static constexpr KernelTraits barrier_free() noexcept {
+    return {Sync::kBarrierFree};
+  }
+  [[nodiscard]] static constexpr KernelTraits lockstep() noexcept {
+    return {Sync::kLockstep};
+  }
+};
+
+/// Fixed-size fiber stacks carved from slabs with a free list. Checked out
+/// when a lane actually needs a fiber (lockstep blocks, or the demoted
+/// remainder of a promoted run) and returned when its block drains, so
+/// fiberless launches hold no lane stacks at all.
+class StackPool {
+ public:
+  explicit StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
+
+  /// Returns a stack, preferring the free list (counted as a pool hit —
+  /// the reuse the pool exists for) over carving a fresh slab slot.
+  std::byte* checkout(PerfCounters& ctr);
+  void checkin(std::byte* stack) { free_.push_back(stack); }
+
+  [[nodiscard]] std::size_t stack_bytes() const noexcept {
+    return stack_bytes_;
+  }
+
+ private:
+  static constexpr std::size_t kStacksPerSlab = 16;
+
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::vector<std::byte*> free_;
+  std::size_t slab_used_ = kStacksPerSlab;  // slots carved off slabs_.back()
+};
+
 class LaunchSession;
 
 /// Per-thread kernel context — the CUDA built-ins plus barriers, atomics,
@@ -76,7 +140,9 @@ class Lane {
   void syncthreads();
 
   /// Per-block shared memory arena (cfg.shared_bytes long, zeroed at block
-  /// start).
+  /// start). Handing out the pointer marks the slot's arena dirty: the next
+  /// block to occupy the slot pays a zero-fill, blocks whose kernels never
+  /// ask for shared memory don't.
   [[nodiscard]] std::byte* shared() const noexcept;
 
   [[nodiscard]] PerfCounters& counters() const noexcept;
@@ -84,7 +150,8 @@ class Lane {
   // ---- Device atomics. The simulator is single-threaded, so these are
   // plain read-modify-writes, but kernels must still use them wherever the
   // CUDA code would: they are counted and they document the races the real
-  // hardware resolves.
+  // hardware resolves. They never block, so they never promote a fiberless
+  // lane.
   template <typename T>
   T atomic_add(T& slot, T v) const noexcept {
     counters().atomic_ops++;
@@ -135,9 +202,16 @@ class Lane {
     kReady, kReadyNext, kAtWarpBar, kAtBlockBar, kDone
   };
 
+  /// Parks this lane at the barrier state already stored in `state_`:
+  /// yields its fiber, or — when the lane is running inline in the direct
+  /// executor — promotes it onto a fiber first (see LaunchSession::promote).
+  void suspend();
+
   void* runner_context_ = nullptr;  // owning LaunchSession
   PerfCounters* counters_ = nullptr;
   std::byte* shared_ = nullptr;
+  bool* shared_dirty_ = nullptr;  // owning slot's dirty flag
+  std::byte* stack_ = nullptr;    // pool stack while the lane owns a fiber
   Fiber fiber_;
   State state_ = State::kDone;
   std::uint32_t thread_idx_ = 0;
@@ -186,7 +260,7 @@ class LaunchSession {
 
   /// Runs `grid_dim` blocks of `cfg.block_dim` threads to completion.
   /// Throws std::runtime_error on barrier deadlock or stack overflow.
-  void run(std::uint32_t grid_dim, KernelRef kernel);
+  void run(std::uint32_t grid_dim, KernelRef kernel, KernelTraits traits = {});
 
   [[nodiscard]] const LaunchConfig& config() const noexcept { return cfg_; }
 
@@ -200,6 +274,10 @@ class LaunchSession {
   /// lane rescan (the seed scheduler's O(block_dim) per step).
   struct ResidentBlock {
     bool active = false;
+    // The slot's arena slice needs a zero-fill before the next block runs.
+    // Starts true (the arena is allocated uninitialized) and is set again
+    // whenever a kernel obtains the arena pointer via Lane::shared().
+    bool shared_dirty = true;
     std::uint32_t block_idx = 0;
     std::uint32_t first_lane = 0;
     std::uint32_t live = 0;  // lanes not yet Done
@@ -215,23 +293,57 @@ class LaunchSession {
   };
 
   static void lane_entry(void* arg);
+  static void direct_entry(void* arg);
 
   void ensure_capacity(std::uint32_t grid_dim);
+  void prepare_shared(ResidentBlock& rb);
   void init_block(ResidentBlock& rb, std::uint32_t block_idx);
+  void init_block_direct(ResidentBlock& rb, std::uint32_t block_idx);
+  void release_block_stacks(ResidentBlock& rb);
+  void shuffle_lanes(ResidentBlock& rb);
   void step(ResidentBlock& rb, Lane& lane);
   void try_release_warp(ResidentBlock& rb, std::uint32_t warp);
   void try_release_block(ResidentBlock& rb);
+
+  /// Direct phase: runs whole blocks inline on the executor fiber, in
+  /// block order, starting from block `next_block`. Returns false when the
+  /// grid drained fiberless; returns true when a lane promoted, leaving
+  /// slot 0 mid-flight (demoted to lockstep bookkeeping) and `next_block`
+  /// at the first block the lockstep pass loop still has to schedule.
+  bool run_direct(std::uint32_t& next_block);
+  void direct_loop();
+  /// Rebuilds slot 0's lockstep bookkeeping from the lane states the
+  /// interrupted direct phase left behind: inline-finished lanes are Done,
+  /// the promoted lane is parked at its barrier, untouched lanes get
+  /// fibers and run under the pass loop.
+  void demote_block(ResidentBlock& rb);
+  /// Lazy promotion (called from Lane::suspend while the lane runs inline):
+  /// hands the executor's stack to the lane's fiber and suspends it there.
+  void promote(Lane& lane);
 
   LaunchConfig cfg_;
   PerfCounters& ctr_;
   std::uint32_t grid_dim_ = 0;  // grid of the run() in progress
   std::uint32_t slots_ = 0;     // allocated residency
   const KernelRef* kernel_ = nullptr;
-  std::unique_ptr<std::byte[]> stacks_;
+  StackPool pool_;
   std::unique_ptr<Lane[]> lanes_;
   std::unique_ptr<std::byte[]> shared_arena_;
   std::vector<ResidentBlock> blocks_;
   nulpa::Xoshiro256 shuffle_rng_;
+
+  // Direct-execution state. The executor fiber owns one pool stack for the
+  // session's lifetime; after a promotion that stack belongs to the
+  // promoted lane until its fiber finishes (always before run() returns).
+  Fiber exec_fiber_;
+  std::byte* exec_stack_ = nullptr;
+  Lane* direct_lane_ = nullptr;   // lane currently running inline, if any
+  bool direct_promoted_ = false;  // a promotion interrupted the direct phase
+  std::uint32_t direct_next_ = 0;  // next block the direct loop would init
+  // Bumped by promote(); the executor loop frame — now living on the
+  // promoted lane's stack — compares it against the value it captured and
+  // unwinds instead of running more lanes on a stack it no longer owns.
+  std::uint64_t direct_epoch_ = 0;
 };
 
 /// Launches `grid_dim` blocks of `cfg.block_dim` threads running `kernel`,
@@ -240,6 +352,6 @@ class LaunchSession {
 /// One-shot: allocates a fresh LaunchSession per call; iteration-hot code
 /// should hold a LaunchSession instead.
 void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
-            KernelRef kernel);
+            KernelRef kernel, KernelTraits traits = {});
 
 }  // namespace nulpa::simt

@@ -5,6 +5,7 @@
 
 #include <unordered_map>
 
+#include "baselines/gunrock_lpa_simt.hpp"
 #include "baselines/seq_lpa.hpp"
 #include "core/nulpa.hpp"
 #include "graph/builder.hpp"
@@ -263,6 +264,89 @@ TEST(Equivalence, FrontierCompactionByteIdenticalUnderFuzzWithTies) {
         g, fuzz_config(seed).with_swap(SwapPrevention::none()),
         ("ties schedule_seed=" + std::to_string(seed)).c_str());
   }
+}
+
+// The fiberless executor must be invisible in every algorithm-level
+// observable: the split TPV kernels replay the fused kernel's
+// window-wide gather-then-commit schedule, so labels, iteration counts,
+// and edges scanned must match the fiber path byte-for-byte. Only the
+// scheduler-cost counters (fiber_switches, fiberless_lanes, ...) may move.
+
+void expect_fiberless_transparent(const Graph& g, const NuLpaConfig& cfg,
+                                  const char* what) {
+  const auto fibered = nu_lpa(g, cfg.with_fiberless(false));
+  const auto direct = nu_lpa(g, cfg.with_fiberless(true));
+  EXPECT_EQ(fibered.labels, direct.labels) << what;
+  EXPECT_EQ(fibered.iterations, direct.iterations) << what;
+  EXPECT_EQ(fibered.counters.edges_scanned, direct.counters.edges_scanned)
+      << what;
+}
+
+TEST(Equivalence, FiberlessByteIdenticalOnDistinctWeights) {
+  const Graph g = distinct_weight_graph(700, 2800, 78);
+  expect_fiberless_transparent(g, NuLpaConfig{}, "distinct weights");
+}
+
+TEST(Equivalence, FiberlessByteIdenticalOnTieHeavyGraph) {
+  // Unit weights everywhere: the winner is decided purely by gather order,
+  // so any schedule divergence between the executors would surface here.
+  const Graph g = generate_erdos_renyi(900, 6.0, 4321);
+  expect_fiberless_transparent(g, NuLpaConfig{}, "tie-heavy");
+}
+
+TEST(Equivalence, FiberlessByteIdenticalWithMixedKernels) {
+  // Threshold 8 forces plenty of BPV work: the BPV kernel stays on fibers
+  // in both configs, so this checks the split boundary between executors.
+  const Graph g = generate_web(1200, 7, 0.85, 6);
+  expect_fiberless_transparent(
+      g, NuLpaConfig{}.with_switch_degree(8), "mixed kernels");
+}
+
+TEST(Equivalence, FiberlessByteIdenticalUnderScheduleFuzz) {
+  // Both executors must consume the schedule RNG identically: the direct
+  // loop shuffles once per block in block order, exactly like the lockstep
+  // pass loop does for blocks that drain in one turn.
+  const Graph g = generate_web(800, 6, 0.85, 24);
+  for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL, 424242ULL}) {
+    expect_fiberless_transparent(
+        g, fuzz_config(seed),
+        ("schedule_seed=" + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(Equivalence, FiberlessByteIdenticalUnderFuzzWithTies) {
+  const Graph g = generate_erdos_renyi(600, 5.0, 32);
+  for (const std::uint64_t seed : {3ULL, 17ULL, 1234ULL}) {
+    expect_fiberless_transparent(
+        g, fuzz_config(seed).with_swap(SwapPrevention::none()),
+        ("ties schedule_seed=" + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(Equivalence, FiberlessByteIdenticalWithCrossCheckSchedule) {
+  // The cross-check kernel shares the TPV session and inherits the
+  // executor choice; the periodic extra launch must not desynchronize the
+  // two paths.
+  const Graph g = generate_web(900, 6, 0.85, 25);
+  NuLpaConfig cfg;
+  cfg.swap.cross_check_every = 2;
+  expect_fiberless_transparent(g, cfg, "cross-check every 2");
+}
+
+TEST(Equivalence, GunrockFiberlessByteIdentical) {
+  const Graph g = generate_web(2000, 6, 0.85, 9);
+  GunrockLpaConfig cfg;
+  cfg.fiberless = true;
+  const auto direct = gunrock_lpa_simt(g, cfg);
+  cfg.fiberless = false;
+  const auto fibered = gunrock_lpa_simt(g, cfg);
+  EXPECT_EQ(direct.labels, fibered.labels);
+  EXPECT_EQ(direct.counters.edges_scanned, fibered.counters.edges_scanned);
+  // The advance kernel is barrier-free, so the direct run spawns no lane
+  // fibers and never promotes.
+  EXPECT_GT(direct.counters.fiberless_lanes, 0u);
+  EXPECT_EQ(direct.counters.promoted_lanes, 0u);
+  EXPECT_EQ(fibered.counters.fiberless_lanes, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,327 @@
+// The fiberless direct executor and its lazy-promotion escape hatch: lanes
+// run inline with no fiber until their first blocking collective, at which
+// point the executor's stack is handed to the lane's fiber — no re-run, so
+// pre-barrier side effects happen exactly once — and the run falls back to
+// the lockstep schedule. These tests pin promotion at every collective,
+// the counters that make the mode observable (fiberless_lanes,
+// promoted_lanes, stack_pool_hits, shared_zero_fills), and the saturating
+// counter deltas.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "simt/collectives.hpp"
+#include "simt/counters.hpp"
+#include "simt/grid.hpp"
+
+namespace nulpa::simt {
+namespace {
+
+TEST(Fiberless, BarrierFreeKernelRunsWithoutFibers) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  cfg.resident_blocks = 2;
+  PerfCounters ctr;
+  std::vector<int> hits(64 * 5, 0);
+  launch(5, cfg, ctr, [&](Lane& lane) { hits[lane.global_thread()]++; },
+         KernelTraits::barrier_free());
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "thread " << i;
+  }
+  EXPECT_EQ(ctr.fiberless_lanes, 64u * 5);
+  EXPECT_EQ(ctr.promoted_lanes, 0u);
+  EXPECT_EQ(ctr.threads_run, 64u * 5);
+  // One context switch into the executor for the whole grid — the fiber
+  // path pays one per lane.
+  EXPECT_EQ(ctr.fiber_switches, 1u);
+}
+
+TEST(Fiberless, LockstepTraitSkipsTheDirectPhase) {
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  PerfCounters ctr;
+  launch(2, cfg, ctr, [&](Lane&) {}, KernelTraits::lockstep());
+  EXPECT_EQ(ctr.fiberless_lanes, 0u);
+  EXPECT_EQ(ctr.promoted_lanes, 0u);
+  EXPECT_EQ(ctr.fiber_switches, 2u * 32);
+}
+
+// Promotion at syncwarp: the promoting lane's pre-barrier work must be
+// visible exactly once, and the warp lockstep property must hold for the
+// demoted remainder of the run.
+TEST(Promotion, SyncwarpPromotesAndKeepsWarpLockstep) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;  // two warps
+  PerfCounters ctr;
+  std::vector<int> progress(64, 0);
+  bool violated = false;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    progress[lane.thread_idx()]++;
+    lane.syncwarp();
+    const std::uint32_t base = lane.warp() * kWarpSize;
+    for (std::uint32_t t = base; t < base + kWarpSize; ++t) {
+      if (progress[t] != 1) violated = true;
+    }
+  });
+  EXPECT_FALSE(violated);
+  // Exactly one lane promotes (the first to reach the barrier); the rest
+  // of the run is demoted to the fiber path, so no second promotion.
+  EXPECT_EQ(ctr.promoted_lanes, 1u);
+  EXPECT_EQ(ctr.warp_syncs, 64u);
+  for (const int p : progress) EXPECT_EQ(p, 1);
+}
+
+// Promotion at syncthreads with non-idempotent pre-barrier side effects:
+// a re-run-style promotion would double-increment; stack handoff must not.
+TEST(Promotion, SyncthreadsPreservesNonIdempotentPrefix) {
+  LaunchConfig cfg;
+  cfg.block_dim = 128;
+  PerfCounters ctr;
+  std::vector<int> counter(128, 0);
+  bool violated = false;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    for (int round = 0; round < 4; ++round) {
+      counter[lane.thread_idx()]++;
+      lane.syncthreads();
+      for (const int c : counter) {
+        if (c != round + 1) violated = true;
+      }
+      lane.syncthreads();
+    }
+  });
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(ctr.promoted_lanes, 1u);
+  for (const int c : counter) EXPECT_EQ(c, 4);
+}
+
+// Promotion through the shuffle-equivalent collective (warp_broadcast is
+// built on syncwarp, like __shfl_sync's implicit lockstep).
+TEST(Promotion, WarpShuffleBroadcastPromotes) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  cfg.shared_bytes = 2 * sizeof(std::uint32_t);  // one slot per warp
+  PerfCounters ctr;
+  std::vector<std::uint32_t> got(64, 0);
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    auto* scratch = reinterpret_cast<std::uint32_t*>(lane.shared());
+    // Lane 3 of each warp broadcasts its global thread id.
+    got[lane.thread_idx()] =
+        warp_broadcast(lane, lane.thread_idx(), 3u, scratch);
+  });
+  for (std::uint32_t t = 0; t < 64; ++t) {
+    EXPECT_EQ(got[t], (t / kWarpSize) * kWarpSize + 3) << "lane " << t;
+  }
+  EXPECT_EQ(ctr.promoted_lanes, 1u);
+}
+
+// Promotion through the vote-equivalent collective (block_count_if is the
+// __ballot_sync + popc idiom, built on syncthreads).
+TEST(Promotion, BlockVotePromotes) {
+  LaunchConfig cfg;
+  cfg.block_dim = 96;
+  cfg.shared_bytes = 96 * sizeof(std::uint32_t);
+  PerfCounters ctr;
+  std::vector<std::uint32_t> votes(96, 0);
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    auto* scratch = reinterpret_cast<std::uint32_t*>(lane.shared());
+    votes[lane.thread_idx()] =
+        block_count_if(lane, lane.thread_idx() % 3 == 0, scratch);
+  });
+  for (const std::uint32_t v : votes) EXPECT_EQ(v, 32u);  // ceil(96/3)
+  EXPECT_EQ(ctr.promoted_lanes, 1u);
+}
+
+// Atomics are read-modify-writes, not collectives: they never block, so a
+// kernel made only of atomic_add stays entirely fiberless.
+TEST(Promotion, AtomicAddDoesNotPromote) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  PerfCounters ctr;
+  std::uint32_t sum = 0;
+  launch(4, cfg, ctr, [&](Lane& lane) {
+    lane.atomic_add(sum, std::uint32_t{1});
+  });
+  EXPECT_EQ(sum, 256u);
+  EXPECT_EQ(ctr.promoted_lanes, 0u);
+  EXPECT_EQ(ctr.fiberless_lanes, 256u);
+  EXPECT_EQ(ctr.fiber_switches, 1u);
+}
+
+// A lane that promotes mid-gather: local accumulator state built up before
+// the barrier must survive the stack handoff, under every schedule seed —
+// including seeds where the first inline (and thus promoting) lane is not
+// lane zero.
+TEST(Promotion, MidGatherStateSurvivesUnderScheduleFuzz) {
+  for (const std::uint64_t seed : {0ULL, 1ULL, 7ULL, 99ULL, 424242ULL}) {
+    LaunchConfig cfg;
+    cfg.block_dim = 64;
+    cfg.schedule_seed = seed;
+    PerfCounters ctr;
+    std::vector<std::uint64_t> out(64, 0);
+    std::vector<int> phase1(64, 0);
+    bool violated = false;
+    launch(1, cfg, ctr, [&](Lane& lane) {
+      // Gather phase 1: data-dependent partial sum in a stack local.
+      std::uint64_t acc = 1;
+      for (std::uint32_t i = 0; i <= lane.thread_idx(); ++i) {
+        acc = acc * 31 + i;
+      }
+      phase1[lane.thread_idx()] = 1;
+      lane.syncwarp();  // the first lane scheduled promotes right here
+      const std::uint32_t base = lane.warp() * kWarpSize;
+      for (std::uint32_t t = base; t < base + kWarpSize; ++t) {
+        if (phase1[t] != 1) violated = true;
+      }
+      // Gather phase 2: continue from the preserved local.
+      for (std::uint32_t i = 0; i < 8; ++i) acc = acc * 31 + i;
+      out[lane.thread_idx()] = acc;
+    });
+    EXPECT_FALSE(violated) << "seed " << seed;
+    EXPECT_EQ(ctr.promoted_lanes, 1u) << "seed " << seed;
+    for (std::uint32_t t = 0; t < 64; ++t) {
+      std::uint64_t acc = 1;
+      for (std::uint32_t i = 0; i <= t; ++i) acc = acc * 31 + i;
+      for (std::uint32_t i = 0; i < 8; ++i) acc = acc * 31 + i;
+      ASSERT_EQ(out[t], acc) << "seed " << seed << " lane " << t;
+    }
+  }
+}
+
+// Early-returning lanes complete inline as fiberless lanes even in a run
+// that later promotes; the promoted run still releases every barrier.
+TEST(Promotion, MixesFiberlessAndPromotedLanes) {
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  PerfCounters ctr;
+  int through = 0;
+  launch(1, cfg, ctr, [&](Lane& lane) {
+    if (lane.thread_idx() % 2 == 0) return;  // finishes inline, no fiber
+    lane.syncwarp();
+    lane.syncthreads();
+    ++through;
+  });
+  EXPECT_EQ(through, 32);
+  // Lane 0 returns inline before lane 1 promotes.
+  EXPECT_GE(ctr.fiberless_lanes, 1u);
+  EXPECT_EQ(ctr.promoted_lanes, 1u);
+}
+
+// The direct phase and the lockstep fiber path must execute identical
+// schedules: same lane order, same barrier phases, same final state.
+TEST(Fiberless, MatchesLockstepByteForByte) {
+  const auto run_mode = [](KernelTraits traits) {
+    LaunchConfig cfg;
+    cfg.block_dim = 32;
+    cfg.resident_blocks = 2;
+    PerfCounters ctr;
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint32_t> label = {0, 1};
+    launch(3, cfg, ctr, [&](Lane& lane) {
+      order.push_back(lane.global_thread());
+      const std::uint32_t v = lane.global_thread();
+      std::uint32_t adopted = 0xFFFFFFFF;
+      if (v < 2) adopted = label[1 - v];
+      lane.syncwarp();
+      if (v < 2) label[v] = adopted;
+      order.push_back(1000 + lane.global_thread());
+    }, traits);
+    order.push_back(label[0]);
+    order.push_back(label[1]);
+    return order;
+  };
+  EXPECT_EQ(run_mode(KernelTraits{}), run_mode(KernelTraits::lockstep()));
+}
+
+TEST(StackPool, HitsAccrueWhenBlocksRecycleStacks) {
+  LaunchConfig cfg;
+  cfg.block_dim = 8;
+  cfg.resident_blocks = 1;
+  PerfCounters ctr;
+  // Lockstep grid of 4 blocks through 1 slot: blocks 2..4 must reuse the
+  // stacks block 1 returned when it drained.
+  launch(4, cfg, ctr, [&](Lane& lane) { lane.syncthreads(); },
+         KernelTraits::lockstep());
+  EXPECT_GE(ctr.stack_pool_hits, 3u * 8);
+}
+
+TEST(StackPool, FiberlessRunsCheckOutNoLaneStacks) {
+  LaunchConfig cfg;
+  cfg.block_dim = 256;
+  cfg.resident_blocks = 1;
+  PerfCounters ctr;
+  LaunchSession session(cfg, ctr);
+  for (int r = 0; r < 3; ++r) {
+    session.run(8, [&](Lane&) {}, KernelTraits::barrier_free());
+  }
+  // The executor's own stack is carved once and kept; no per-lane
+  // checkouts means no free-list traffic at all.
+  EXPECT_EQ(ctr.stack_pool_hits, 0u);
+  EXPECT_EQ(ctr.fiberless_lanes, 3u * 8 * 256);
+}
+
+TEST(SharedArena, ZeroFillsAreSkippedForSlotsKernelsNeverTouched) {
+  LaunchConfig cfg;
+  cfg.block_dim = 4;
+  cfg.shared_bytes = 64;
+  cfg.resident_blocks = 1;
+  PerfCounters ctr;
+  LaunchSession session(cfg, ctr);
+  // Run 1 touches the arena in every block: each of the 3 block inits pays
+  // a zero-fill (the first because the arena starts uninitialized, the
+  // rest because the previous block dirtied the slot).
+  session.run(3, [&](Lane& lane) {
+    auto* words = reinterpret_cast<std::uint32_t*>(lane.shared());
+    words[lane.thread_idx()] = 0xA5A5A5A5u;
+  });
+  EXPECT_EQ(ctr.shared_zero_fills, 3u);
+  // Run 2 never asks for the arena: only the first block init pays (the
+  // slot is still dirty from run 1); after that the slot is known clean.
+  session.run(3, [&](Lane&) {});
+  EXPECT_EQ(ctr.shared_zero_fills, 4u);
+  // Run 3 reads the arena: it must still see zeros even though two of the
+  // three inits skipped their memset.
+  bool zeroed = true;
+  session.run(3, [&](Lane& lane) {
+    auto* words = reinterpret_cast<std::uint32_t*>(lane.shared());
+    if (words[lane.thread_idx()] != 0) zeroed = false;
+  });
+  EXPECT_TRUE(zeroed);
+}
+
+// Satellite regression: a reset() between two snapshots used to wrap every
+// delta field to ~2^64; deltas must saturate at zero instead.
+TEST(Counters, DeltaSaturatesAfterMidRunReset) {
+  PerfCounters c;
+  c.global_loads = 5;
+  c.fiber_switches = 2;
+  c.fiberless_lanes = 9;
+  const PerfCounters before = c.snapshot();
+  c.reset();  // mid-run reset: totals fall below the snapshot
+  c.global_loads = 3;
+  const PerfCounters delta = c - before;
+  EXPECT_EQ(delta.global_loads, 0u);
+  EXPECT_EQ(delta.fiber_switches, 0u);
+  EXPECT_EQ(delta.fiberless_lanes, 0u);
+  // Ordinary forward deltas are unaffected.
+  PerfCounters later = before;
+  later.global_loads += 7;
+  EXPECT_EQ((later - before).global_loads, 7u);
+}
+
+TEST(Counters, ExecutorFieldsRoundTripThroughStreams) {
+  PerfCounters c;
+  c.fiberless_lanes = 11;
+  c.promoted_lanes = 3;
+  c.stack_pool_hits = 5;
+  c.shared_zero_fills = 2;
+  std::stringstream ss;
+  ss << c;
+  PerfCounters back;
+  ss >> back;
+  EXPECT_EQ(back, c);
+}
+
+}  // namespace
+}  // namespace nulpa::simt

@@ -28,13 +28,30 @@ TEST(FrontierRegression, FiberSwitchesStayUnderRecordedCeiling) {
 }
 
 TEST(FrontierRegression, CompactionSpawnsFewerFibersThanFullRange) {
+  // Pinned on the fiber path: under the default fiberless executor the
+  // road graph's all-TPV launches spawn (almost) no fibers in either mode,
+  // so the fiber-switch comparison is only meaningful with fiberless off.
   const Graph g = regression_graph();
-  const auto compacted = nu_lpa(g);
-  const auto full = nu_lpa(g, NuLpaConfig{}.with_frontier_compaction(false));
+  const NuLpaConfig fibered = NuLpaConfig{}.with_fiberless(false);
+  const auto compacted = nu_lpa(g, fibered);
+  const auto full = nu_lpa(g, fibered.with_frontier_compaction(false));
   EXPECT_LT(compacted.counters.fiber_switches,
             full.counters.fiber_switches);
   EXPECT_LT(compacted.counters.threads_run, full.counters.threads_run);
   EXPECT_EQ(compacted.labels, full.labels);
+}
+
+TEST(FrontierRegression, FiberlessRunSpawnsNoLaneFibers) {
+  // The road regression graph is all-TPV at switch degree 32, and the
+  // split TPV kernels are barrier-free: every lane must run fiberless and
+  // none may promote. The only context switches left are the one-per-run
+  // executor resumes — orders of magnitude under the fiber path's ceiling.
+  const auto r = nu_lpa(regression_graph());
+  EXPECT_GT(r.counters.fiberless_lanes, 0u);
+  EXPECT_EQ(r.counters.promoted_lanes, 0u);
+  EXPECT_EQ(r.counters.fiberless_lanes, r.counters.threads_run);
+  EXPECT_LT(r.counters.fiber_switches, 1000u);
+  EXPECT_EQ(r.iterations, 7);
 }
 
 TEST(FrontierCounters, CompactedRunAccountsEveryLaneSlot) {

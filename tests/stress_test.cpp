@@ -219,13 +219,21 @@ TEST(EndToEndStress, RandomGraphsNeverCrashOrEmitGarbage) {
 
 TEST(EndToEndStress, HeavyTailGraphExercisesBothKernels) {
   // Barabasi-Albert hubs go through the block kernel, leaves through the
-  // thread kernel, in one run.
+  // thread kernel, in one run. Under the default fiberless executor the
+  // thread kernel's footprint is fiberless lanes (its syncwarp is gone —
+  // the gather/commit split); the block kernel still syncs on fibers.
   const Graph g = generate_barabasi_albert(3000, 8, 5);
   ASSERT_GT(g.max_degree(), 64u);
   const auto r = nu_lpa(g);
   EXPECT_TRUE(is_valid_membership(g, r.labels));
   EXPECT_GT(r.counters.block_syncs, 0u);
-  EXPECT_GT(r.counters.warp_syncs, 0u);
+  EXPECT_GT(r.counters.fiberless_lanes, 0u);
+  EXPECT_EQ(r.counters.promoted_lanes, 0u);  // split kernels never block
+
+  // The fused-kernel fiber path still reports its warp lockstep boundary.
+  const auto fused = nu_lpa(g, NuLpaConfig{}.with_fiberless(false));
+  EXPECT_GT(fused.counters.warp_syncs, 0u);
+  EXPECT_EQ(fused.labels, r.labels);
 }
 
 }  // namespace

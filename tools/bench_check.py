@@ -1,22 +1,27 @@
 #!/usr/bin/env python3
-"""Perf gate for the frontier-compaction bench.
+"""Perf gate for the paired-mode bench harnesses.
 
-Runs ``bench/frontier`` fresh, then compares the result against the
-committed reference in ``bench/baselines/BENCH_frontier.json``:
+Runs the given bench binary fresh, then compares the result against a
+committed reference JSON (``bench/baselines/BENCH_*.json``). A baseline
+describes two runs of the same algorithm per graph — a reference mode and
+an optimized mode, named by its top-level ``reference_mode`` /
+``optimized_mode`` keys (defaults ``full`` / ``compacted`` keep the
+original frontier baseline readable without them):
 
-* labels must stay byte-identical between compacted and full-range modes
-  on every graph (a correctness property, machine-independent);
-* the headline speedup ratios (compacted vs full-range on the largest
-  graph) must not collapse — they are ratios of two runs on the *same*
-  machine, so they transfer across hosts;
-* compacted wall-clock must not regress more than --tolerance (default
-  20%) against the baseline, scaled by how much the full-range run
-  differs from baseline on this host (calibrates away machine speed).
+* labels must stay byte-identical between the two modes on every graph
+  (a correctness property, machine-independent);
+* every numeric ``headline`` ratio (optimized vs reference on the largest
+  graph) must not collapse — ratios of two runs on the *same* machine
+  transfer across hosts, so the gate requires the fresh ratio to keep at
+  least half the baseline's headroom over 1.0;
+* optimized-mode wall-clock must not regress more than --tolerance
+  (default 20%) against the baseline, scaled by how much the reference
+  run differs from baseline on this host (calibrates away machine speed).
 
 Wired as the optional ctest label ``perf`` behind -DNULPA_PERF_TESTS=ON.
 
-Usage: bench_check.py --bench <path-to-frontier-binary>
-                      --baseline <path-to-BENCH_frontier.json>
+Usage: bench_check.py --bench <path-to-bench-binary>
+                      --baseline <path-to-BENCH_*.json>
 """
 
 import argparse
@@ -35,9 +40,9 @@ def fail(msg: str) -> None:
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", required=True,
-                    help="path to the built bench/frontier binary")
+                    help="path to the built bench binary")
     ap.add_argument("--baseline", required=True,
-                    help="committed BENCH_frontier.json to compare against")
+                    help="committed BENCH_*.json to compare against")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed wall-time regression (fraction)")
     args = ap.parse_args()
@@ -46,9 +51,11 @@ def main() -> None:
     if not baseline_path.is_file():
         fail(f"baseline {baseline_path} not found")
     baseline = json.loads(baseline_path.read_text())
+    ref_mode = baseline.get("reference_mode", "full")
+    opt_mode = baseline.get("optimized_mode", "compacted")
 
     with tempfile.TemporaryDirectory() as tmp:
-        out = Path(tmp) / "BENCH_frontier.json"
+        out = Path(tmp) / baseline_path.name
         cmd = [args.bench, "--out", str(out),
                "--scale", str(baseline.get("scale", 4000)),
                "--seed", str(baseline.get("seed", 42))]
@@ -58,37 +65,39 @@ def main() -> None:
         fresh = json.loads(out.read_text())
 
     if not fresh.get("labels_identical", False):
-        fail("compacted labels diverged from full-range labels")
+        fail(f"{opt_mode} labels diverged from {ref_mode} labels")
 
     head = fresh.get("headline", {})
     base_head = baseline.get("headline", {})
-    # Ratio checks: same-machine ratios, portable across hosts. Require the
-    # fresh ratios to keep at least half the baseline's headroom over 1.0.
-    for key in ("wall_clock_speedup", "fiber_switches_after_iter_3"):
+    # Ratio checks: every numeric headline entry is an optimized/reference
+    # ratio from one machine, portable across hosts. Require the fresh
+    # ratios to keep at least half the baseline's headroom over 1.0.
+    for key, base_ratio in base_head.items():
+        if not isinstance(base_ratio, float):
+            continue  # graph name, vertex count, ...
         fresh_ratio = head.get(key, 0.0)
-        base_ratio = base_head.get(key, 0.0)
         floor = 1.0 + 0.5 * (base_ratio - 1.0)
         if fresh_ratio < floor:
             fail(f"headline {key} collapsed: {fresh_ratio:.2f}x "
                  f"(baseline {base_ratio:.2f}x, floor {floor:.2f}x)")
 
-    # Wall-time regression, calibrated by the full-range run so a slower
-    # machine does not trip the gate: compare compacted seconds after
-    # normalizing by this host's full-range / baseline full-range factor.
+    # Wall-time regression, calibrated by the reference run so a slower
+    # machine does not trip the gate: compare optimized seconds after
+    # normalizing by this host's reference / baseline reference factor.
     by_name = {g["name"]: g for g in baseline.get("graphs", [])}
     for g in fresh.get("graphs", []):
         base_g = by_name.get(g["name"])
         if base_g is None:
             continue
-        host_factor = (g["full"]["seconds"] /
-                       max(base_g["full"]["seconds"], 1e-9))
-        expected = base_g["compacted"]["seconds"] * host_factor
-        actual = g["compacted"]["seconds"]
+        host_factor = (g[ref_mode]["seconds"] /
+                       max(base_g[ref_mode]["seconds"], 1e-9))
+        expected = base_g[opt_mode]["seconds"] * host_factor
+        actual = g[opt_mode]["seconds"]
         if actual > expected * (1.0 + args.tolerance):
-            fail(f"{g['name']}: compacted wall time {actual:.3f}s exceeds "
+            fail(f"{g['name']}: {opt_mode} wall time {actual:.3f}s exceeds "
                  f"calibrated baseline {expected:.3f}s "
                  f"by more than {args.tolerance:.0%}")
-        print(f"bench_check: {g['name']}: compacted {actual:.3f}s vs "
+        print(f"bench_check: {g['name']}: {opt_mode} {actual:.3f}s vs "
               f"calibrated baseline {expected:.3f}s — ok")
 
     print("bench_check: PASS")
