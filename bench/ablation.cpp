@@ -16,6 +16,7 @@
 
 #include "bench/common.hpp"
 #include "core/nulpa.hpp"
+#include "core/runner.hpp"
 #include "observe/trace.hpp"
 #include "perfmodel/machine.hpp"
 #include "quality/modularity.hpp"
@@ -25,6 +26,11 @@ int main(int argc, char** argv) {
   using namespace nulpa;
   const CliArgs args(argc, argv);
   const auto opts = bench::SuiteOptions::from_args(args);
+  // --parallel-sim / --threads pick the simulator backend for every swept
+  // configuration; modeled times are backend-independent.
+  const simt::ExecPolicy exec =
+      exec_policy_from_flags(parse_common_flags(args));
+  apply_threads(exec);
   const auto graphs = make_large_subset(opts.scale, opts.seed);
   const MachineModel gpu = a100();
 
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
       double edges = 0.0;
       for (std::size_t i = 0; i < graphs.size(); ++i) {
         NuLpaConfig cfg;
+        cfg.exec = exec;
         configure(cfg, knob);
         observe::ContextTracer ctx(
             jsonl ? &*jsonl : nullptr,

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   using namespace nulpa;
   const CliArgs args(argc, argv);
   const auto opts = bench::SuiteOptions::from_args(args);
+  const CommonFlags flags = parse_common_flags(args);
   const auto graphs = make_dataset_suite(opts.scale, opts.seed);
   const auto& registry = algorithm_registry();
 
@@ -59,7 +60,11 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
 
-  RunOptions run_opts;
+  // --parallel-sim / --threads / --seed select the simulator backend for
+  // the simulator-backed rows (nulpa, gunrock); modeled times are
+  // backend-independent because the hardware counters are.
+  RunOptions run_opts = run_options_from_flags(flags);
+  apply_threads(run_opts.exec);
   // cuGraph Louvain runs local moving to a tight gain threshold (many
   // sweeps per pass) — keep the comparison's historical setting.
   run_opts.louvain.tolerance = 1e-3;

@@ -107,8 +107,8 @@ int main(int argc, char** argv) {
     GraphResult r;
     r.name = inst.spec.name;
     r.graph = &inst.graph;
-    r.fiber = run_mode(inst.graph, base.with_fiberless(false));
-    r.fiberless = run_mode(inst.graph, base.with_fiberless(true));
+    r.fiber = run_mode(inst.graph, base.with_exec(simt::ExecPolicy::lockstep()));
+    r.fiberless = run_mode(inst.graph, base.with_exec(simt::ExecPolicy{}));
     r.identical = r.fiber.report.labels == r.fiberless.report.labels;
     r.wall_speedup = r.fiberless.seconds > 0
                          ? r.fiber.seconds / r.fiberless.seconds

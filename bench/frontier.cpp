@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
   // used to eliminate are already gone — bench/fiberless.cpp covers that
   // comparison.
   const NuLpaConfig base =
-      NuLpaConfig{}.with_tolerance(0.0).with_fiberless(false);
+      NuLpaConfig{}.with_tolerance(0.0).with_exec(simt::ExecPolicy::lockstep());
 
   std::vector<DatasetInstance> instances;
   std::vector<GraphResult> results;
@@ -146,8 +146,10 @@ int main(int argc, char** argv) {
     GraphResult r;
     r.name = inst.spec.name;
     r.graph = &inst.graph;
-    r.full = run_mode(inst.graph, base.with_frontier_compaction(false));
-    r.compact = run_mode(inst.graph, base.with_frontier_compaction(true));
+    r.full = run_mode(
+        inst.graph, base.with_exec(base.exec.with_frontier_compaction(false)));
+    r.compact = run_mode(
+        inst.graph, base.with_exec(base.exec.with_frontier_compaction(true)));
     r.identical = r.full.report.labels == r.compact.report.labels;
     const auto full_tail = sum_after(r.full.iter_fiber_switches, kAfter);
     const auto compact_tail =

@@ -92,9 +92,9 @@ void BM_GatherPerExecutorMode(benchmark::State& state) {
   simt::LaunchConfig cfg;
   cfg.block_dim = kLanes;
   simt::PerfCounters ctr;
-  simt::LaunchSession session(cfg, ctr);
-  const auto traits = lockstep ? simt::KernelTraits::lockstep()
-                               : simt::KernelTraits::barrier_free();
+  simt::LaunchSession session(cfg, ctr,
+                              lockstep ? simt::ExecPolicy::lockstep()
+                                       : simt::ExecPolicy::barrier_free());
   for (auto _ : state) {
     session.run(1, [&](simt::Lane& lane) {
       const std::uint32_t t = lane.thread_idx();
@@ -106,7 +106,7 @@ void BM_GatherPerExecutorMode(benchmark::State& state) {
             table.accumulate(k, 1.0f, Probing::kQuadDouble));
       }
       benchmark::DoNotOptimize(table.max_key());
-    }, traits);
+    });
   }
   state.SetItemsProcessed(state.iterations() * kLanes * kDegree);
 }

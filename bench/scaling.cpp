@@ -1,32 +1,112 @@
-// Scaling study: modeled ν-LPA throughput (edges/s) as graph size grows —
-// the context for the paper's headline "3.0 B edges/s on a 2.2 B-edge
-// graph" claim. Also reports the simulator's own wall-clock so users can
-// budget simulation time.
+// Scaling study, two axes:
+//
+//  1. Graph size: modeled ν-LPA throughput (edges/s) as web-graph size
+//     grows — the context for the paper's headline "3.0 B edges/s on a
+//     2.2 B-edge graph" claim.
+//  2. Simulator threads: the same detection run on the serial backend vs
+//     the parallel backend at T ∈ {1, 2, 4, 8} worker threads
+//     (ExecPolicy::parallel, deterministic mode), on the europe_osm-class
+//     road network the paper's TPV path showcases. Labels must stay
+//     byte-identical at every thread count; wall-clock speedup is
+//     whatever the host can actually deliver (a single-core host records
+//     honest ratios <= 1.0 — see EXPERIMENTS.md).
+//
+// Emits machine-readable BENCH_parallel.json for tools/bench_check.py;
+// the committed reference copy lives under bench/baselines/.
 #include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "core/nulpa.hpp"
+#include "core/runner.hpp"
+#include "graph/dataset.hpp"
 #include "graph/generators.hpp"
 #include "perfmodel/machine.hpp"
 #include "quality/modularity.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace nulpa;
+
+struct ModeStats {
+  RunReport report;
+  double seconds = 0.0;
+};
+
+ModeStats run_mode(const Graph& g, const NuLpaConfig& cfg) {
+  ModeStats s;
+  Timer timer;
+  s.report = nu_lpa(g, cfg);
+  s.seconds = timer.seconds();
+  return s;
+}
+
+struct GraphResult {
+  std::string name;
+  const Graph* graph = nullptr;
+  ModeStats serial;
+  ModeStats parallel_t4;
+  // Full sweep (headline graph only): seconds at T = 1, 2, 4, 8.
+  std::vector<std::pair<unsigned, double>> sweep;
+  bool identical = false;
+  double wall_speedup = 0.0;  // serial / parallel_t4
+};
+
+void write_mode(std::FILE* f, const char* name, const ModeStats& s) {
+  const auto& c = s.report.counters;
+  std::fprintf(f, "      \"%s\": {\n", name);
+  std::fprintf(f, "        \"seconds\": %.6f,\n", s.seconds);
+  std::fprintf(f, "        \"iterations\": %d,\n", s.report.iterations);
+  std::fprintf(f, "        \"threads_run\": %llu,\n",
+               static_cast<unsigned long long>(c.threads_run));
+  std::fprintf(f, "        \"edges_scanned\": %llu,\n",
+               static_cast<unsigned long long>(c.edges_scanned));
+  std::fprintf(f, "        \"fiber_switches\": %llu,\n",
+               static_cast<unsigned long long>(c.fiber_switches));
+  std::fprintf(f, "        \"stack_pool_hits\": %llu\n",
+               static_cast<unsigned long long>(c.stack_pool_hits));
+  std::fprintf(f, "      }");
+}
+
+NuLpaConfig parallel_cfg(const NuLpaConfig& base, unsigned threads) {
+  // Retarget the process-wide pool so T simulated workers map onto T OS
+  // threads (on smaller hosts the extra workers stride the same cores —
+  // determinism keeps the labels byte-identical either way).
+  const simt::ExecPolicy policy = simt::ExecPolicy::parallel(threads);
+  apply_threads(policy);
+  return base.with_exec(policy);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace nulpa;
   const CliArgs args(argc, argv);
+  const auto scale = args.get_int("scale", 4000);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string out = args.get("out", "BENCH_parallel.json");
   const auto max_scale =
       static_cast<Vertex>(args.get_int("max-vertices", 64000));
+  // --parallel-sim / --threads select the backend for the size-scaling
+  // table; the thread sweep below sweeps backends itself.
+  const simt::ExecPolicy flag_exec =
+      exec_policy_from_flags(parse_common_flags(args));
+  apply_threads(flag_exec);
   const MachineModel gpu = a100();
 
   std::printf("=== Scaling: nu-LPA throughput vs web-graph size (paper: "
               "3.0B edges/s on it-2004)\n\n");
-  TextTable table({"|V|", "|E|", "iters", "modeled A100 time",
-                   "modeled edges/s", "modularity", "frontier share",
-                   "sim wall-clock"});
+  TextTable size_table({"|V|", "|E|", "iters", "modeled A100 time",
+                        "modeled edges/s", "modularity", "frontier share",
+                        "sim wall-clock"});
 
   for (Vertex n = 4000; n <= max_scale; n *= 2) {
     const Graph g = generate_web(n, 8, 0.85, 42);
-    const auto r = nu_lpa(g);
+    const auto r = nu_lpa(g, NuLpaConfig{}.with_exec(flag_exec));
     const double t = modeled_gpu_seconds(gpu, r.counters);
     const double edges_per_s =
         static_cast<double>(g.num_edges()) * r.iterations / t;
@@ -38,16 +118,156 @@ int main(int argc, char** argv) {
         slots > 0
             ? static_cast<double>(r.counters.frontier_vertices) / slots
             : 1.0;
-    table.add_row({fmt_count(static_cast<double>(g.num_vertices())),
-                   fmt_count(static_cast<double>(g.num_edges())),
-                   std::to_string(r.iterations), fmt(t * 1e3, 3) + " ms",
-                   fmt_count(edges_per_s), fmt(modularity(g, r.labels), 3),
-                   fmt(share, 3), fmt(r.seconds, 3) + " s"});
+    size_table.add_row({fmt_count(static_cast<double>(g.num_vertices())),
+                        fmt_count(static_cast<double>(g.num_edges())),
+                        std::to_string(r.iterations), fmt(t * 1e3, 3) + " ms",
+                        fmt_count(edges_per_s), fmt(modularity(g, r.labels), 3),
+                        fmt(share, 3), fmt(r.seconds, 3) + " s"});
   }
-  table.print();
+  size_table.print();
   std::printf(
       "\nThroughput grows with size as kernel-launch overhead amortizes, "
       "approaching the bandwidth-bound billions-of-edges/s regime the "
       "paper reports on the 2.2B-edge it-2004.\n");
-  return 0;
+
+  // --- Thread scaling: serial backend vs parallel backend ---------------
+  // Same suite picks as the executor-mode study: the road network at 3x
+  // base is the TPV-dominated showcase and carries the full T sweep; the
+  // k-mer chain and web crawl get the serial-vs-T4 pairing that feeds the
+  // perf gate.
+  struct Pick {
+    const char* name;
+    int factor;
+    bool full_sweep;
+  };
+  const Pick picks[] = {{"europe_osm", 3, true},
+                        {"kmer_V1r", 1, false},
+                        {"webbase-2001", 1, false}};
+  const unsigned sweep_threads[] = {1, 2, 4, 8};
+
+  // Tolerance 0 runs the full iteration budget so the wall-clock numbers
+  // cover dense early sweeps and sparse late ones alike.
+  const NuLpaConfig base = NuLpaConfig{}.with_tolerance(0.0);
+
+  std::printf("\n=== Thread scaling: serial backend vs parallel backend "
+              "(deterministic, labels must match byte-for-byte)\n\n");
+
+  std::vector<DatasetInstance> instances;
+  std::vector<const Pick*> inst_picks;
+  for (const Pick& pick : picks) {
+    for (const DatasetSpec& s : dataset_specs()) {
+      if (s.name == pick.name) {
+        instances.push_back(make_dataset(
+            s, static_cast<Vertex>(scale * pick.factor), seed));
+        inst_picks.push_back(&pick);
+      }
+    }
+  }
+
+  TextTable table({"graph", "|V|", "backend", "wall-clock",
+                   "speedup vs serial", "labels identical"});
+  std::vector<GraphResult> results;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const DatasetInstance& inst = instances[i];
+    GraphResult r;
+    r.name = inst.spec.name;
+    r.graph = &inst.graph;
+    r.serial = run_mode(inst.graph, base.with_exec(simt::ExecPolicy{}));
+    table.add_row({r.name,
+                   fmt_count(static_cast<double>(inst.graph.num_vertices())),
+                   "serial", fmt(r.serial.seconds, 3) + " s", "1.00x", "-"});
+    bool identical = true;
+    for (const unsigned t : sweep_threads) {
+      if (t != 4 && !inst_picks[i]->full_sweep) continue;
+      const ModeStats m = run_mode(inst.graph, parallel_cfg(base, t));
+      const bool same = m.report.labels == r.serial.report.labels;
+      identical = identical && same;
+      if (t == 4) r.parallel_t4 = m;
+      if (inst_picks[i]->full_sweep) r.sweep.emplace_back(t, m.seconds);
+      table.add_row({"", "", "parallel T=" + std::to_string(t),
+                     fmt(m.seconds, 3) + " s",
+                     fmt(m.seconds > 0 ? r.serial.seconds / m.seconds : 0.0,
+                         2) + "x",
+                     same ? "yes" : "NO"});
+    }
+    r.identical = identical;
+    r.wall_speedup = r.parallel_t4.seconds > 0
+                         ? r.serial.seconds / r.parallel_t4.seconds
+                         : 0.0;
+    results.push_back(std::move(r));
+  }
+  table.print();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("\nhost hardware threads: %u%s\n", hw,
+              hw <= 1 ? " (single-core host: parallel-backend ratios "
+                        "reflect scheduling overhead, not speedup)"
+                      : "");
+
+  bool all_identical = true;
+  const GraphResult* largest = nullptr;
+  for (const GraphResult& r : results) {
+    all_identical = all_identical && r.identical;
+    if (largest == nullptr ||
+        r.graph->num_vertices() > largest->graph->num_vertices()) {
+      largest = &r;
+    }
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"scale\": %d,\n", static_cast<int>(scale));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  // bench_check.py reads the per-graph mode objects by these names.
+  std::fprintf(f, "  \"reference_mode\": \"serial\",\n");
+  std::fprintf(f, "  \"optimized_mode\": \"parallel_t4\",\n");
+  std::fprintf(f, "  \"labels_identical\": %s,\n",
+               all_identical ? "true" : "false");
+  if (largest != nullptr) {
+    std::fprintf(f,
+                 "  \"headline\": {\"graph\": \"%s\", \"vertices\": %u, "
+                 "\"wall_clock_speedup\": %.4f},\n",
+                 largest->name.c_str(), largest->graph->num_vertices(),
+                 largest->wall_speedup);
+  }
+  std::fprintf(f, "  \"graphs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const GraphResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f,
+                 "      \"name\": \"%s\", \"vertices\": %u, "
+                 "\"edges\": %llu,\n",
+                 r.name.c_str(), r.graph->num_vertices(),
+                 static_cast<unsigned long long>(r.graph->num_edges()));
+    std::fprintf(f, "      \"labels_identical\": %s,\n",
+                 r.identical ? "true" : "false");
+    std::fprintf(f, "      \"speedup\": {\"wall_clock\": %.4f},\n",
+                 r.wall_speedup);
+    if (!r.sweep.empty()) {
+      std::fprintf(f, "      \"thread_sweep_seconds\": {");
+      for (std::size_t j = 0; j < r.sweep.size(); ++j) {
+        std::fprintf(f, "%s\"%u\": %.6f", j == 0 ? "" : ", ",
+                     r.sweep[j].first, r.sweep[j].second);
+      }
+      std::fprintf(f, "},\n");
+    }
+    write_mode(f, "serial", r.serial);
+    std::fprintf(f, ",\n");
+    write_mode(f, "parallel_t4", r.parallel_t4);
+    std::fprintf(f, "\n    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  // Determinism is the hard local gate: every parallel run must reproduce
+  // the serial labels byte-for-byte. Speedup ratios are host-dependent and
+  // are gated relative to the committed baseline by tools/bench_check.py.
+  return all_identical ? 0 : 1;
 }

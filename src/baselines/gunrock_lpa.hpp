@@ -8,22 +8,26 @@
 
 #include "baselines/result.hpp"
 #include "graph/csr.hpp"
+#include "simt/grid.hpp"
 
 namespace nulpa {
 
 struct GunrockLpaConfig {
   int iterations = 5;  // Gunrock runs a fixed short schedule by default
-  // SIMT variant only: launch each iteration over the frontier of vertices
-  // whose neighborhood changed last iteration instead of the full range.
-  // Synchronous LPA reads a snapshot, so a vertex with no changed neighbor
-  // recomputes its previous answer — skipping it is label-identical by
-  // construction (Gunrock itself is frontier-based).
-  bool frontier_compaction = true;
-  // SIMT variant only: the advance kernel has no barriers, so by default it
-  // declares KernelTraits::barrier_free and runs on the fiberless direct
-  // executor. Off = the lockstep fiber path (labels are identical either
-  // way; only scheduler-cost counters move).
-  bool fiberless = true;
+  // SIMT variant only: how the simulator executes the advance kernel.
+  //
+  //   exec.frontier_compaction — launch each iteration over the frontier of
+  //     vertices whose neighborhood changed last iteration instead of the
+  //     full range. Synchronous LPA reads a snapshot, so a vertex with no
+  //     changed neighbor recomputes its previous answer — skipping it is
+  //     label-identical by construction (Gunrock itself is frontier-based).
+  //   exec.sync — the advance kernel has no barriers, so the default
+  //     (kAuto) runs it on the fiberless direct executor; kLockstep forces
+  //     the fiber path (labels are identical either way; only
+  //     scheduler-cost counters move).
+  //   exec.backend/threads/deterministic — serial simulation (default) or
+  //     the sharded parallel backend; see DESIGN.md.
+  simt::ExecPolicy exec{};
 };
 
 ClusteringResult gunrock_lpa(const Graph& g, const GunrockLpaConfig& cfg);

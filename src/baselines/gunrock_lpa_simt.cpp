@@ -35,7 +35,7 @@ GunrockSimtResult gunrock_lpa_simt(const Graph& g,
   simt::LaunchConfig launch;
   launch.block_dim = 256;
   launch.resident_blocks = 8;
-  simt::LaunchSession session(launch, res.counters);
+  simt::LaunchSession session(launch, res.counters, cfg.exec);
 
   // Frontier state: a vertex is active next iteration iff it changed or a
   // neighbor changed this iteration (its inputs are otherwise a repeat of
@@ -49,7 +49,7 @@ GunrockSimtResult gunrock_lpa_simt(const Graph& g,
     Timer iter_timer;
     simt::PerfCounters iter_ctr0;
     frontier.clear();
-    if (cfg.frontier_compaction) {
+    if (cfg.exec.frontier_compaction) {
       for (Vertex v = 0; v < n; ++v) {
         if (active[v]) frontier.push_back(v);
       }
@@ -110,17 +110,18 @@ GunrockSimtResult gunrock_lpa_simt(const Graph& g,
       }
       next[v] = best;  // double-buffered: synchronous by construction
       lane.count_store(1);
-    }, cfg.fiberless ? simt::KernelTraits::barrier_free()
-                     : simt::KernelTraits::lockstep());
+    });
     // Diff the double buffers and rebuild the active flags for the next
     // iteration; the diff itself is host-side bookkeeping (Gunrock folds it
     // into the label kernel), so it is not counted as device work.
     std::uint64_t changed = 0;
-    if (cfg.frontier_compaction) std::fill(active.begin(), active.end(), 0);
+    if (cfg.exec.frontier_compaction) {
+      std::fill(active.begin(), active.end(), 0);
+    }
     for (Vertex v = 0; v < n; ++v) {
       if (next[v] == res.labels[v]) continue;
       ++changed;
-      if (!cfg.frontier_compaction) continue;
+      if (!cfg.exec.frontier_compaction) continue;
       active[v] = 1;
       for (const Vertex u : g.neighbors(v)) active[u] = 1;
     }

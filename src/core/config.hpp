@@ -43,24 +43,29 @@ struct NuLpaConfig {
   double tolerance = 0.05;    // Section 4: per-iteration tolerance (3)
   SwapPrevention swap{};      // PL4 by default
   bool pruning = true;        // Section 4: vertex pruning (4)
-  // Launch kernels over compacted worklists of still-active vertices
-  // instead of the full partition ranges (Traag & Šubelj-style frontier
-  // processing, arXiv:2209.13338). Compaction happens per resident-set
-  // window of the degree partitions, which keeps the set of vertices that
-  // gather together — and therefore the labels — byte-identical to the
-  // full-range launch; only the inactive lanes disappear. No effect when
-  // `pruning` is off (every vertex is always active).
-  bool frontier_compaction = true;
-  // Run the barrier-free kernels (TPV gather/commit, cross-check) through
-  // the simulator's fiberless direct executor: the TPV kernel is split at
-  // its syncwarp into a gather launch and a commit launch, each declared
-  // KernelTraits::barrier_free, so no lane ever allocates a fiber or pays
-  // a context switch. The split preserves the fused kernel's gather-then-
-  // commit window schedule exactly, so labels stay byte-identical; only
-  // scheduler-cost counters (fiber_switches, warp_syncs) change. The BPV
-  // kernel always keeps full fiber semantics. Off = the fused kernels on
-  // the lockstep fiber path, exactly as before this knob existed.
-  bool fiberless = true;
+  // One knob surface for how the engine executes (simt::ExecPolicy):
+  //
+  //   exec.sync — kAuto/kBarrierFree (the default) splits the TPV kernel
+  //     at its syncwarp into a gather launch and a commit launch, each
+  //     barrier-free, so those lanes run on the simulator's fiberless
+  //     direct executor: no lane fibers, no context switches, labels
+  //     byte-identical to the fused kernel (only scheduler-cost counters
+  //     change). kLockstep runs the fused kernels on the lockstep fiber
+  //     path, exactly as before the fiberless executor existed. The BPV
+  //     kernel always keeps full fiber semantics.
+  //   exec.frontier_compaction — launch kernels over compacted worklists
+  //     of still-active vertices instead of the full partition ranges
+  //     (Traag & Šubelj-style frontier processing, arXiv:2209.13338).
+  //     Compaction happens per resident-set window of the degree
+  //     partitions, which keeps the set of vertices that gather together —
+  //     and therefore the labels — byte-identical to the full-range
+  //     launch; only the inactive lanes disappear. No effect when
+  //     `pruning` is off (every vertex is always active).
+  //   exec.backend/threads/deterministic — serial simulation (default) or
+  //     resident blocks sharded across the process ThreadPool; see
+  //     DESIGN.md "Parallel backend & ExecPolicy".
+  //   exec.schedule_seed — overrides launch.schedule_seed when non-zero.
+  simt::ExecPolicy exec{};
 
   // Section 4.2 — hashtable design.
   Probing probing = Probing::kQuadDouble;
@@ -108,14 +113,23 @@ struct NuLpaConfig {
     c.pruning = on;
     return c;
   }
-  [[nodiscard]] NuLpaConfig with_frontier_compaction(bool on) const {
+  [[nodiscard]] NuLpaConfig with_exec(simt::ExecPolicy p) const {
     NuLpaConfig c = *this;
-    c.frontier_compaction = on;
+    c.exec = p;
     return c;
   }
+  // Deprecated shims (one release): the pre-ExecPolicy per-field knobs.
+  [[deprecated("use with_exec(exec.with_frontier_compaction(on))")]]
+  [[nodiscard]] NuLpaConfig with_frontier_compaction(bool on) const {
+    NuLpaConfig c = *this;
+    c.exec.frontier_compaction = on;
+    return c;
+  }
+  [[deprecated("use with_exec(exec.with_sync(...)) — fiberless == sync != kLockstep")]]
   [[nodiscard]] NuLpaConfig with_fiberless(bool on) const {
     NuLpaConfig c = *this;
-    c.fiberless = on;
+    c.exec.sync =
+        on ? simt::SyncMode::kAuto : simt::SyncMode::kLockstep;
     return c;
   }
   [[nodiscard]] NuLpaConfig with_probing(Probing p) const {

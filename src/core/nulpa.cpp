@@ -1,6 +1,7 @@
 #include "core/nulpa.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <optional>
 #include <sstream>
@@ -94,9 +95,32 @@ class Engine {
     bpv_cfg_.block_dim = cfg_.bpv_block_dim;
     bpv_cfg_.resident_blocks = cfg_.bpv_resident_blocks;
     bpv_cfg_.shared_bytes = static_cast<std::uint32_t>(scratch_.total);
-    tpv_session_.emplace(tpv_cfg_, ctr_);
-    bpv_session_.emplace(bpv_cfg_, ctr_);
-    if (cfg_.fiberless) {
+    // The engine's ExecPolicy picks the executor per kernel family: the
+    // TPV kernels are barrier-free when split (fiberless) and lockstep
+    // when fused; the BPV kernel is built from syncthreads phases and
+    // always runs lockstep. Backend/threads/determinism pass through.
+    const simt::ExecPolicy tpv_policy = cfg_.exec.with_sync(
+        fiberless() ? simt::SyncMode::kBarrierFree : simt::SyncMode::kLockstep);
+    const simt::ExecPolicy bpv_policy =
+        cfg_.exec.with_sync(simt::SyncMode::kLockstep);
+    tpv_session_.emplace(tpv_cfg_, ctr_, tpv_policy);
+    bpv_session_.emplace(bpv_cfg_, ctr_, bpv_policy);
+    // The cross-check kernel is order-dependent between blocks (its revert
+    // reads the label of an arbitrary leader vertex while peers CAS), so
+    // under the parallel backend it runs through a serial-backend session
+    // to keep labels reproducible; it is off the paper's hot path
+    // (cross_check_every defaults to 0).
+    if (cfg_.exec.is_parallel() && cfg_.swap.cross_check_every > 0) {
+      chk_session_.emplace(
+          tpv_cfg_, ctr_,
+          tpv_policy.with_backend(simt::ExecPolicy::Backend::kSerial));
+    }
+    // Per-worker hash statistics: table probes run concurrently on the
+    // parallel backend, so each shard accumulates privately and the host
+    // sums on demand (hstats_total()).
+    hstats_w_.resize(
+        std::max(tpv_session_->workers(), bpv_session_->workers()));
+    if (fiberless()) {
       // Per-window gather results for the split TPV kernel: one slot per
       // lane of a resident-set window.
       cstar_.assign(
@@ -137,7 +161,7 @@ class Engine {
       Timer iter_timer;
       if (tracing) {
         iter_ctr0 = ctr_.snapshot();
-        iter_hs0 = hstats_;
+        iter_hs0 = hstats_total();
         observe::TraceEvent ev;
         ev.kind = observe::EventKind::kIterationStart;
         ev.algo = "nulpa";
@@ -171,7 +195,7 @@ class Engine {
         ev.seconds = iter_timer.seconds();
         ev.has_counters = true;
         ev.counters = ctr_ - iter_ctr0;
-        ev.hash_stats = hstats_ - iter_hs0;
+        ev.hash_stats = hstats_total() - iter_hs0;
         ev.edges_scanned = ev.counters.edges_scanned;
         tracer_->record(ev);
       }
@@ -185,7 +209,7 @@ class Engine {
     res.labels = std::move(labels_);
     res.has_counters = true;
     res.counters = ctr_;
-    res.hash_stats = hstats_;
+    res.hash_stats = hstats_total();
     res.edges_scanned = ctr_.edges_scanned;
     res.seconds = timer.seconds();
     if (tracing) {
@@ -226,7 +250,7 @@ class Engine {
       return;
     }
     const simt::PerfCounters ctr0 = ctr_.snapshot();
-    const HashStats hs0 = hstats_;
+    const HashStats hs0 = hstats_total();
     Timer t;
     const std::uint64_t work_items = fn();
     observe::TraceEvent ev;
@@ -238,7 +262,7 @@ class Engine {
     ev.seconds = t.seconds();
     ev.has_counters = true;
     ev.counters = ctr_ - ctr0;
-    ev.hash_stats = hstats_ - hs0;
+    ev.hash_stats = hstats_total() - hs0;
     ev.edges_scanned = ev.counters.edges_scanned;
     tracer_->record(ev);
   }
@@ -255,7 +279,37 @@ class Engine {
   /// are charged to the device counters as the stream-compaction kernel a
   /// real GPU would run.
   [[nodiscard]] bool compacting() const {
-    return cfg_.frontier_compaction && cfg_.pruning;
+    return cfg_.exec.frontier_compaction && cfg_.pruning;
+  }
+
+  /// Barrier-free kernels run on the fiberless direct executor unless the
+  /// policy pins the lockstep fiber path.
+  [[nodiscard]] bool fiberless() const {
+    return cfg_.exec.sync != simt::SyncMode::kLockstep;
+  }
+
+  [[nodiscard]] HashStats hstats_total() const {
+    HashStats total;
+    for (const HashStats& h : hstats_w_) total += h;
+    return total;
+  }
+  [[nodiscard]] HashStats* hstats_for(const simt::Lane& lane) {
+    return &hstats_w_[lane.worker()];
+  }
+
+  // ---- Device-memory access for the label and activity arrays. The
+  // parallel backend runs blocks concurrently, so kernel-side touches of
+  // cross-block state must be real (relaxed) atomics — the same word-sized
+  // visibility the GPU's memory system gives plain loads and stores. On
+  // the serial backend these compile to the plain accesses they replace.
+  template <typename T>
+  [[nodiscard]] static T dev_load(const T& slot) noexcept {
+    return std::atomic_ref<T>(const_cast<T&>(slot))
+        .load(std::memory_order_relaxed);
+  }
+  template <typename T>
+  static void dev_store(T& slot, T v) noexcept {
+    std::atomic_ref<T>(slot).store(v, std::memory_order_relaxed);
   }
 
   // ---- Thread-per-vertex kernel: one lane per low-degree vertex. The
@@ -296,7 +350,7 @@ class Engine {
       }
       launched += count;
       const auto grid = static_cast<std::uint32_t>(ceil_div(count, bdim));
-      if (cfg_.fiberless) {
+      if (fiberless()) {
         // Split at the fused kernel's syncwarp: every lane of the window
         // gathers, then every lane commits — which is exactly the schedule
         // the lockstep scheduler produces for the fused kernel (a window is
@@ -313,18 +367,18 @@ class Engine {
           const Vertex v = work[t];
           Vertex cstar = kEmptyKey;
           lane.count_load(1);  // unprocessed flag (or worklist entry)
-          if (!cfg_.pruning || unprocessed_[v]) {
-            unprocessed_[v] = 0;
+          if (!cfg_.pruning || dev_load(unprocessed_[v])) {
+            dev_store<std::uint8_t>(unprocessed_[v], 0);
             lane.count_store(1);
             cstar = gather_unshared(lane, v);
           }
           cstar_[t] = cstar;
-        }, simt::KernelTraits::barrier_free());
+        });
         tpv_session_->run(grid, [&](simt::Lane& lane) {
           const std::uint32_t t = lane.global_thread();
           if (t >= count) return;
           commit(lane, work[t], cstar_[t]);
-        }, simt::KernelTraits::barrier_free());
+        });
       } else {
         tpv_session_->run(grid, [&](simt::Lane& lane) {
           const std::uint32_t t = lane.global_thread();
@@ -333,8 +387,8 @@ class Engine {
 
           Vertex cstar = kEmptyKey;
           lane.count_load(1);  // unprocessed flag (or worklist entry)
-          if (!cfg_.pruning || unprocessed_[v]) {
-            unprocessed_[v] = 0;
+          if (!cfg_.pruning || dev_load(unprocessed_[v])) {
+            dev_store<std::uint8_t>(unprocessed_[v], 0);
             lane.count_store(1);
             cstar = gather_unshared(lane, v);
           }
@@ -342,7 +396,7 @@ class Engine {
           lane.syncwarp();  // lockstep boundary: warp gathers, then commits
 
           commit(lane, v, cstar);
-        }, simt::KernelTraits::lockstep());
+        });
       }
     }
     return launched;
@@ -371,7 +425,7 @@ class Engine {
       keys = buf_k_.data() + off;
       values = buf_v_.data() + off;
     }
-    VertexTableView<V> table(keys, values, p1, &hstats_);
+    VertexTableView<V> table(keys, values, p1, hstats_for(lane));
     table.clear();
     if (in_shared) {
       lane.count_shared_store(2 * p1);
@@ -384,7 +438,7 @@ class Engine {
     for (std::size_t e = 0; e < nbrs.size(); ++e) {
       if (nbrs[e] == v) continue;
       lane.count_load(3);  // target id, weight, neighbour's label (global)
-      table.accumulate(labels_[nbrs[e]], static_cast<V>(wts[e]),
+      table.accumulate(dev_load(labels_[nbrs[e]]), static_cast<V>(wts[e]),
                        cfg_.probing);
       if (in_shared) {
         lane.count_shared_store(1);
@@ -392,7 +446,7 @@ class Engine {
         lane.count_store(1);
       }
     }
-    ctr_.edges_scanned += deg;
+    lane.counters().edges_scanned += deg;
     if (in_shared) {
       lane.count_shared_load(p1);  // max-key scan
     } else {
@@ -408,7 +462,7 @@ class Engine {
     const std::uint32_t p1 = hashtable_capacity(deg);
     const EdgeIndex off = 2 * g_.offset(v);
     CoalescedTableView<V> table(buf_k_.data() + off, buf_v_.data() + off,
-                                buf_n_.data() + off, p1, &hstats_);
+                                buf_n_.data() + off, p1, hstats_for(lane));
     table.clear();
     lane.count_store(3 * p1);
 
@@ -417,10 +471,10 @@ class Engine {
     for (std::size_t e = 0; e < nbrs.size(); ++e) {
       if (nbrs[e] == v) continue;
       lane.count_load(3);
-      table.accumulate(labels_[nbrs[e]], static_cast<V>(wts[e]));
+      table.accumulate(dev_load(labels_[nbrs[e]]), static_cast<V>(wts[e]));
       lane.count_store(1);
     }
-    ctr_.edges_scanned += deg;
+    lane.counters().edges_scanned += deg;
     lane.count_load(p1);
     return table.max_key();
   }
@@ -429,14 +483,15 @@ class Engine {
   /// forbids it, bump the changed count, re-activate neighbours.
   void commit(simt::Lane& lane, Vertex v, Vertex cstar) {
     lane.count_load(1);  // current label
-    if (cstar == kEmptyKey || cstar == labels_[v]) return;
-    if (pick_less_ && cstar > labels_[v]) return;
-    labels_[v] = cstar;
+    const Vertex current = dev_load(labels_[v]);
+    if (cstar == kEmptyKey || cstar == current) return;
+    if (pick_less_ && cstar > current) return;
+    dev_store(labels_[v], cstar);
     lane.count_store(1);
     lane.atomic_add(delta_n_, std::uint32_t{1});
     if (cfg_.pruning) {
       const auto nbrs = g_.neighbors(v);
-      for (const Vertex j : nbrs) unprocessed_[j] = 1;
+      for (const Vertex j : nbrs) dev_store<std::uint8_t>(unprocessed_[j], 1);
       lane.count_store(nbrs.size());
     }
   }
@@ -492,9 +547,9 @@ class Engine {
         std::uint32_t* skip = flags + 1;  // pruning verdict broadcast
         if (tid == 0) {
           lane.count_load(1);
-          *skip = cfg_.pruning && !unprocessed_[v];
+          *skip = cfg_.pruning && !dev_load(unprocessed_[v]);
           if (!*skip) {
-            unprocessed_[v] = 0;
+            dev_store<std::uint8_t>(unprocessed_[v], 0);
             lane.count_store(1);
           }
         }
@@ -522,10 +577,12 @@ class Engine {
         for (std::uint32_t e = tid; e < deg; e += bdim) {
           if (nbrs[e] == v) continue;
           lane.count_load(3);
-          shared_accumulate(lane, keys, values, p1, p2, labels_[nbrs[e]],
-                            static_cast<V>(wts[e]), cfg_.probing, &hstats_);
+          shared_accumulate(lane, keys, values, p1, p2,
+                            dev_load(labels_[nbrs[e]]),
+                            static_cast<V>(wts[e]), cfg_.probing,
+                            hstats_for(lane));
         }
-        if (tid == 0) ctr_.edges_scanned += deg;
+        if (tid == 0) lane.counters().edges_scanned += deg;
         lane.syncthreads();
 
         // Phase 3: parallel max-reduce (Algorithm 1 line 27).
@@ -548,9 +605,10 @@ class Engine {
         if (tid == 0) {
           *moved = 0;
           lane.count_load(1);
-          if (cstar != kEmptyKey && cstar != labels_[v] &&
-              (!pick_less_ || cstar < labels_[v])) {
-            labels_[v] = cstar;
+          const Vertex current = dev_load(labels_[v]);
+          if (cstar != kEmptyKey && cstar != current &&
+              (!pick_less_ || cstar < current)) {
+            dev_store(labels_[v], cstar);
             lane.count_store(1);
             lane.atomic_add(delta_n_, std::uint32_t{1});
             *moved = 1;
@@ -561,11 +619,11 @@ class Engine {
         // Phase 4: parallel neighbour re-activation on a move.
         if (*moved && cfg_.pruning) {
           for (std::uint32_t e = tid; e < deg; e += bdim) {
-            unprocessed_[nbrs[e]] = 1;
+            dev_store<std::uint8_t>(unprocessed_[nbrs[e]], 1);
             lane.count_store(1);
           }
         }
-      }, simt::KernelTraits::lockstep());
+      });
     }
     return launched;
   }
@@ -583,11 +641,16 @@ class Engine {
         static_cast<std::size_t>(std::max(1u, tpv_cfg_.resident_blocks)) *
         bdim;
     ctr_.kernel_launches++;
+    // Serial-backend session under the parallel backend (see the ctor);
+    // otherwise the TPV session, whose policy already carries the right
+    // sync mode for this kernel.
+    simt::LaunchSession& session =
+        chk_session_ ? *chk_session_ : *tpv_session_;
     for (Vertex base = 0; base < n; base += window) {
       const auto count =
           static_cast<std::uint32_t>(std::min<std::size_t>(window, n - base));
       const auto grid = static_cast<std::uint32_t>(ceil_div(count, bdim));
-      tpv_session_->run(grid, [&](simt::Lane& lane) {
+      session.run(grid, [&](simt::Lane& lane) {
         const std::uint32_t t = lane.global_thread();
         if (t >= count) return;
         const Vertex v = base + t;
@@ -603,8 +666,7 @@ class Engine {
               lane.atomic_cas(labels_[v], cstar, prev_labels_[v]);
           if (old == cstar) lane.atomic_add(delta_n_, std::uint32_t{1});
         }
-      }, cfg_.fiberless ? simt::KernelTraits::barrier_free()
-                        : simt::KernelTraits::lockstep());
+      });
     }
     return n;
   }
@@ -627,7 +689,10 @@ class Engine {
   std::size_t shared_slice_ = 0;
 
   simt::PerfCounters ctr_;
-  HashStats hstats_;
+  // One HashStats slot per simulator worker (hstats_for/hstats_total):
+  // kernels bump their own worker's slot without synchronization, so the
+  // stats stay exact on the parallel backend.
+  std::vector<HashStats> hstats_w_;
 
   // Per-kernel launch configurations (fixed for the run) and the sessions
   // that retain fiber stacks and shared arenas across all launches.
@@ -636,6 +701,12 @@ class Engine {
   simt::LaunchConfig bpv_cfg_;
   std::optional<simt::LaunchSession> tpv_session_;
   std::optional<simt::LaunchSession> bpv_session_;
+  // Serial-backend stand-in for the cross-check kernel when the main
+  // sessions are parallel: its CAS-revert sweep reads labels it may itself
+  // have just reverted, so its result is order-dependent and only the
+  // serial schedule is reproducible. Engaged only when cross-checking is
+  // configured (off the paper's default path).
+  std::optional<simt::LaunchSession> chk_session_;
   // Compacted per-window worklists, reused every iteration.
   std::vector<Vertex> frontier_lo_;
   std::vector<Vertex> frontier_hi_;

@@ -127,7 +127,8 @@ NuLpaConfig nulpa_config_from_flags(const CommonFlags& flags) {
           .with_probing(parse_probing(flags.probing))
           .with_double_values(flags.double_values)
           .with_shared_memory_tables(flags.shared_tables)
-          .with_pruning(flags.pruning);
+          .with_pruning(flags.pruning)
+          .with_exec(exec_policy_from_flags(flags));
   if (flags.tolerance) cfg = cfg.with_tolerance(*flags.tolerance);
   if (flags.max_iterations) {
     cfg = cfg.with_max_iterations(*flags.max_iterations);
@@ -135,9 +136,24 @@ NuLpaConfig nulpa_config_from_flags(const CommonFlags& flags) {
   return cfg;
 }
 
+simt::ExecPolicy exec_policy_from_flags(const CommonFlags& flags) {
+  simt::ExecPolicy p;
+  if (flags.parallel_sim || flags.threads > 1) {
+    p = p.with_backend(simt::ExecPolicy::Backend::kParallel)
+            .with_threads(flags.threads);
+  }
+  if (flags.seed) p = p.with_schedule_seed(*flags.seed);
+  return p;
+}
+
 RunOptions run_options_from_flags(const CommonFlags& flags) {
   RunOptions opts;
   opts.nulpa = nulpa_config_from_flags(flags);
+  opts.exec = exec_policy_from_flags(flags);
+  // nulpa_config_from_flags() already derived the same policy; keep the
+  // mirroring explicit so opts.exec is authoritative for all three.
+  opts.nulpa.exec = opts.exec;
+  opts.gunrock.exec = opts.exec;
   if (flags.tolerance) {
     opts.seq.tolerance = *flags.tolerance;
     opts.plp.tolerance = *flags.tolerance;
@@ -157,6 +173,12 @@ RunOptions run_options_from_flags(const CommonFlags& flags) {
     opts.plp.seed = *flags.seed;
   }
   return opts;
+}
+
+void apply_threads(const simt::ExecPolicy& policy) {
+  if (policy.is_parallel() && policy.threads > 0) {
+    ThreadPool::global().resize(policy.threads);
+  }
 }
 
 }  // namespace nulpa

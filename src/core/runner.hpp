@@ -38,6 +38,11 @@ struct RunOptions {
   GveLpaConfig gve{};
   GunrockLpaConfig gunrock{};
   LouvainConfig louvain{};
+  // How the SIMT simulator executes (backend, threads, determinism, sync,
+  // schedule seed). The canonical copy: run_options_from_flags() mirrors it
+  // into every simulator-backed per-algorithm config above (nulpa.exec,
+  // gunrock.exec), so tools pick the backend through this one field.
+  simt::ExecPolicy exec{};
   observe::Tracer* tracer = nullptr;
 };
 
@@ -65,10 +70,24 @@ Probing parse_probing(std::string_view name);
 /// ν-LPA configuration from the shared flag set.
 NuLpaConfig nulpa_config_from_flags(const CommonFlags& flags);
 
+/// Simulator execution policy from the shared flag set: --parallel-sim
+/// selects the parallel backend, --threads its worker count, --seed the
+/// deterministic schedule shuffle.
+simt::ExecPolicy exec_policy_from_flags(const CommonFlags& flags);
+
 /// Full options bag from the shared flag set: ν-LPA knobs map onto
 /// NuLpaConfig; tolerance/max-iterations/seed map onto every algorithm
 /// that has the matching knob, preserving per-algorithm defaults when a
-/// flag is absent. The tracer is attached separately by the caller.
+/// flag is absent; the ExecPolicy from exec_policy_from_flags() lands in
+/// opts.exec and every simulator-backed config. The tracer is attached
+/// separately by the caller.
 RunOptions run_options_from_flags(const CommonFlags& flags);
+
+/// Sizes the process-wide ThreadPool for `policy`: resizes
+/// ThreadPool::global() to `policy.threads` when the parallel backend is
+/// selected with an explicit thread count, so sessions that share the
+/// global pool get the requested width. No-op for serial policies or
+/// threads == 0 (keep the hardware-sized pool).
+void apply_threads(const simt::ExecPolicy& policy);
 
 }  // namespace nulpa

@@ -12,13 +12,34 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   start_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+  // Leave the pool usable: run() still works on the caller thread, and
+  // resize() can spawn a fresh set of workers against the same epoch
+  // counter (the wait predicate requires a posted job, so a stale
+  // seen_epoch can never mis-fire).
+  std::lock_guard lock(mutex_);
+  stopping_ = false;
+}
+
+void ThreadPool::resize(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads == size()) return;
+  shutdown();
+  workers_.reserve(threads - 1);
+  for (unsigned id = 1; id < threads; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
 }
 
 void ThreadPool::run(const std::function<void(unsigned)>& fn) {

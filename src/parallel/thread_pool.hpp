@@ -32,8 +32,20 @@ class ThreadPool {
   /// workers terminate (parallel regions must not throw), matching OpenMP.
   void run(const std::function<void(unsigned)>& fn);
 
+  /// Joins every background worker and leaves the pool at size() == 1 (the
+  /// caller thread). run() remains valid afterwards — jobs just execute on
+  /// the caller alone. Must not be called from inside run().
+  void shutdown();
+
+  /// Re-targets the pool at `threads` total workers (0 = hardware
+  /// concurrency). A no-op when the size already matches; otherwise joins
+  /// the old workers before spawning the new set, so no worker leaks and
+  /// no job can race the reconfiguration. Must not be called from inside
+  /// run().
+  void resize(unsigned threads);
+
   /// A process-wide pool sized to the hardware; used by baselines unless a
-  /// specific pool is supplied.
+  /// specific pool is supplied. resize() it to honour a --threads flag.
   static ThreadPool& global();
 
  private:

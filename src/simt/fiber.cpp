@@ -6,6 +6,16 @@
 
 extern "C" void nulpa_fiber_switch(void** save_sp, void* new_sp);
 
+// NULPA_TSAN_FIBERS is detected in fiber.hpp (grid.cpp consults it too).
+#ifdef NULPA_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace nulpa::simt {
 
 namespace {
@@ -31,6 +41,16 @@ void fiber_trampoline_entry() {
   // promotion); the identity that must finish is whoever owns it now.
   f = t_current;
   f->finished_ = true;
+#ifdef NULPA_TSAN_FIBERS
+  // Retire the TSAN context as soon as the logical thread ends: TSAN's
+  // registry recycles destroyed contexts but holds only ~8k live ones, so
+  // contexts must not linger on finished lanes waiting for a re-arming.
+  __tsan_switch_to_fiber(f->tsan_sched_, 0);
+  if (f->tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(f->tsan_fiber_);
+    f->tsan_fiber_ = nullptr;
+  }
+#endif
   nulpa_fiber_switch(&f->sp_, f->sched_sp_);
   // A finished fiber must never be resumed.
   std::fprintf(stderr, "simt: finished fiber resumed\n");
@@ -43,11 +63,23 @@ namespace {
 void trampoline_thunk() { fiber_trampoline_entry(); }
 }  // namespace
 
+Fiber::~Fiber() {
+#ifdef NULPA_TSAN_FIBERS
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
+
 void Fiber::init(void* stack_base, std::size_t stack_bytes, Entry entry,
                  void* arg) {
   entry_ = entry;
   arg_ = arg;
   finished_ = false;
+#ifdef NULPA_TSAN_FIBERS
+  // Fresh TSAN context per arming: the previous occupant's happens-before
+  // clocks must not leak into the new logical thread.
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
 
   // Guard word at the low end of the stack (stacks grow down).
   canary_ = static_cast<std::uint64_t*>(stack_base);
@@ -69,12 +101,19 @@ void Fiber::init(void* stack_base, std::size_t stack_bytes, Entry entry,
 void Fiber::resume() {
   Fiber* prev = t_current;
   t_current = this;
+#ifdef NULPA_TSAN_FIBERS
+  tsan_sched_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   nulpa_fiber_switch(&sched_sp_, sp_);
   t_current = prev;
 }
 
 void Fiber::yield() {
   Fiber* f = t_current;
+#ifdef NULPA_TSAN_FIBERS
+  __tsan_switch_to_fiber(f->tsan_sched_, 0);
+#endif
   nulpa_fiber_switch(&f->sp_, f->sched_sp_);
 }
 
@@ -92,9 +131,20 @@ void Fiber::handoff(Fiber& to) {
   to.finished_ = false;
   donor->finished_ = true;
   donor->canary_ = nullptr;
+#ifdef NULPA_TSAN_FIBERS
+  // The TSAN identity follows the stack: `to` adopts the donor's context
+  // (its own stale one, if any, is retired first).
+  if (to.tsan_fiber_ != nullptr) __tsan_destroy_fiber(to.tsan_fiber_);
+  to.tsan_fiber_ = donor->tsan_fiber_;
+  to.tsan_sched_ = donor->tsan_sched_;
+  donor->tsan_fiber_ = nullptr;
+#endif
   t_current = &to;
   // Suspend as the new identity: saved sp lands in `to`, control returns
   // to whoever resumed the donor. The next to.resume() continues here.
+#ifdef NULPA_TSAN_FIBERS
+  __tsan_switch_to_fiber(to.tsan_sched_, 0);
+#endif
   nulpa_fiber_switch(&to.sp_, to.sched_sp_);
 }
 

@@ -8,6 +8,20 @@
 #include <cstddef>
 #include <cstdint>
 
+// ThreadSanitizer needs to be told about every stack switch: without the
+// fiber annotations it attributes a resumed fiber's frames to whatever the
+// OS thread ran last and reports the simulator's cooperative scheduling —
+// and any cross-thread fiber migration on the parallel backend — as races.
+// Detected here so grid.cpp can also see it (it bounds simulated residency
+// under TSAN; see ensure_capacity()).
+#if defined(__SANITIZE_THREAD__)
+#define NULPA_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NULPA_TSAN_FIBERS 1
+#endif
+#endif
+
 namespace nulpa::simt {
 
 class Fiber {
@@ -15,6 +29,7 @@ class Fiber {
   using Entry = void (*)(void*);
 
   Fiber() = default;
+  ~Fiber();
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
@@ -57,6 +72,13 @@ class Fiber {
   Entry entry_ = nullptr;
   void* arg_ = nullptr;
   std::uint64_t* canary_ = nullptr;
+  // ThreadSanitizer fiber identities (null outside -fsanitize=thread
+  // builds): TSAN tracks each stack as its own "fiber" and must be told
+  // about every context switch, or it reports the stack reuse across OS
+  // threads as a race. Kept unconditionally so the layout is independent
+  // of sanitizer flags.
+  void* tsan_fiber_ = nullptr;  // this fiber's TSAN context
+  void* tsan_sched_ = nullptr;  // resumer's TSAN context while fiber runs
   bool finished_ = true;
 };
 

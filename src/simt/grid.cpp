@@ -4,6 +4,9 @@
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
 
 namespace nulpa::simt {
 
@@ -25,6 +28,36 @@ namespace nulpa::simt {
 // byte-identical between the two paths. The moment a lane does block, it
 // is promoted (stack handoff, no re-run) and the run continues under the
 // pass loop below, semantics unchanged.
+//
+// The parallel backend reuses the exact same per-block machinery: slots
+// are statically owned by shards (slot s belongs to shard s % workers),
+// each shard steps its own slots with its own stack pool and counters, and
+// in deterministic mode the lockstep scheduler synchronizes shards at
+// every pass boundary (one ThreadPool fork-join per pass) so each block
+// sees precisely the pass sequence the serial scheduler would give it.
+// Schedule fuzz stays thread-count-invariant because a block's shuffle for
+// pass n is derived statelessly from (seed, block_idx, n) — no shared RNG
+// stream whose consumption order could depend on the interleaving.
+
+namespace {
+
+/// Stateless schedule derivation: the lane order of (block, pass) depends
+/// only on the seed and those two coordinates, never on which backend,
+/// shard, or pool worker runs the block.
+std::uint64_t schedule_mix(std::uint64_t seed, std::uint64_t block,
+                           std::uint64_t pass) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (block + 1)) ^
+                (0x94d049bb133111ebULL * (pass + 1)));
+  return sm.next();
+}
+
+[[noreturn]] void throw_deadlock() {
+  throw std::runtime_error(
+      "simt: barrier deadlock — lanes waiting on a barrier no peer "
+      "will reach");
+}
+
+}  // namespace
 
 std::byte* StackPool::checkout(PerfCounters& ctr) {
   if (!free_.empty()) {
@@ -42,12 +75,31 @@ std::byte* StackPool::checkout(PerfCounters& ctr) {
 }
 
 LaunchSession::LaunchSession(const LaunchConfig& cfg, PerfCounters& ctr)
-    : cfg_(cfg), ctr_(ctr), pool_(cfg.stack_bytes) {
+    : LaunchSession(cfg, ctr, ExecPolicy{}) {}
+
+LaunchSession::LaunchSession(const LaunchConfig& cfg, PerfCounters& ctr,
+                             const ExecPolicy& policy)
+    : cfg_(cfg), policy_(policy), ctr_(ctr) {
   if (cfg.block_dim == 0) {
     throw std::invalid_argument("simt: block_dim must be > 0");
   }
-  if (cfg.schedule_seed != 0) {
-    shuffle_rng_ = Xoshiro256(cfg.schedule_seed);
+  seed_ = policy.schedule_seed != 0 ? policy.schedule_seed : cfg.schedule_seed;
+  workers_ = 1;
+  if (policy.is_parallel()) {
+    workers_ = policy.threads != 0 ? policy.threads
+                                   : ThreadPool::global().size();
+    workers_ = std::max(1u, workers_);
+  }
+  shards_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    auto sh = std::make_unique<Shard>(cfg.stack_bytes);
+    sh->id = w;
+    sh->session = this;
+    // The serial backend writes the session sink directly (no merge step,
+    // identical to the pre-parallel scheduler); parallel shards write
+    // private counters merged when the grid drains.
+    sh->ctr = policy.is_parallel() ? &sh->local : &ctr_;
+    shards_.push_back(std::move(sh));
   }
 }
 
@@ -57,18 +109,30 @@ void LaunchSession::ensure_capacity(std::uint32_t grid_dim) {
   // Never allocate more residency than the grid can use. Buffers only ever
   // grow, and persist across run() calls — that is the point of the
   // session. Fiber stacks are not allocated here at all: lanes check them
-  // out of the pool only when they actually need a fiber.
-  const std::uint32_t slots =
-      std::min(std::max(1u, cfg_.resident_blocks), std::max(1u, grid_dim));
+  // out of their shard's pool only when they actually need a fiber.
+  std::uint32_t resident = std::max(1u, cfg_.resident_blocks);
+#ifdef NULPA_TSAN_FIBERS
+  // Every armed lane fiber is a live logical thread to ThreadSanitizer,
+  // whose registry holds ~8k of them; the widest block-per-vertex sessions
+  // (1024 resident x 32 lanes) would exceed that on their own. Capping the
+  // simulated residency keeps TSAN runs alive; schedules stay
+  // self-consistent within the TSAN build (every backend sees the same
+  // cap), only cross-build byte comparisons see the narrower machine.
+  resident = std::min(resident, 64u);
+#endif
+  const std::uint32_t slots = std::min(resident, std::max(1u, grid_dim));
   if (slots <= slots_) return;
   if (lanes_ != nullptr) {
     // The lane array is about to be replaced; return any stacks the old
     // lanes still hold (possible after a run that threw mid-flight).
-    const std::size_t old_lanes =
-        static_cast<std::size_t>(slots_) * cfg_.block_dim;
-    for (std::size_t i = 0; i < old_lanes; ++i) {
-      if (lanes_[i].stack_ != nullptr) {
-        pool_.checkin(lanes_[i].stack_);
+    for (std::uint32_t s = 0; s < slots_; ++s) {
+      StackPool& pool = shard_for(s).pool;
+      for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
+        Lane& lane = lanes_[static_cast<std::size_t>(s) * cfg_.block_dim + t];
+        if (lane.stack_ != nullptr) {
+          pool.checkin(lane.stack_);
+          lane.stack_ = nullptr;
+        }
       }
     }
   }
@@ -100,25 +164,27 @@ void LaunchSession::ensure_capacity(std::uint32_t grid_dim) {
 
 void LaunchSession::lane_entry(void* arg) {
   auto* lane = static_cast<Lane*>(arg);
-  auto* self = static_cast<LaunchSession*>(lane->runner_context_);
-  (*self->kernel_)(*lane);
+  auto* shard = static_cast<Shard*>(lane->runner_context_);
+  (*shard->session->kernel_)(*lane);
 }
 
-void LaunchSession::prepare_shared(ResidentBlock& rb) {
+void LaunchSession::prepare_shared(Shard& sh, ResidentBlock& rb) {
   // Zero-fill the retained arena slice only if the previous occupant's
   // kernel could have written it (it asked for the pointer), or if the
   // slice has never been cleared.
   if (cfg_.shared_bytes == 0 || !rb.shared_dirty) return;
   std::memset(rb.shared, 0, cfg_.shared_bytes);
   rb.shared_dirty = false;
-  ctr_.shared_zero_fills++;
+  sh.ctr->shared_zero_fills++;
 }
 
-void LaunchSession::init_block(ResidentBlock& rb, std::uint32_t block_idx) {
+void LaunchSession::init_block(Shard& sh, ResidentBlock& rb,
+                               std::uint32_t block_idx) {
   rb.active = true;
   rb.block_idx = block_idx;
   rb.live = cfg_.block_dim;
-  prepare_shared(rb);
+  rb.pass_seq = 0;
+  prepare_shared(sh, rb);
   rb.live_lanes.resize(cfg_.block_dim);
   std::iota(rb.live_lanes.begin(), rb.live_lanes.end(), 0u);
   for (std::size_t w = 0; w < rb.warp_ready.size(); ++w) {
@@ -131,22 +197,23 @@ void LaunchSession::init_block(ResidentBlock& rb, std::uint32_t block_idx) {
   rb.block_bar_total = 0;
   for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
     Lane& lane = lanes_[rb.first_lane + t];
-    lane.runner_context_ = this;
-    lane.counters_ = &ctr_;
+    lane.runner_context_ = &sh;
+    lane.counters_ = sh.ctr;
     lane.shared_ = rb.shared;
     lane.shared_dirty_ = &rb.shared_dirty;
     lane.thread_idx_ = t;
     lane.block_idx_ = block_idx;
     lane.block_dim_ = cfg_.block_dim;
     lane.grid_dim_ = grid_dim_;
+    lane.worker_ = sh.id;
     lane.state_ = Lane::State::kReady;
-    if (lane.stack_ == nullptr) lane.stack_ = pool_.checkout(ctr_);
+    if (lane.stack_ == nullptr) lane.stack_ = sh.pool.checkout(*sh.ctr);
     lane.fiber_.init(lane.stack_, cfg_.stack_bytes, &lane_entry, &lane);
-    ctr_.threads_run++;
+    sh.ctr->threads_run++;
   }
 }
 
-void LaunchSession::init_block_direct(ResidentBlock& rb,
+void LaunchSession::init_block_direct(Shard& sh, ResidentBlock& rb,
                                       std::uint32_t block_idx) {
   // Same lane context as init_block, minus everything fiber: no stack
   // checkout, no fiber arming, no arrival counters (demote_block rebuilds
@@ -154,29 +221,31 @@ void LaunchSession::init_block_direct(ResidentBlock& rb,
   rb.active = true;
   rb.block_idx = block_idx;
   rb.live = cfg_.block_dim;
-  prepare_shared(rb);
+  rb.pass_seq = 0;
+  prepare_shared(sh, rb);
   rb.live_lanes.resize(cfg_.block_dim);
   std::iota(rb.live_lanes.begin(), rb.live_lanes.end(), 0u);
   for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
     Lane& lane = lanes_[rb.first_lane + t];
-    lane.runner_context_ = this;
-    lane.counters_ = &ctr_;
+    lane.runner_context_ = &sh;
+    lane.counters_ = sh.ctr;
     lane.shared_ = rb.shared;
     lane.shared_dirty_ = &rb.shared_dirty;
     lane.thread_idx_ = t;
     lane.block_idx_ = block_idx;
     lane.block_dim_ = cfg_.block_dim;
     lane.grid_dim_ = grid_dim_;
+    lane.worker_ = sh.id;
     lane.state_ = Lane::State::kReady;
-    ctr_.threads_run++;
+    sh.ctr->threads_run++;
   }
 }
 
-void LaunchSession::release_block_stacks(ResidentBlock& rb) {
+void LaunchSession::release_block_stacks(Shard& sh, ResidentBlock& rb) {
   for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
     Lane& lane = lanes_[rb.first_lane + t];
     if (lane.stack_ != nullptr) {
-      pool_.checkin(lane.stack_);
+      sh.pool.checkin(lane.stack_);
       lane.stack_ = nullptr;
     }
   }
@@ -184,15 +253,16 @@ void LaunchSession::release_block_stacks(ResidentBlock& rb) {
 
 void LaunchSession::shuffle_lanes(ResidentBlock& rb) {
   // Fuzzed warp scheduling: resume live lanes in a fresh random order.
-  // Fisher-Yates with the seeded generator.
+  // Fisher-Yates with a generator derived from (seed, block, pass), so a
+  // fuzzed schedule is a pure function of the block's own history.
+  Xoshiro256 rng(schedule_mix(seed_, rb.block_idx, rb.pass_seq++));
   for (std::size_t i = rb.live_lanes.size(); i > 1; --i) {
-    std::swap(rb.live_lanes[i - 1],
-              rb.live_lanes[shuffle_rng_.next_bounded(i)]);
+    std::swap(rb.live_lanes[i - 1], rb.live_lanes[rng.next_bounded(i)]);
   }
 }
 
-void LaunchSession::step(ResidentBlock& rb, Lane& lane) {
-  ctr_.fiber_switches++;
+void LaunchSession::step(Shard& sh, ResidentBlock& rb, Lane& lane) {
+  sh.ctr->fiber_switches++;
   const std::uint32_t warp = lane.thread_idx_ / kWarpSize;
   rb.warp_ready[warp]--;
   rb.ready_total--;
@@ -212,13 +282,14 @@ void LaunchSession::step(ResidentBlock& rb, Lane& lane) {
   }
   // The lane either finished or parked at a barrier; in both cases a
   // barrier it participates in may now be complete.
-  try_release_warp(rb, warp);
-  try_release_block(rb);
+  try_release_warp(sh, rb, warp);
+  try_release_block(sh, rb);
 }
 
-void LaunchSession::try_release_warp(ResidentBlock& rb, std::uint32_t warp) {
+void LaunchSession::try_release_warp(Shard& sh, ResidentBlock& rb,
+                                     std::uint32_t warp) {
   if (rb.warp_ready[warp] > 0 || rb.warp_at_bar[warp] == 0) {
-    ctr_.barrier_checks++;  // O(1) verdict; the old scheduler rescanned here
+    sh.ctr->barrier_checks++;  // O(1) verdict vs the old lane rescan
     return;
   }
   const std::uint32_t lo = warp * kWarpSize;
@@ -236,10 +307,10 @@ void LaunchSession::try_release_warp(ResidentBlock& rb, std::uint32_t warp) {
   rb.ready_total += released;
 }
 
-void LaunchSession::try_release_block(ResidentBlock& rb) {
+void LaunchSession::try_release_block(Shard& sh, ResidentBlock& rb) {
   if (rb.ready_total > 0 || rb.warp_bar_total > 0 ||
       rb.block_bar_total == 0) {
-    ctr_.barrier_checks++;  // O(1) verdict; the old scheduler rescanned here
+    sh.ctr->barrier_checks++;  // O(1) verdict vs the old lane rescan
     return;
   }
   for (const std::uint32_t t : rb.live_lanes) {
@@ -253,75 +324,115 @@ void LaunchSession::try_release_block(ResidentBlock& rb) {
   rb.block_bar_total = 0;
 }
 
-void LaunchSession::direct_entry(void* arg) {
-  static_cast<LaunchSession*>(arg)->direct_loop();
-}
-
-void LaunchSession::direct_loop() {
-  // Runs on the executor fiber. The epoch pins the stack's ownership: a
-  // promotion donates this very stack to the promoted lane and bumps the
-  // epoch, and when that lane's kernel eventually returns, control lands
-  // back in this frame — which must then unwind immediately instead of
-  // starting more lanes on a stack that now belongs to someone else.
-  const std::uint64_t epoch = direct_epoch_;
-  ResidentBlock& rb = blocks_[0];
-  while (direct_next_ < grid_dim_) {
-    init_block_direct(rb, direct_next_++);
-    if (cfg_.schedule_seed != 0) shuffle_lanes(rb);
-    for (const std::uint32_t t : rb.live_lanes) {
-      Lane& lane = lanes_[rb.first_lane + t];
-      direct_lane_ = &lane;
-      (*kernel_)(lane);
-      if (direct_epoch_ != epoch) return;
-      lane.state_ = Lane::State::kDone;
-      rb.live--;
-      ctr_.fiberless_lanes++;
+bool LaunchSession::pass_block(Shard& sh, ResidentBlock& rb) {
+  if (seed_ != 0) shuffle_lanes(rb);
+  bool progress = false;
+  const std::uint32_t live_before = rb.live;
+  for (const std::uint32_t t : rb.live_lanes) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    if (lane.state_ != Lane::State::kReady) continue;
+    step(sh, rb, lane);
+    progress = true;
+  }
+  // Lanes a barrier released this pass become runnable next pass (see
+  // Lane::State::kReadyNext). Under the default thread-order schedule
+  // they were all stepped before the release, so this changes nothing;
+  // under fuzzed orders it keeps the phases strict.
+  for (const std::uint32_t t : rb.live_lanes) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    if (lane.state_ == Lane::State::kReadyNext) {
+      lane.state_ = Lane::State::kReady;
     }
-    direct_lane_ = nullptr;
+  }
+  if (rb.live != live_before) {
+    // Drop drained lanes so later passes never revisit Done fibers.
+    std::erase_if(rb.live_lanes, [&](std::uint32_t t) {
+      return lanes_[rb.first_lane + t].state_ == Lane::State::kDone;
+    });
+  }
+  if (rb.live == 0) {
+    release_block_stacks(sh, rb);
     rb.active = false;
   }
-  direct_lane_ = nullptr;
+  return progress;
 }
 
-void LaunchSession::promote(Lane& lane) {
+void LaunchSession::direct_entry(void* arg) {
+  auto* shard = static_cast<Shard*>(arg);
+  shard->session->direct_loop(*shard);
+}
+
+void LaunchSession::direct_loop(Shard& sh) {
+  // Runs on the shard's executor fiber. The epoch pins the stack's
+  // ownership: a promotion donates this very stack to the promoted lane
+  // and bumps the epoch, and when that lane's kernel eventually returns,
+  // control lands back in this frame — which must then unwind immediately
+  // instead of starting more lanes on a stack that now belongs to someone
+  // else.
+  const std::uint64_t epoch = sh.direct_epoch;
+  ResidentBlock& rb = blocks_[sh.direct_slot];
+  while (sh.direct_next < grid_dim_) {
+    init_block_direct(sh, rb, sh.direct_next);
+    sh.direct_next += sh.direct_stride;
+    // Parallel direct runs charge the executor switch per block so the
+    // total is invariant under the block-to-shard partition; the serial
+    // backend keeps the historical one-switch-per-arming accounting.
+    if (sh.switch_per_block) sh.ctr->fiber_switches++;
+    if (seed_ != 0) shuffle_lanes(rb);
+    for (const std::uint32_t t : rb.live_lanes) {
+      Lane& lane = lanes_[rb.first_lane + t];
+      sh.direct_lane = &lane;
+      (*kernel_)(lane);
+      if (sh.direct_epoch != epoch) return;
+      lane.state_ = Lane::State::kDone;
+      rb.live--;
+      sh.ctr->fiberless_lanes++;
+    }
+    sh.direct_lane = nullptr;
+    rb.active = false;
+  }
+  sh.direct_lane = nullptr;
+}
+
+void LaunchSession::promote(Shard& sh, Lane& lane) {
   // Called from inside the lane's kernel, mid-collective, while it runs
   // inline on the executor's stack. Hand that stack — kernel frame and all
   // — to the lane's fiber and suspend; nothing executed so far is re-run.
-  // From here on the run belongs to the lockstep pass loop (run_direct
-  // sees direct_promoted_ and demotes), so this fires at most once per run.
-  ctr_.promoted_lanes++;
-  direct_promoted_ = true;
-  direct_lane_ = nullptr;
-  direct_epoch_++;
+  // From here on the shard's current block belongs to the lockstep pass
+  // loop (run_direct sees direct_promoted and demotes), so this fires at
+  // most once per executor arming.
+  sh.ctr->promoted_lanes++;
+  sh.direct_promoted = true;
+  sh.direct_lane = nullptr;
+  sh.direct_epoch++;
   Fiber::handoff(lane.fiber_);
   // Resumed by step(): fall through into the collective's wait-side code.
 }
 
-bool LaunchSession::run_direct(std::uint32_t& next_block) {
-  if (exec_stack_ == nullptr) exec_stack_ = pool_.checkout(ctr_);
-  direct_next_ = 0;
-  direct_promoted_ = false;
-  direct_lane_ = nullptr;
-  exec_fiber_.init(exec_stack_, cfg_.stack_bytes, &direct_entry, this);
+bool LaunchSession::run_direct(Shard& sh) {
+  if (sh.exec_stack == nullptr) sh.exec_stack = sh.pool.checkout(*sh.ctr);
+  sh.direct_promoted = false;
+  sh.direct_lane = nullptr;
+  sh.exec_fiber.init(sh.exec_stack, cfg_.stack_bytes, &direct_entry, &sh);
   // The whole direct phase costs one context switch in and (if nothing
   // promotes) one out — versus two per lane on the fiber path.
-  ctr_.fiber_switches++;
-  exec_fiber_.resume();
-  if (!direct_promoted_) {
-    if (!exec_fiber_.stack_intact()) {
+  if (!sh.switch_per_block) sh.ctr->fiber_switches++;
+  sh.exec_fiber.resume();
+  if (!sh.direct_promoted) {
+    if (!sh.exec_fiber.stack_intact()) {
       throw std::runtime_error(
           "simt: fiber stack overflow (raise LaunchConfig::stack_bytes)");
     }
     return false;
   }
-  // A lane took the executor's stack mid-kernel. Slot 0 is mid-flight:
-  // rebuild its lockstep bookkeeping; the caller schedules the rest.
-  demote_block(blocks_[0]);
-  next_block = direct_next_;
+  // A lane took the executor's stack mid-kernel. The shard's slot is
+  // mid-flight: rebuild its lockstep bookkeeping; the caller schedules the
+  // rest.
+  demote_block(sh, blocks_[sh.direct_slot]);
   return true;
 }
 
-void LaunchSession::demote_block(ResidentBlock& rb) {
+void LaunchSession::demote_block(Shard& sh, ResidentBlock& rb) {
   rb.active = true;
   std::fill(rb.warp_ready.begin(), rb.warp_ready.end(), 0u);
   std::fill(rb.warp_at_bar.begin(), rb.warp_at_bar.end(), 0u);
@@ -340,7 +451,7 @@ void LaunchSession::demote_block(ResidentBlock& rb) {
         continue;  // completed inline; stays off the resume list
       case Lane::State::kReady:
         // Never started: becomes an ordinary fiber lane.
-        if (lane.stack_ == nullptr) lane.stack_ = pool_.checkout(ctr_);
+        if (lane.stack_ == nullptr) lane.stack_ = sh.pool.checkout(*sh.ctr);
         lane.fiber_.init(lane.stack_, cfg_.stack_bytes, &lane_entry, &lane);
         rb.warp_ready[w]++;
         rb.ready_total++;
@@ -366,8 +477,8 @@ void LaunchSession::demote_block(ResidentBlock& rb) {
   // must flip to kReady now (the conversion normally happens after a pass
   // has stepped someone, and a lone released lane would otherwise stall
   // the loop into its deadlock verdict).
-  if (saw_warp_bar) try_release_warp(rb, bar_warp);
-  try_release_block(rb);
+  if (saw_warp_bar) try_release_warp(sh, rb, bar_warp);
+  try_release_block(sh, rb);
   for (const std::uint32_t t : rb.live_lanes) {
     Lane& lane = lanes_[rb.first_lane + t];
     if (lane.state_ == Lane::State::kReadyNext) {
@@ -376,94 +487,247 @@ void LaunchSession::demote_block(ResidentBlock& rb) {
   }
 }
 
+void LaunchSession::run_block_passes(Shard& sh, ResidentBlock& rb) {
+  while (rb.active) {
+    const bool progress = pass_block(sh, rb);
+    if (!rb.active) break;
+    if (!progress) throw_deadlock();
+  }
+}
+
+void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel) {
+  run_impl(grid_dim, kernel, policy_.sync);
+}
+
 void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel,
                         KernelTraits traits) {
+  run_impl(grid_dim, kernel, traits.sync);
+}
+
+void LaunchSession::run_impl(std::uint32_t grid_dim, KernelRef kernel,
+                             SyncMode sync) {
   if (grid_dim == 0) return;
   ensure_capacity(grid_dim);
   grid_dim_ = grid_dim;
   kernel_ = &kernel;
+  try {
+    if (policy_.is_parallel()) {
+      run_parallel(sync);
+    } else {
+      run_serial(sync);
+    }
+  } catch (...) {
+    kernel_ = nullptr;
+    throw;
+  }
+  kernel_ = nullptr;
+}
 
+void LaunchSession::run_serial(SyncMode sync) {
+  Shard& sh = *shards_[0];
   std::uint32_t next_block = 0;
-  if (traits.sync != KernelTraits::Sync::kLockstep) {
-    bool promoted;
-    try {
-      promoted = run_direct(next_block);
-    } catch (...) {
-      kernel_ = nullptr;
-      throw;
-    }
-    if (!promoted) {
-      kernel_ = nullptr;
-      return;
-    }
+  if (sync != SyncMode::kLockstep) {
+    sh.direct_slot = 0;
+    sh.direct_stride = 1;
+    sh.direct_next = 0;
+    sh.switch_per_block = false;
+    if (!run_direct(sh)) return;
     // Sticky demotion: slot 0 already runs under lockstep bookkeeping;
     // fill the remaining slots and continue under the pass loop.
+    next_block = sh.direct_next;
     for (std::size_t s = 1; s < blocks_.size(); ++s) {
       blocks_[s].active = false;
-      if (next_block < grid_dim) init_block(blocks_[s], next_block++);
+      if (next_block < grid_dim_) init_block(sh, blocks_[s], next_block++);
     }
   } else {
     for (auto& rb : blocks_) {
       rb.active = false;
-      if (next_block < grid_dim) init_block(rb, next_block++);
+      if (next_block < grid_dim_) init_block(sh, rb, next_block++);
     }
   }
 
   for (;;) {
     bool any_active = false;
     bool progress = false;
-    for (std::size_t s = 0; s < blocks_.size(); ++s) {
-      ResidentBlock& rb = blocks_[s];
+    for (auto& rb : blocks_) {
       if (!rb.active) continue;
       any_active = true;
-      if (cfg_.schedule_seed != 0) shuffle_lanes(rb);
-      const std::uint32_t live_before = rb.live;
-      for (const std::uint32_t t : rb.live_lanes) {
-        Lane& lane = lanes_[rb.first_lane + t];
-        if (lane.state_ != Lane::State::kReady) continue;
-        step(rb, lane);
+      progress |= pass_block(sh, rb);
+      if (!rb.active && next_block < grid_dim_) {
+        init_block(sh, rb, next_block++);
         progress = true;
-      }
-      // Lanes a barrier released this pass become runnable next pass (see
-      // Lane::State::kReadyNext). Under the default thread-order schedule
-      // they were all stepped before the release, so this changes nothing;
-      // under fuzzed orders it keeps the phases strict.
-      for (const std::uint32_t t : rb.live_lanes) {
-        Lane& lane = lanes_[rb.first_lane + t];
-        if (lane.state_ == Lane::State::kReadyNext) {
-          lane.state_ = Lane::State::kReady;
-        }
-      }
-      if (rb.live != live_before) {
-        // Drop drained lanes so later passes never revisit Done fibers.
-        std::erase_if(rb.live_lanes, [&](std::uint32_t t) {
-          return lanes_[rb.first_lane + t].state_ == Lane::State::kDone;
-        });
-      }
-      if (rb.live == 0) {
-        release_block_stacks(rb);
-        rb.active = false;
-        if (next_block < grid_dim_) {
-          init_block(rb, next_block++);
-          progress = true;
-        }
       }
     }
     if (!any_active) break;
-    if (!progress) {
-      kernel_ = nullptr;
-      throw std::runtime_error(
-          "simt: barrier deadlock — lanes waiting on a barrier no peer "
-          "will reach");
+    if (!progress) throw_deadlock();
+  }
+}
+
+void LaunchSession::run_parallel(SyncMode sync) {
+  // A run that threw mid-flight can leave stale active flags; every
+  // parallel entry starts from a clean slate (the serial fill loops do the
+  // equivalent reset inline).
+  for (auto& rb : blocks_) rb.active = false;
+  try {
+    if (sync == SyncMode::kLockstep) {
+      if (policy_.deterministic) {
+        run_parallel_lockstep();
+      } else {
+        run_parallel_freerun();
+      }
+    } else {
+      run_parallel_direct();
+    }
+  } catch (...) {
+    merge_shard_counters();
+    throw;
+  }
+  merge_shard_counters();
+}
+
+void LaunchSession::run_parallel_lockstep() {
+  // Deterministic parallel lockstep: the host refills drained slots at
+  // pass boundaries (same block-to-slot assignment as the serial refill —
+  // ascending slot order), then one pool fork-join steps every shard's
+  // slots for exactly one pass. Every block therefore experiences the
+  // serial scheduler's pass sequence verbatim, just with different blocks'
+  // passes overlapped — which is why labels and merged counters are
+  // byte-identical for any thread count, including against the serial
+  // backend. The join doubles as the happens-before edge between a pass's
+  // writes and the next pass's reads.
+  auto& pool = ThreadPool::global();
+  const unsigned pool_width = pool.size();
+  std::uint32_t next_block = 0;
+  for (;;) {
+    bool any_active = false;
+    bool progress = false;
+    for (std::uint32_t s = 0; s < slots_; ++s) {
+      ResidentBlock& rb = blocks_[s];
+      if (!rb.active && next_block < grid_dim_) {
+        init_block(shard_for(s), rb, next_block++);
+        progress = true;
+      }
+      any_active |= rb.active;
+    }
+    if (!any_active) break;
+    pool.run([&](unsigned w) {
+      // Shards stride over pool workers, so a pool smaller than the
+      // logical width still covers every shard (oversubscription keeps
+      // determinism tests honest on small hosts).
+      for (unsigned id = w; id < workers_; id += pool_width) {
+        Shard& sh = *shards_[id];
+        sh.pass_progress = false;
+        try {
+          bool stepped = false;
+          for (std::uint32_t s = id; s < slots_; s += workers_) {
+            ResidentBlock& rb = blocks_[s];
+            if (rb.active) stepped |= pass_block(sh, rb);
+          }
+          sh.pass_progress = stepped;
+        } catch (...) {
+          sh.error = std::current_exception();
+        }
+      }
+    });
+    rethrow_shard_error();
+    for (const auto& sh : shards_) progress |= sh->pass_progress;
+    if (!progress) throw_deadlock();
+  }
+}
+
+void LaunchSession::run_parallel_freerun() {
+  // deterministic == false: shards run their slots untethered, claiming
+  // fresh blocks from a shared cursor as their slots drain. No cross-shard
+  // reproducibility (block-to-slot assignment is racy by design), but
+  // still race-free: a block is only ever touched by its owning shard.
+  auto& pool = ThreadPool::global();
+  const unsigned pool_width = pool.size();
+  std::atomic<std::uint32_t> next{0};
+  pool.run([&](unsigned w) {
+    for (unsigned id = w; id < workers_; id += pool_width) {
+      Shard& sh = *shards_[id];
+      try {
+        for (;;) {
+          bool any_active = false;
+          bool progress = false;
+          for (std::uint32_t s = id; s < slots_; s += workers_) {
+            ResidentBlock& rb = blocks_[s];
+            if (!rb.active) {
+              const std::uint32_t b =
+                  next.fetch_add(1, std::memory_order_relaxed);
+              if (b >= grid_dim_) continue;
+              init_block(sh, rb, b);
+              progress = true;
+            }
+            any_active = true;
+            progress |= pass_block(sh, rb);
+          }
+          if (!any_active) break;
+          if (!progress) throw_deadlock();
+        }
+      } catch (...) {
+        sh.error = std::current_exception();
+      }
+    }
+  });
+  rethrow_shard_error();
+}
+
+void LaunchSession::run_parallel_direct() {
+  // Barrier-free grids are embarrassingly parallel: shard `id` owns grid
+  // blocks id, id + W, id + 2W, ... and runs each to completion inline in
+  // its own slot, exactly like the serial direct loop does for the whole
+  // grid. Kernels launched this way are order-independent between blocks
+  // (that is what barrier-free means across blocks), so the label output
+  // is the serial output for any thread count. A promotion only disturbs
+  // the promoting shard: it drains that one block under a local pass loop,
+  // then re-arms its executor for the rest of its stride.
+  auto& pool = ThreadPool::global();
+  const unsigned pool_width = pool.size();
+  const unsigned width = std::min<unsigned>(workers_, slots_);
+  pool.run([&](unsigned w) {
+    for (unsigned id = w; id < width; id += pool_width) {
+      Shard& sh = *shards_[id];
+      try {
+        sh.direct_slot = id;
+        sh.direct_stride = width;
+        sh.direct_next = id;
+        sh.switch_per_block = true;
+        while (sh.direct_next < grid_dim_ ||
+               blocks_[sh.direct_slot].active) {
+          if (!run_direct(sh)) break;
+          run_block_passes(sh, blocks_[sh.direct_slot]);
+        }
+      } catch (...) {
+        sh.error = std::current_exception();
+      }
+    }
+  });
+  rethrow_shard_error();
+}
+
+void LaunchSession::merge_shard_counters() {
+  for (const auto& sh : shards_) {
+    if (sh->ctr == &sh->local) {
+      ctr_ += sh->local;
+      sh->local.reset();
     }
   }
-  kernel_ = nullptr;
+}
+
+void LaunchSession::rethrow_shard_error() {
+  std::exception_ptr first;
+  for (const auto& sh : shards_) {
+    if (sh->error && !first) first = sh->error;
+    sh->error = nullptr;
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 void Lane::suspend() {
-  auto* self = static_cast<LaunchSession*>(runner_context_);
-  if (self->direct_lane_ == this) {
-    self->promote(*this);
+  auto* shard = static_cast<LaunchSession::Shard*>(runner_context_);
+  if (shard->direct_lane == this) {
+    shard->session->promote(*shard, *this);
   } else {
     Fiber::yield();
   }
@@ -489,14 +753,19 @@ std::byte* Lane::shared() const noexcept {
 PerfCounters& Lane::counters() const noexcept { return *counters_; }
 
 void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
-            KernelRef kernel, KernelTraits traits) {
+            KernelRef kernel, const ExecPolicy& policy) {
   if (cfg.block_dim == 0) {
     throw std::invalid_argument("simt::launch: block_dim must be > 0");
   }
   ctr.kernel_launches++;
   if (grid_dim == 0) return;
-  LaunchSession session(cfg, ctr);
-  session.run(grid_dim, kernel, traits);
+  LaunchSession session(cfg, ctr, policy);
+  session.run(grid_dim, kernel);
+}
+
+void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
+            KernelRef kernel, KernelTraits traits) {
+  launch(grid_dim, cfg, ctr, kernel, ExecPolicy{}.with_sync(traits.sync));
 }
 
 }  // namespace nulpa::simt

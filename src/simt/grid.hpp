@@ -16,12 +16,23 @@
 // first blocking collective a lane hits triggers lazy promotion: the
 // executor's stack is handed to the lane's fiber wholesale (no re-run, so
 // pre-barrier side effects happen exactly once) and the rest of the run
-// falls back to the lockstep fiber schedule below. KernelTraits lets
-// launches pick a mode statically; see DESIGN.md "executor modes".
+// falls back to the lockstep fiber schedule below.
+//
+// Execution backends: an ExecPolicy fixed at session construction selects
+// between the serial backend (one host thread walks every resident slot —
+// the original simulator) and the parallel backend, which shards the
+// resident slots across the process ThreadPool the way a GPU spreads
+// blocks across SMs. Each shard owns its slots' stacks and a private
+// PerfCounters merged into the session's sink when the grid drains. In
+// deterministic mode (the default) the parallel lockstep scheduler runs
+// pass-synchronized — one pool barrier per pass — which, combined with the
+// stateless per-(block, pass) schedule derivation below, makes labels and
+// merged counters byte-identical for every thread count. See DESIGN.md
+// "Parallel backend & ExecPolicy".
 //
 // Two entry points:
 //   - launch(): one-shot grid, allocates its fiber stacks per call.
-//   - LaunchSession: reusable launch context. Lane array, the stack pool
+//   - LaunchSession: reusable launch context. Lane array, the stack pools
 //     and the shared-memory arena persist across run() calls, so
 //     per-iteration kernels (ν-LPA launches two per iteration, twenty
 //     iterations deep) pay the allocation cost once. Barrier release uses
@@ -30,9 +41,11 @@
 //     Done fibers are never revisited.
 #pragma once
 
+#include <atomic>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <type_traits>
@@ -55,28 +68,36 @@ struct LaunchConfig {
   // schedule). Non-zero seeds a per-pass shuffle of the lane resume order,
   // the simulator equivalent of fuzzing warp-scheduler interleavings: any
   // kernel that relies on a specific lane order between barriers (rather
-  // than on the barriers themselves) will break under some seed. Barrier
-  // semantics are unchanged.
+  // than on the barriers themselves) will break under some seed. The
+  // shuffle for (block, pass) is derived statelessly from the seed, so a
+  // fuzzed schedule does not depend on the execution backend or thread
+  // count. Barrier semantics are unchanged. ExecPolicy::schedule_seed
+  // overrides this when non-zero.
   std::uint64_t schedule_seed = 0;
 };
 
-/// Static execution-mode hint a launch passes alongside its kernel.
+/// How a kernel's lanes synchronize — the executor-mode axis of ExecPolicy.
+enum class SyncMode : std::uint8_t {
+  // Start fiberless and lazily promote on the first blocking collective.
+  // Safe for any kernel — promotion transplants the running stack, so
+  // work done before the collective is never repeated.
+  kAuto,
+  // Caller's promise that no lane ever blocks (ν-LPA TPV gather/commit,
+  // the Gunrock advance, cross-check). Same direct execution as kAuto —
+  // the promise is documentation plus a broken-promise canary: promotion
+  // still works, but shows up in `promoted_lanes`.
+  kBarrierFree,
+  // Full fiber semantics from lane zero (the block-per-vertex kernel,
+  // whose phases are built from syncthreads; spawning fibers upfront
+  // avoids one pointless promotion per block).
+  kLockstep,
+};
+
+/// Deprecated shim (one release): the pre-ExecPolicy per-call mode hint.
+/// New code fixes the mode at session construction via ExecPolicy; the
+/// run()/launch() overloads taking KernelTraits are [[deprecated]].
 struct KernelTraits {
-  enum class Sync : std::uint8_t {
-    // Start fiberless and lazily promote on the first blocking collective.
-    // Safe for any kernel — promotion transplants the running stack, so
-    // work done before the collective is never repeated.
-    kAuto,
-    // Caller's promise that no lane ever blocks (ν-LPA TPV gather/commit,
-    // the Gunrock advance, cross-check). Same direct execution as kAuto —
-    // the promise is documentation plus a broken-promise canary: promotion
-    // still works, but shows up in `promoted_lanes`.
-    kBarrierFree,
-    // Full fiber semantics from lane zero (the block-per-vertex kernel,
-    // whose phases are built from syncthreads; spawning fibers upfront
-    // avoids one pointless promotion per block).
-    kLockstep,
-  };
+  using Sync = SyncMode;
 
   Sync sync = Sync::kAuto;
 
@@ -88,10 +109,102 @@ struct KernelTraits {
   }
 };
 
+/// The one knob surface for how a session executes its grids, fixed at
+/// construction. Collapses what used to be per-call KernelTraits, the
+/// engine-level fiberless/frontier_compaction bools, and the parallel
+/// backend's thread-count/determinism settings.
+struct ExecPolicy {
+  using Sync = SyncMode;
+  enum class Backend : std::uint8_t {
+    kSerial,    // one host thread (the original simulator)
+    kParallel,  // resident slots sharded across the process ThreadPool
+  };
+
+  Sync sync = Sync::kAuto;
+  Backend backend = Backend::kSerial;
+  // Parallel shard count; 0 = ThreadPool::global().size() at session
+  // construction. May exceed the pool size (shards are multiplexed onto
+  // the available workers), so determinism tests can pin logical widths
+  // independently of the host.
+  unsigned threads = 0;
+  // Pass-synchronized parallel lockstep schedule: one pool barrier per
+  // pass keeps every block's barrier phases aligned exactly as the serial
+  // scheduler would, making labels and merged counters byte-identical
+  // across thread counts. false lets shards free-run their slots (no
+  // cross-thread reproducibility; still race-free).
+  bool deterministic = true;
+  // Overrides LaunchConfig::schedule_seed when non-zero (one surface for
+  // --seed style flags; the per-(block, pass) derivation keeps fuzzed
+  // schedules identical across backends and thread counts).
+  std::uint64_t schedule_seed = 0;
+  // Consumed by the engines sharing this policy (ν-LPA, Gunrock), not by
+  // the session itself: launch only the active frontier each iteration.
+  bool frontier_compaction = true;
+
+  [[nodiscard]] constexpr bool is_parallel() const noexcept {
+    return backend == Backend::kParallel;
+  }
+
+  [[nodiscard]] static constexpr ExecPolicy serial() noexcept { return {}; }
+  [[nodiscard]] static constexpr ExecPolicy barrier_free() noexcept {
+    ExecPolicy p;
+    p.sync = Sync::kBarrierFree;
+    return p;
+  }
+  [[nodiscard]] static constexpr ExecPolicy lockstep() noexcept {
+    ExecPolicy p;
+    p.sync = Sync::kLockstep;
+    return p;
+  }
+  [[nodiscard]] static constexpr ExecPolicy parallel(
+      unsigned threads = 0) noexcept {
+    ExecPolicy p;
+    p.backend = Backend::kParallel;
+    p.threads = threads;
+    return p;
+  }
+
+  [[nodiscard]] constexpr ExecPolicy with_sync(Sync s) const noexcept {
+    ExecPolicy p = *this;
+    p.sync = s;
+    return p;
+  }
+  [[nodiscard]] constexpr ExecPolicy with_backend(Backend b) const noexcept {
+    ExecPolicy p = *this;
+    p.backend = b;
+    return p;
+  }
+  [[nodiscard]] constexpr ExecPolicy with_threads(unsigned t) const noexcept {
+    ExecPolicy p = *this;
+    p.threads = t;
+    return p;
+  }
+  [[nodiscard]] constexpr ExecPolicy with_deterministic(
+      bool on) const noexcept {
+    ExecPolicy p = *this;
+    p.deterministic = on;
+    return p;
+  }
+  [[nodiscard]] constexpr ExecPolicy with_schedule_seed(
+      std::uint64_t seed) const noexcept {
+    ExecPolicy p = *this;
+    p.schedule_seed = seed;
+    return p;
+  }
+  [[nodiscard]] constexpr ExecPolicy with_frontier_compaction(
+      bool on) const noexcept {
+    ExecPolicy p = *this;
+    p.frontier_compaction = on;
+    return p;
+  }
+};
+
 /// Fixed-size fiber stacks carved from slabs with a free list. Checked out
 /// when a lane actually needs a fiber (lockstep blocks, or the demoted
 /// remainder of a promoted run) and returned when its block drains, so
-/// fiberless launches hold no lane stacks at all.
+/// fiberless launches hold no lane stacks at all. Thread-safety is by
+/// ownership, not locking: each parallel shard owns a private pool, and a
+/// slot's stacks always come from its owning shard's pool.
 class StackPool {
  public:
   explicit StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
@@ -133,6 +246,10 @@ class Lane {
   [[nodiscard]] std::uint32_t lane_in_warp() const noexcept {
     return thread_idx_ % kWarpSize;
   }
+  /// The executing shard's index (always 0 on the serial backend). Kernels
+  /// keeping per-worker side state (e.g. hash-probe statistics) index it
+  /// with this, sized by LaunchSession::workers().
+  [[nodiscard]] unsigned worker() const noexcept { return worker_; }
 
   /// __syncwarp(): no lane of this warp passes until all live lanes arrive.
   void syncwarp();
@@ -147,31 +264,44 @@ class Lane {
 
   [[nodiscard]] PerfCounters& counters() const noexcept;
 
-  // ---- Device atomics. The simulator is single-threaded, so these are
-  // plain read-modify-writes, but kernels must still use them wherever the
-  // CUDA code would: they are counted and they document the races the real
-  // hardware resolves. They never block, so they never promote a fiberless
-  // lane.
+  // ---- Device atomics. Real read-modify-writes (std::atomic_ref,
+  // relaxed), so they stay correct when the parallel backend runs blocks
+  // on several host threads; on the serial backend they compile to the
+  // plain operations they always were. Kernels must use them wherever the
+  // CUDA code would: they are counted and they document (and now resolve)
+  // the races the real hardware resolves. They never block, so they never
+  // promote a fiberless lane.
   template <typename T>
   T atomic_add(T& slot, T v) const noexcept {
     counters().atomic_ops++;
-    const T old = slot;
-    slot = old + v;
-    return old;
+    std::atomic_ref<T> ref(slot);
+    if constexpr (std::is_integral_v<T>) {
+      return ref.fetch_add(v, std::memory_order_relaxed);
+    } else {
+      T old = ref.load(std::memory_order_relaxed);
+      while (!ref.compare_exchange_weak(old, old + v,
+                                        std::memory_order_relaxed)) {
+      }
+      return old;
+    }
   }
 
   std::uint32_t atomic_cas(std::uint32_t& slot, std::uint32_t expected,
                            std::uint32_t desired) const noexcept {
     counters().atomic_ops++;
-    const std::uint32_t old = slot;
-    if (old == expected) slot = desired;
+    std::atomic_ref<std::uint32_t> ref(slot);
+    std::uint32_t old = expected;
+    ref.compare_exchange_strong(old, desired, std::memory_order_relaxed);
     return old;
   }
 
   std::uint32_t atomic_max(std::uint32_t& slot, std::uint32_t v) const noexcept {
     counters().atomic_ops++;
-    const std::uint32_t old = slot;
-    if (v > old) slot = v;
+    std::atomic_ref<std::uint32_t> ref(slot);
+    std::uint32_t old = ref.load(std::memory_order_relaxed);
+    while (v > old &&
+           !ref.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+    }
     return old;
   }
 
@@ -207,7 +337,7 @@ class Lane {
   /// executor — promotes it onto a fiber first (see LaunchSession::promote).
   void suspend();
 
-  void* runner_context_ = nullptr;  // owning LaunchSession
+  void* runner_context_ = nullptr;  // owning LaunchSession::Shard
   PerfCounters* counters_ = nullptr;
   std::byte* shared_ = nullptr;
   bool* shared_dirty_ = nullptr;  // owning slot's dirty flag
@@ -218,6 +348,7 @@ class Lane {
   std::uint32_t block_idx_ = 0;
   std::uint32_t block_dim_ = 0;
   std::uint32_t grid_dim_ = 0;
+  unsigned worker_ = 0;
 };
 
 using Kernel = std::function<void(Lane&)>;
@@ -246,23 +377,40 @@ class KernelRef {
   void (*call_)(void*, Lane&);
 };
 
-/// Reusable launch context bound to one LaunchConfig and counter sink.
-/// run() executes one grid with the same semantics as launch() but without
-/// bumping PerfCounters::kernel_launches — callers that assemble a logical
-/// kernel from several window launches (the frontier-compacted engines)
-/// bump it once per logical kernel themselves.
+/// Reusable launch context bound to one LaunchConfig, counter sink, and
+/// ExecPolicy. run() executes one grid with the same semantics as launch()
+/// but without bumping PerfCounters::kernel_launches — callers that
+/// assemble a logical kernel from several window launches (the
+/// frontier-compacted engines) bump it once per logical kernel themselves.
+///
+/// On the parallel backend, kernels run concurrently on pool workers: the
+/// kernel body must only touch shared data through Lane's atomics (or
+/// std::atomic_ref), and cross-block label visibility follows the barrier
+/// structure — see DESIGN.md "Parallel backend & ExecPolicy" for the
+/// determinism contract per SyncMode.
 class LaunchSession {
  public:
   LaunchSession(const LaunchConfig& cfg, PerfCounters& ctr);
+  LaunchSession(const LaunchConfig& cfg, PerfCounters& ctr,
+                const ExecPolicy& policy);
   ~LaunchSession();
   LaunchSession(const LaunchSession&) = delete;
   LaunchSession& operator=(const LaunchSession&) = delete;
 
-  /// Runs `grid_dim` blocks of `cfg.block_dim` threads to completion.
-  /// Throws std::runtime_error on barrier deadlock or stack overflow.
-  void run(std::uint32_t grid_dim, KernelRef kernel, KernelTraits traits = {});
+  /// Runs `grid_dim` blocks of `cfg.block_dim` threads to completion under
+  /// the session's ExecPolicy. Throws std::runtime_error on barrier
+  /// deadlock or stack overflow.
+  void run(std::uint32_t grid_dim, KernelRef kernel);
+
+  /// Deprecated shim (one release): per-call sync-mode override. The mode
+  /// belongs in the session's ExecPolicy now.
+  [[deprecated("pass the sync mode via ExecPolicy at session construction")]]
+  void run(std::uint32_t grid_dim, KernelRef kernel, KernelTraits traits);
 
   [[nodiscard]] const LaunchConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const ExecPolicy& policy() const noexcept { return policy_; }
+  /// Number of shards (1 on the serial backend). Lane::worker() < this.
+  [[nodiscard]] unsigned workers() const noexcept { return workers_; }
 
  private:
   friend class Lane;
@@ -290,60 +438,113 @@ class LaunchSession {
     // Non-Done lanes in resume order; rebuilt once per pass so drained
     // lanes are never revisited.
     std::vector<std::uint32_t> live_lanes;
+    // Schedule-fuzz pass counter: shuffle #n of this block draws its lane
+    // order from mix(seed, block_idx, n), independent of every other
+    // block and of the backend.
+    std::uint64_t pass_seq = 0;
+  };
+
+  /// Per-worker execution state. The serial backend is one shard whose
+  /// counter pointer aliases the session sink; parallel shards accumulate
+  /// into `local`, merged at drain. Each shard owns the stacks, the
+  /// executor fiber, and the slots `s` with `s % workers_ == id`, so no
+  /// two threads ever touch the same pool, fiber, or ResidentBlock.
+  struct Shard {
+    explicit Shard(std::size_t stack_bytes) : pool(stack_bytes) {}
+
+    unsigned id = 0;
+    LaunchSession* session = nullptr;
+    PerfCounters* ctr = nullptr;  // &local (parallel) or the session sink
+    PerfCounters local;
+    StackPool pool;
+
+    // Direct-execution state. The executor fiber owns one pool stack for
+    // the shard's lifetime; after a promotion that stack belongs to the
+    // promoted lane until its fiber finishes (always before run() returns).
+    Fiber exec_fiber;
+    std::byte* exec_stack = nullptr;
+    Lane* direct_lane = nullptr;   // lane currently running inline, if any
+    bool direct_promoted = false;  // a promotion interrupted the direct loop
+    std::uint32_t direct_slot = 0;    // ResidentBlock the direct loop uses
+    std::uint32_t direct_next = 0;    // next block the direct loop inits
+    std::uint32_t direct_stride = 1;  // block stride (parallel round-robin)
+    // Parallel direct runs charge one fiber_switch per block (T-invariant)
+    // instead of the serial backend's one per executor arming.
+    bool switch_per_block = false;
+    // Bumped by promote(); the executor loop frame — now living on the
+    // promoted lane's stack — compares it against the value it captured
+    // and unwinds instead of running more lanes on a stack it no longer
+    // owns.
+    std::uint64_t direct_epoch = 0;
+
+    bool pass_progress = false;       // out-param of a synchronized pass
+    std::exception_ptr error;         // first failure, rethrown on the host
   };
 
   static void lane_entry(void* arg);
   static void direct_entry(void* arg);
 
   void ensure_capacity(std::uint32_t grid_dim);
-  void prepare_shared(ResidentBlock& rb);
-  void init_block(ResidentBlock& rb, std::uint32_t block_idx);
-  void init_block_direct(ResidentBlock& rb, std::uint32_t block_idx);
-  void release_block_stacks(ResidentBlock& rb);
+  [[nodiscard]] Shard& shard_for(std::uint32_t slot) noexcept {
+    return *shards_[slot % workers_];
+  }
+  void prepare_shared(Shard& sh, ResidentBlock& rb);
+  void init_block(Shard& sh, ResidentBlock& rb, std::uint32_t block_idx);
+  void init_block_direct(Shard& sh, ResidentBlock& rb,
+                         std::uint32_t block_idx);
+  void release_block_stacks(Shard& sh, ResidentBlock& rb);
   void shuffle_lanes(ResidentBlock& rb);
-  void step(ResidentBlock& rb, Lane& lane);
-  void try_release_warp(ResidentBlock& rb, std::uint32_t warp);
-  void try_release_block(ResidentBlock& rb);
+  void step(Shard& sh, ResidentBlock& rb, Lane& lane);
+  void try_release_warp(Shard& sh, ResidentBlock& rb, std::uint32_t warp);
+  void try_release_block(Shard& sh, ResidentBlock& rb);
 
-  /// Direct phase: runs whole blocks inline on the executor fiber, in
-  /// block order, starting from block `next_block`. Returns false when the
-  /// grid drained fiberless; returns true when a lane promoted, leaving
-  /// slot 0 mid-flight (demoted to lockstep bookkeeping) and `next_block`
-  /// at the first block the lockstep pass loop still has to schedule.
-  bool run_direct(std::uint32_t& next_block);
-  void direct_loop();
-  /// Rebuilds slot 0's lockstep bookkeeping from the lane states the
+  /// One scheduler pass over `rb`: shuffle (if fuzzing), step every ready
+  /// lane, flip deferred releases, drop drained lanes, and — when the
+  /// block drains — return its stacks and free the slot. Returns whether
+  /// any lane stepped. Shared by the serial loop, the synchronized
+  /// parallel passes, and the post-promotion block drain.
+  bool pass_block(Shard& sh, ResidentBlock& rb);
+
+  /// Direct phase: runs whole blocks inline on the shard's executor fiber
+  /// (blocks direct_next, direct_next + stride, ...). Returns false when
+  /// they drained fiberless; returns true when a lane promoted, leaving
+  /// the shard's slot mid-flight (demoted to lockstep bookkeeping) and
+  /// `direct_next` at the next block the caller still has to schedule.
+  bool run_direct(Shard& sh);
+  void direct_loop(Shard& sh);
+  /// Rebuilds the slot's lockstep bookkeeping from the lane states the
   /// interrupted direct phase left behind: inline-finished lanes are Done,
   /// the promoted lane is parked at its barrier, untouched lanes get
   /// fibers and run under the pass loop.
-  void demote_block(ResidentBlock& rb);
+  void demote_block(Shard& sh, ResidentBlock& rb);
   /// Lazy promotion (called from Lane::suspend while the lane runs inline):
   /// hands the executor's stack to the lane's fiber and suspends it there.
-  void promote(Lane& lane);
+  void promote(Shard& sh, Lane& lane);
+  /// Pass loop over a single block until it drains (used after a promotion
+  /// interrupts a parallel direct run).
+  void run_block_passes(Shard& sh, ResidentBlock& rb);
+
+  void run_impl(std::uint32_t grid_dim, KernelRef kernel, SyncMode sync);
+  void run_serial(SyncMode sync);
+  void run_parallel(SyncMode sync);
+  void run_parallel_lockstep();
+  void run_parallel_freerun();
+  void run_parallel_direct();
+  void merge_shard_counters();
+  void rethrow_shard_error();
 
   LaunchConfig cfg_;
+  ExecPolicy policy_;
   PerfCounters& ctr_;
+  std::uint64_t seed_ = 0;      // effective schedule seed (policy > cfg)
+  unsigned workers_ = 1;        // shard count, fixed at construction
   std::uint32_t grid_dim_ = 0;  // grid of the run() in progress
   std::uint32_t slots_ = 0;     // allocated residency
   const KernelRef* kernel_ = nullptr;
-  StackPool pool_;
   std::unique_ptr<Lane[]> lanes_;
   std::unique_ptr<std::byte[]> shared_arena_;
   std::vector<ResidentBlock> blocks_;
-  nulpa::Xoshiro256 shuffle_rng_;
-
-  // Direct-execution state. The executor fiber owns one pool stack for the
-  // session's lifetime; after a promotion that stack belongs to the
-  // promoted lane until its fiber finishes (always before run() returns).
-  Fiber exec_fiber_;
-  std::byte* exec_stack_ = nullptr;
-  Lane* direct_lane_ = nullptr;   // lane currently running inline, if any
-  bool direct_promoted_ = false;  // a promotion interrupted the direct phase
-  std::uint32_t direct_next_ = 0;  // next block the direct loop would init
-  // Bumped by promote(); the executor loop frame — now living on the
-  // promoted lane's stack — compares it against the value it captured and
-  // unwinds instead of running more lanes on a stack it no longer owns.
-  std::uint64_t direct_epoch_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// Launches `grid_dim` blocks of `cfg.block_dim` threads running `kernel`,
@@ -352,6 +553,12 @@ class LaunchSession {
 /// One-shot: allocates a fresh LaunchSession per call; iteration-hot code
 /// should hold a LaunchSession instead.
 void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
-            KernelRef kernel, KernelTraits traits = {});
+            KernelRef kernel, const ExecPolicy& policy = {});
+
+/// Deprecated shim (one release): per-call sync-mode hint. Pass an
+/// ExecPolicy instead.
+[[deprecated("pass an ExecPolicy instead of KernelTraits")]]
+void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
+            KernelRef kernel, KernelTraits traits);
 
 }  // namespace nulpa::simt

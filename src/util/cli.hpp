@@ -92,7 +92,12 @@ struct CommonFlags {
   // Cross-algorithm knobs.
   std::optional<double> tolerance;        // --tolerance
   std::optional<int> max_iterations;      // --max-iterations
-  std::optional<std::uint64_t> seed;      // --seed (tie-break RNG)
+  std::optional<std::uint64_t> seed;      // --seed (tie-break + schedule RNG)
+
+  // Simulator execution backend (simt::ExecPolicy; see DESIGN.md
+  // "Parallel backend & ExecPolicy").
+  bool parallel_sim = false;  // --parallel-sim: shard blocks across threads
+  unsigned threads = 0;       // --threads N: simulator workers (0 = hardware)
 
   // Observability sinks (empty = disabled; "-" = stdout).
   std::string trace_file;    // --trace FILE -> JSONL event stream
@@ -118,6 +123,8 @@ inline CommonFlags parse_common_flags(const CliArgs& args) {
   if (args.has("seed")) {
     f.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
   }
+  f.parallel_sim = args.get_bool("parallel-sim", f.parallel_sim);
+  f.threads = static_cast<unsigned>(args.get_int("threads", f.threads));
   f.trace_file = args.get("trace", "");
   f.metrics_file = args.get("metrics", "");
   return f;

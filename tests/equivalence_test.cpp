@@ -217,8 +217,10 @@ NuLpaConfig fuzz_config(std::uint64_t schedule_seed) {
 
 void expect_compaction_transparent(const Graph& g, const NuLpaConfig& cfg,
                                    const char* what) {
-  const auto full = nu_lpa(g, cfg.with_frontier_compaction(false));
-  const auto comp = nu_lpa(g, cfg.with_frontier_compaction(true));
+  const auto full =
+      nu_lpa(g, cfg.with_exec(cfg.exec.with_frontier_compaction(false)));
+  const auto comp =
+      nu_lpa(g, cfg.with_exec(cfg.exec.with_frontier_compaction(true)));
   EXPECT_EQ(full.labels, comp.labels) << what;
   EXPECT_EQ(full.iterations, comp.iterations) << what;
   // The compacted run must never launch more lane slots than it skips
@@ -274,8 +276,8 @@ TEST(Equivalence, FrontierCompactionByteIdenticalUnderFuzzWithTies) {
 
 void expect_fiberless_transparent(const Graph& g, const NuLpaConfig& cfg,
                                   const char* what) {
-  const auto fibered = nu_lpa(g, cfg.with_fiberless(false));
-  const auto direct = nu_lpa(g, cfg.with_fiberless(true));
+  const auto fibered = nu_lpa(g, cfg.with_exec(simt::ExecPolicy::lockstep()));
+  const auto direct = nu_lpa(g, cfg.with_exec(simt::ExecPolicy{}));
   EXPECT_EQ(fibered.labels, direct.labels) << what;
   EXPECT_EQ(fibered.iterations, direct.iterations) << what;
   EXPECT_EQ(fibered.counters.edges_scanned, direct.counters.edges_scanned)
@@ -336,9 +338,9 @@ TEST(Equivalence, FiberlessByteIdenticalWithCrossCheckSchedule) {
 TEST(Equivalence, GunrockFiberlessByteIdentical) {
   const Graph g = generate_web(2000, 6, 0.85, 9);
   GunrockLpaConfig cfg;
-  cfg.fiberless = true;
+  cfg.exec = simt::ExecPolicy{};
   const auto direct = gunrock_lpa_simt(g, cfg);
-  cfg.fiberless = false;
+  cfg.exec = simt::ExecPolicy::lockstep();
   const auto fibered = gunrock_lpa_simt(g, cfg);
   EXPECT_EQ(direct.labels, fibered.labels);
   EXPECT_EQ(direct.counters.edges_scanned, fibered.counters.edges_scanned);

@@ -26,7 +26,7 @@ TEST(Fiberless, BarrierFreeKernelRunsWithoutFibers) {
   PerfCounters ctr;
   std::vector<int> hits(64 * 5, 0);
   launch(5, cfg, ctr, [&](Lane& lane) { hits[lane.global_thread()]++; },
-         KernelTraits::barrier_free());
+         ExecPolicy::barrier_free());
   for (std::size_t i = 0; i < hits.size(); ++i) {
     ASSERT_EQ(hits[i], 1) << "thread " << i;
   }
@@ -42,7 +42,7 @@ TEST(Fiberless, LockstepTraitSkipsTheDirectPhase) {
   LaunchConfig cfg;
   cfg.block_dim = 32;
   PerfCounters ctr;
-  launch(2, cfg, ctr, [&](Lane&) {}, KernelTraits::lockstep());
+  launch(2, cfg, ctr, [&](Lane&) {}, ExecPolicy::lockstep());
   EXPECT_EQ(ctr.fiberless_lanes, 0u);
   EXPECT_EQ(ctr.promoted_lanes, 0u);
   EXPECT_EQ(ctr.fiber_switches, 2u * 32);
@@ -211,7 +211,7 @@ TEST(Promotion, MixesFiberlessAndPromotedLanes) {
 // The direct phase and the lockstep fiber path must execute identical
 // schedules: same lane order, same barrier phases, same final state.
 TEST(Fiberless, MatchesLockstepByteForByte) {
-  const auto run_mode = [](KernelTraits traits) {
+  const auto run_mode = [](ExecPolicy policy) {
     LaunchConfig cfg;
     cfg.block_dim = 32;
     cfg.resident_blocks = 2;
@@ -226,12 +226,12 @@ TEST(Fiberless, MatchesLockstepByteForByte) {
       lane.syncwarp();
       if (v < 2) label[v] = adopted;
       order.push_back(1000 + lane.global_thread());
-    }, traits);
+    }, policy);
     order.push_back(label[0]);
     order.push_back(label[1]);
     return order;
   };
-  EXPECT_EQ(run_mode(KernelTraits{}), run_mode(KernelTraits::lockstep()));
+  EXPECT_EQ(run_mode(ExecPolicy{}), run_mode(ExecPolicy::lockstep()));
 }
 
 TEST(StackPool, HitsAccrueWhenBlocksRecycleStacks) {
@@ -242,7 +242,7 @@ TEST(StackPool, HitsAccrueWhenBlocksRecycleStacks) {
   // Lockstep grid of 4 blocks through 1 slot: blocks 2..4 must reuse the
   // stacks block 1 returned when it drained.
   launch(4, cfg, ctr, [&](Lane& lane) { lane.syncthreads(); },
-         KernelTraits::lockstep());
+         ExecPolicy::lockstep());
   EXPECT_GE(ctr.stack_pool_hits, 3u * 8);
 }
 
@@ -251,9 +251,9 @@ TEST(StackPool, FiberlessRunsCheckOutNoLaneStacks) {
   cfg.block_dim = 256;
   cfg.resident_blocks = 1;
   PerfCounters ctr;
-  LaunchSession session(cfg, ctr);
+  LaunchSession session(cfg, ctr, ExecPolicy::barrier_free());
   for (int r = 0; r < 3; ++r) {
-    session.run(8, [&](Lane&) {}, KernelTraits::barrier_free());
+    session.run(8, [&](Lane&) {});
   }
   // The executor's own stack is carved once and kept; no per-lane
   // checkouts means no free-list traffic at all.

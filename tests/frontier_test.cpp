@@ -32,9 +32,11 @@ TEST(FrontierRegression, CompactionSpawnsFewerFibersThanFullRange) {
   // road graph's all-TPV launches spawn (almost) no fibers in either mode,
   // so the fiber-switch comparison is only meaningful with fiberless off.
   const Graph g = regression_graph();
-  const NuLpaConfig fibered = NuLpaConfig{}.with_fiberless(false);
+  const NuLpaConfig fibered = NuLpaConfig{}.with_exec(simt::ExecPolicy::lockstep());
   const auto compacted = nu_lpa(g, fibered);
-  const auto full = nu_lpa(g, fibered.with_frontier_compaction(false));
+  const auto full = nu_lpa(
+      g, fibered.with_exec(
+             fibered.exec.with_frontier_compaction(false)));
   EXPECT_LT(compacted.counters.fiber_switches,
             full.counters.fiber_switches);
   EXPECT_LT(compacted.counters.threads_run, full.counters.threads_run);
@@ -66,8 +68,10 @@ TEST(FrontierCounters, CompactedRunAccountsEveryLaneSlot) {
 }
 
 TEST(FrontierCounters, FullRangeRunReportsNoFrontier) {
-  const auto r = nu_lpa(regression_graph(),
-                        NuLpaConfig{}.with_frontier_compaction(false));
+  const auto r = nu_lpa(
+      regression_graph(),
+      NuLpaConfig{}.with_exec(
+          simt::ExecPolicy{}.with_frontier_compaction(false)));
   EXPECT_EQ(r.counters.frontier_vertices, 0u);
   EXPECT_EQ(r.counters.skipped_lanes, 0u);
 }
@@ -79,8 +83,10 @@ TEST(FrontierCounters, CompactionIsInertWithoutPruning) {
   const Graph g = regression_graph();
   NuLpaConfig cfg;
   cfg.pruning = false;
-  const auto on = nu_lpa(g, cfg.with_frontier_compaction(true));
-  const auto off = nu_lpa(g, cfg.with_frontier_compaction(false));
+  const auto on =
+      nu_lpa(g, cfg.with_exec(cfg.exec.with_frontier_compaction(true)));
+  const auto off =
+      nu_lpa(g, cfg.with_exec(cfg.exec.with_frontier_compaction(false)));
   EXPECT_EQ(on.labels, off.labels);
   EXPECT_EQ(on.counters, off.counters);
 }
@@ -93,7 +99,7 @@ TEST(GunrockFrontier, MatchesFullSweepAndKeepsLaunchSchedule) {
   const Graph g = generate_web(2000, 6, 0.85, 9);
   GunrockLpaConfig cfg;
   const auto compacted = gunrock_lpa_simt(g, cfg);
-  cfg.frontier_compaction = false;
+  cfg.exec.frontier_compaction = false;
   const auto full = gunrock_lpa_simt(g, cfg);
   EXPECT_EQ(compacted.labels, full.labels);
   EXPECT_EQ(compacted.counters.kernel_launches,

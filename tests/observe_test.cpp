@@ -286,5 +286,36 @@ TEST(Config, RunOptionsFromFlagsMapsSharedKnobs) {
   EXPECT_THROW(parse_probing("nonsense"), std::runtime_error);
 }
 
+TEST(Config, ExecPolicyFromFlagsSelectsBackendAndSeed) {
+  // Serial by default.
+  EXPECT_FALSE(exec_policy_from_flags(CommonFlags{}).is_parallel());
+
+  CommonFlags flags;
+  flags.parallel_sim = true;
+  flags.threads = 4;
+  flags.seed = 77;
+  const simt::ExecPolicy p = exec_policy_from_flags(flags);
+  EXPECT_TRUE(p.is_parallel());
+  EXPECT_EQ(p.threads, 4u);
+  EXPECT_TRUE(p.deterministic);
+  EXPECT_EQ(p.schedule_seed, 77u);
+
+  // --threads N with N > 1 implies the parallel backend on its own.
+  CommonFlags just_threads;
+  just_threads.threads = 2;
+  EXPECT_TRUE(exec_policy_from_flags(just_threads).is_parallel());
+  // ... but --threads 1 alone stays serial (it means "one worker anyway").
+  CommonFlags one_thread;
+  one_thread.threads = 1;
+  EXPECT_FALSE(exec_policy_from_flags(one_thread).is_parallel());
+
+  // The policy lands in opts.exec and every simulator-backed config.
+  const RunOptions opts = run_options_from_flags(flags);
+  EXPECT_TRUE(opts.exec.is_parallel());
+  EXPECT_EQ(opts.nulpa.exec.threads, 4u);
+  EXPECT_TRUE(opts.gunrock.exec.is_parallel());
+  EXPECT_EQ(opts.gunrock.exec.schedule_seed, 77u);
+}
+
 }  // namespace
 }  // namespace nulpa

@@ -1,0 +1,310 @@
+// Parallel-backend equivalence suite: the sharded multi-threaded simulator
+// must be invisible. In deterministic mode (the default) labels, per-lane
+// outputs, and merged PerfCounters are byte-identical to the serial
+// backend for any thread count — across sync modes (fiberless direct and
+// lockstep fibers), schedule-fuzz seeds, and both engines that ride the
+// session (ν-LPA, the Gunrock baseline). These tests run the real worker
+// shards even on a single-core host: shard count follows ExecPolicy's
+// thread request, and the pool's fork-join jobs stride over shards, so an
+// oversubscribed pool exercises exactly the same merge paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/gunrock_lpa_simt.hpp"
+#include "core/nulpa.hpp"
+#include "graph/generators.hpp"
+#include "quality/communities.hpp"
+#include "simt/grid.hpp"
+
+namespace nulpa {
+namespace {
+
+using simt::ExecPolicy;
+using simt::Lane;
+using simt::LaunchConfig;
+using simt::LaunchSession;
+using simt::PerfCounters;
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+// A schedule-sensitive lockstep kernel: each lane takes a ticket from its
+// block's plain (non-atomic) sequence counter between barriers, so the
+// recorded per-lane outputs encode the exact intra-block lane order the
+// scheduler produced. Any divergence between backends or thread counts —
+// a different shuffle, a lost pass, a reordered refill — changes the
+// bytes. Blocks never share state (a block is owned by one shard), so the
+// plain increments are race-free by construction.
+struct TicketRun {
+  std::vector<std::uint32_t> out;
+  PerfCounters ctr;
+};
+
+TicketRun run_ticket_kernel(const ExecPolicy& policy, std::uint64_t seed,
+                            std::uint32_t grid, std::uint32_t block_dim) {
+  LaunchConfig cfg;
+  cfg.block_dim = block_dim;
+  cfg.resident_blocks = 4;
+  cfg.schedule_seed = seed;
+  TicketRun r;
+  r.out.assign(static_cast<std::size_t>(grid) * block_dim * 2, 0);
+  std::vector<std::uint32_t> seq(grid, 0);
+  LaunchSession session(cfg, r.ctr, policy.with_sync(simt::SyncMode::kLockstep));
+  session.run(grid, [&](Lane& lane) {
+    const std::uint32_t g = lane.global_thread();
+    r.out[2 * g] = seq[lane.block_idx()]++;
+    lane.syncthreads();
+    r.out[2 * g + 1] = seq[lane.block_idx()]++;
+    lane.syncthreads();
+  });
+  return r;
+}
+
+TEST(ParallelBackend, LockstepTicketsByteIdenticalToSerial) {
+  for (const std::uint64_t seed : {0ULL, 7ULL, 99ULL, 424242ULL}) {
+    const TicketRun serial = run_ticket_kernel(ExecPolicy{}, seed, 11, 64);
+    for (const unsigned t : kThreadCounts) {
+      const TicketRun par =
+          run_ticket_kernel(ExecPolicy::parallel(t), seed, 11, 64);
+      EXPECT_EQ(serial.out, par.out) << "threads=" << t << " seed=" << seed;
+      // Deterministic lockstep replays the serial schedule exactly, so the
+      // merged per-shard counters must round-trip to the serial totals —
+      // every field, including scheduler costs.
+      EXPECT_EQ(serial.ctr, par.ctr) << "threads=" << t << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ParallelBackend, DirectExecutorOutputsMatchSerialAcrossThreads) {
+  // Barrier-free kernel on the fiberless direct executor: per-lane math
+  // plus device atomics across blocks. Lane outputs and the atomic total
+  // must match serial for every thread count; merged counters may differ
+  // from serial only in fiber_switches (the parallel direct path charges
+  // the executor resume per block so the count is thread-invariant).
+  constexpr std::uint32_t kGrid = 13;
+  constexpr std::uint32_t kBlockDim = 96;
+  const auto run = [&](const ExecPolicy& policy) {
+    LaunchConfig cfg;
+    cfg.block_dim = kBlockDim;
+    cfg.resident_blocks = 4;
+    TicketRun r;
+    r.out.assign(kGrid * kBlockDim, 0);
+    std::uint64_t total = 0;
+    LaunchSession session(cfg, r.ctr, policy);
+    session.run(kGrid, [&](Lane& lane) {
+      const std::uint32_t g = lane.global_thread();
+      r.out[g] = g * 2654435761u;
+      lane.atomic_add(total, std::uint64_t{1});
+    });
+    r.out.push_back(static_cast<std::uint32_t>(total));
+    return r;
+  };
+  const TicketRun serial = run(ExecPolicy{});
+  ASSERT_EQ(serial.out.back(), kGrid * kBlockDim);
+  PerfCounters first_par;
+  for (const unsigned t : kThreadCounts) {
+    const TicketRun par = run(ExecPolicy::parallel(t));
+    EXPECT_EQ(serial.out, par.out) << "threads=" << t;
+    PerfCounters adjusted = par.ctr;
+    adjusted.fiber_switches = serial.ctr.fiber_switches;
+    EXPECT_EQ(serial.ctr, adjusted) << "threads=" << t;
+    // ... and across thread counts the merged counters are mutually exact.
+    if (t == kThreadCounts[0]) {
+      first_par = par.ctr;
+    } else {
+      EXPECT_EQ(first_par, par.ctr) << "threads=" << t;
+    }
+  }
+}
+
+TEST(ParallelBackend, FreerunKeepsOutcomesForOrderInsensitiveKernels) {
+  // deterministic(false) lets shards free-run their slots: the pass
+  // interleaving is arbitrary, so only order-insensitive observables are
+  // guaranteed. Work totals still must merge exactly.
+  LaunchConfig cfg;
+  cfg.block_dim = 64;
+  cfg.resident_blocks = 4;
+  const auto run = [&](const ExecPolicy& policy) {
+    TicketRun r;
+    r.out.assign(9 * 64, 0);
+    PerfCounters& ctr = r.ctr;
+    LaunchSession session(cfg, ctr, policy.with_sync(simt::SyncMode::kLockstep));
+    session.run(9, [&](Lane& lane) {
+      const std::uint32_t g = lane.global_thread();
+      r.out[g] = g + 1;
+      lane.syncthreads();
+      lane.count_load(2);
+    });
+    return r;
+  };
+  const TicketRun serial = run(ExecPolicy{});
+  for (const unsigned t : {2u, 8u}) {
+    const TicketRun par =
+        run(ExecPolicy::parallel(t).with_deterministic(false));
+    EXPECT_EQ(serial.out, par.out) << "threads=" << t;
+    EXPECT_EQ(serial.ctr.threads_run, par.ctr.threads_run);
+    EXPECT_EQ(serial.ctr.global_loads, par.ctr.global_loads);
+    EXPECT_EQ(serial.ctr.block_syncs, par.ctr.block_syncs);
+  }
+}
+
+TEST(ParallelBackend, MoreShardsThanResidentSlotsIsFine) {
+  // threads > resident_blocks: surplus shards idle, the rest own the
+  // slots; results and counters still match serial.
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  cfg.resident_blocks = 2;
+  PerfCounters serial_ctr, par_ctr;
+  std::vector<std::uint32_t> a(6 * 32, 0), b(6 * 32, 0);
+  {
+    LaunchSession s(cfg, serial_ctr, ExecPolicy::lockstep());
+    s.run(6, [&](Lane& l) { a[l.global_thread()] = l.warp(); });
+  }
+  {
+    LaunchSession s(cfg, par_ctr, ExecPolicy::parallel(8).with_sync(
+                                      simt::SyncMode::kLockstep));
+    s.run(6, [&](Lane& l) { b[l.global_thread()] = l.warp(); });
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(serial_ctr, par_ctr);
+}
+
+// ---------------------------------------------------------------- engine
+
+void expect_engine_parallel_transparent(const Graph& g,
+                                        const NuLpaConfig& cfg,
+                                        const std::string& what) {
+  const auto serial = nu_lpa(g, cfg);
+  for (const unsigned t : kThreadCounts) {
+    NuLpaConfig par = cfg;
+    par.exec = cfg.exec.with_backend(ExecPolicy::Backend::kParallel)
+                   .with_threads(t);
+    const auto r = nu_lpa(g, par);
+    EXPECT_EQ(serial.labels, r.labels) << what << " threads=" << t;
+    EXPECT_EQ(serial.iterations, r.iterations) << what << " threads=" << t;
+    EXPECT_EQ(serial.counters.edges_scanned, r.counters.edges_scanned)
+        << what << " threads=" << t;
+    EXPECT_EQ(serial.counters.threads_run, r.counters.threads_run)
+        << what << " threads=" << t;
+    EXPECT_EQ(serial.hash_stats.inserts, r.hash_stats.inserts)
+        << what << " threads=" << t;
+    EXPECT_EQ(serial.hash_stats.probes, r.hash_stats.probes)
+        << what << " threads=" << t;
+  }
+}
+
+TEST(EngineParallel, ByteIdenticalOnMixedKernels) {
+  // switch_degree 8 sends plenty of vertices through the BPV fiber kernel
+  // while the rest ride the fiberless TPV split — both kernels cross the
+  // backend boundary in one run.
+  const Graph g = generate_web(1200, 7, 0.85, 6);
+  expect_engine_parallel_transparent(
+      g, NuLpaConfig{}.with_switch_degree(8), "mixed kernels");
+}
+
+TEST(EngineParallel, ByteIdenticalOnLockstepFibers) {
+  const Graph g = generate_web(900, 6, 0.85, 11);
+  expect_engine_parallel_transparent(
+      g, NuLpaConfig{}.with_exec(ExecPolicy::lockstep()), "fused lockstep");
+}
+
+TEST(EngineParallel, ByteIdenticalUnderScheduleFuzz) {
+  const Graph g = generate_erdos_renyi(800, 6.0, 31);
+  for (const std::uint64_t seed : {1ULL, 7ULL, 1234ULL}) {
+    NuLpaConfig cfg;
+    cfg.launch.schedule_seed = seed;
+    expect_engine_parallel_transparent(
+        g, cfg, "schedule_seed=" + std::to_string(seed));
+    expect_engine_parallel_transparent(
+        g, cfg.with_exec(ExecPolicy::lockstep()),
+        "lockstep schedule_seed=" + std::to_string(seed));
+  }
+}
+
+TEST(EngineParallel, ByteIdenticalWithCrossCheckEnabled) {
+  // The cross-check CAS-revert sweep is order-dependent, so under the
+  // parallel backend the engine must route it through its serial-backend
+  // stand-in session — keeping labels identical to the serial run.
+  const Graph g = generate_web(900, 6, 0.85, 25);
+  NuLpaConfig cfg;
+  cfg.swap.cross_check_every = 2;
+  expect_engine_parallel_transparent(g, cfg, "cross-check every 2");
+}
+
+TEST(EngineParallel, FreerunStillProducesValidCommunities) {
+  // Non-deterministic mode abandons byte-identity by contract; the result
+  // must still be a valid clustering with exact work accounting.
+  const Graph g = generate_web(1000, 6, 0.85, 3);
+  NuLpaConfig cfg;
+  cfg.exec = ExecPolicy::parallel(4).with_deterministic(false);
+  const auto r = nu_lpa(g, cfg);
+  EXPECT_TRUE(is_valid_membership(g, r.labels));
+  EXPECT_GE(r.iterations, 1);
+  EXPECT_GT(r.counters.edges_scanned, 0u);
+}
+
+TEST(EngineParallel, GunrockByteIdenticalAcrossThreadCounts) {
+  const Graph g = generate_web(1500, 6, 0.85, 9);
+  GunrockLpaConfig cfg;
+  const auto serial = gunrock_lpa_simt(g, cfg);
+  for (const unsigned t : kThreadCounts) {
+    GunrockLpaConfig par;
+    par.exec = ExecPolicy::parallel(t);
+    const auto r = gunrock_lpa_simt(g, par);
+    EXPECT_EQ(serial.labels, r.labels) << "threads=" << t;
+    EXPECT_EQ(serial.counters.edges_scanned, r.counters.edges_scanned);
+  }
+}
+
+// ------------------------------------------------------------ policy API
+
+TEST(ExecPolicyApi, BuildersComposeWithoutMutation) {
+  constexpr ExecPolicy p = ExecPolicy::parallel(4)
+                               .with_deterministic(false)
+                               .with_schedule_seed(9)
+                               .with_frontier_compaction(false);
+  static_assert(p.backend == ExecPolicy::Backend::kParallel);
+  static_assert(p.threads == 4);
+  static_assert(!p.deterministic);
+  static_assert(p.schedule_seed == 9);
+  static_assert(!p.frontier_compaction);
+  static_assert(p.is_parallel());
+  // Defaults: serial, deterministic, compaction on, auto sync.
+  constexpr ExecPolicy d{};
+  static_assert(!d.is_parallel());
+  static_assert(d.deterministic);
+  static_assert(d.frontier_compaction);
+  static_assert(d.sync == simt::SyncMode::kAuto);
+  static_assert(ExecPolicy::lockstep().sync == simt::SyncMode::kLockstep);
+}
+
+TEST(ExecPolicyApi, DeprecatedShimsMatchTheNewSurface) {
+  // One-release compatibility: the KernelTraits run()/launch() overloads
+  // and the NuLpaConfig bool builders must keep their old meaning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const NuLpaConfig old_fibered = NuLpaConfig{}.with_fiberless(false);
+  const NuLpaConfig old_compactless =
+      NuLpaConfig{}.with_frontier_compaction(false);
+
+  LaunchConfig cfg;
+  cfg.block_dim = 32;
+  PerfCounters via_traits, via_policy;
+  std::vector<std::uint32_t> a(2 * 32, 0), b(2 * 32, 0);
+  simt::launch(2, cfg, via_traits,
+               [&](Lane& l) { a[l.global_thread()] = l.thread_idx(); },
+               simt::KernelTraits::lockstep());
+  simt::launch(2, cfg, via_policy,
+               [&](Lane& l) { b[l.global_thread()] = l.thread_idx(); },
+               ExecPolicy::lockstep());
+#pragma GCC diagnostic pop
+  EXPECT_EQ(old_fibered.exec.sync, simt::SyncMode::kLockstep);
+  EXPECT_FALSE(old_compactless.exec.frontier_compaction);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(via_traits, via_policy);
+}
+
+}  // namespace
+}  // namespace nulpa

@@ -109,5 +109,48 @@ TEST(ParallelReduce, EmptyRangeReturnsInit) {
   EXPECT_EQ(total, 7);
 }
 
+TEST(ThreadPool, ShutdownLeavesUsableSingleWorkerPool) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  pool.run([&](unsigned) { hits++; });
+  EXPECT_EQ(hits.load(), 4);
+  pool.shutdown();
+  EXPECT_EQ(pool.size(), 1u);
+  hits = 0;
+  pool.run([&](unsigned id) {
+    EXPECT_EQ(id, 0u);  // only the caller is left
+    hits++;
+  });
+  EXPECT_EQ(hits.load(), 1);
+  pool.shutdown();  // idempotent
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ResizeRetargetsWorkerCount) {
+  ThreadPool pool(2);
+  for (const unsigned target : {5u, 1u, 3u}) {
+    pool.resize(target);
+    EXPECT_EQ(pool.size(), target);
+    std::atomic<unsigned> hits{0};
+    std::vector<std::atomic<int>> seen(target);
+    pool.run([&](unsigned id) {
+      ASSERT_LT(id, target);
+      seen[id]++;
+      hits++;
+    });
+    EXPECT_EQ(hits.load(), target);
+    for (unsigned id = 0; id < target; ++id) EXPECT_EQ(seen[id].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ResizeToSameSizeIsANoOp) {
+  ThreadPool pool(3);
+  pool.resize(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> hits{0};
+  pool.run([&](unsigned) { hits++; });
+  EXPECT_EQ(hits.load(), 3);
+}
+
 }  // namespace
 }  // namespace nulpa

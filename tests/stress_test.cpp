@@ -231,7 +231,7 @@ TEST(EndToEndStress, HeavyTailGraphExercisesBothKernels) {
   EXPECT_EQ(r.counters.promoted_lanes, 0u);  // split kernels never block
 
   // The fused-kernel fiber path still reports its warp lockstep boundary.
-  const auto fused = nu_lpa(g, NuLpaConfig{}.with_fiberless(false));
+  const auto fused = nu_lpa(g, NuLpaConfig{}.with_exec(simt::ExecPolicy::lockstep()));
   EXPECT_GT(fused.counters.warp_syncs, 0u);
   EXPECT_EQ(fused.labels, r.labels);
 }

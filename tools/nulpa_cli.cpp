@@ -8,6 +8,7 @@
 //                  quadratic|double|coalesced] [--tolerance 0.05]
 //                  [--max-iterations 20] [--double-values] [--shared-tables]
 //                  [--pruning true|false] [--seed N]
+//                  [--parallel-sim] [--threads N]
 //                  [--trace run.jsonl] [--metrics table.txt]
 //   nulpa trace-summary --input run.jsonl    (per-iteration table from a
 //                                             --trace capture; "-" = stdin)
@@ -19,6 +20,13 @@
 // kernel launches, counter deltas); --metrics writes the human-readable
 // per-iteration table. "-" sends either stream to stdout. The trace schema
 // is documented in DESIGN.md ("Trace schema").
+//
+// --parallel-sim runs the SIMT simulator's sharded multi-threaded backend;
+// --threads N fixes its worker count (0 = hardware concurrency; N > 1
+// implies --parallel-sim). Labels are byte-identical to the serial
+// simulation for any thread count (deterministic mode is the default), and
+// --seed also seeds the simulator's schedule shuffle. See DESIGN.md
+// "Parallel backend & ExecPolicy".
 //
 // Exit code 0 on success, 1 on usage errors, 2 on IO/algorithm failure.
 #include <cmath>
@@ -110,6 +118,7 @@ int cmd_detect(const CliArgs& args) {
   }
 
   RunOptions opts = run_options_from_flags(flags);
+  apply_threads(opts.exec);
   if (tracer.enabled()) opts.tracer = &tracer;
 
   const RunReport r = algo->run(g, opts);
