@@ -9,6 +9,7 @@
 // committed reference copy lives under bench/baselines/.
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -86,7 +87,11 @@ int main(int argc, char** argv) {
       {"europe_osm", 3}, {"kmer_V1r", 1}, {"webbase-2001", 1}};
 
   // Tolerance 0 runs the full iteration budget: the comparison should
-  // cover dense early sweeps and sparse late ones alike.
+  // cover dense early sweeps and sparse late ones alike. Memory tracking
+  // is pinned off: this bench's headline is wall clock, and the coalescer
+  // bookkeeping would tax both executors equally, compressing the very
+  // scheduler-overhead ratio the figure measures (bench/coalesced.cpp is
+  // the harness that wants the tracked counters).
   const NuLpaConfig base = NuLpaConfig{}.with_tolerance(0.0);
 
   std::vector<DatasetInstance> instances;
@@ -107,8 +112,14 @@ int main(int argc, char** argv) {
     GraphResult r;
     r.name = inst.spec.name;
     r.graph = &inst.graph;
-    r.fiber = run_mode(inst.graph, base.with_exec(simt::ExecPolicy::lockstep()));
-    r.fiberless = run_mode(inst.graph, base.with_exec(simt::ExecPolicy{}));
+    // Memory tracking is pinned off: this bench's headline is wall clock,
+    // and the coalescer bookkeeping would tax both executors equally,
+    // diluting the scheduler-overhead ratio the figure measures
+    // (bench/coalesced.cpp is the harness that wants tracked counters).
+    r.fiber = run_mode(inst.graph, base.with_exec(
+        simt::ExecPolicy::lockstep().with_track_memory(false)));
+    r.fiberless = run_mode(inst.graph, base.with_exec(
+        simt::ExecPolicy{}.with_track_memory(false)));
     r.identical = r.fiber.report.labels == r.fiberless.report.labels;
     r.wall_speedup = r.fiberless.seconds > 0
                          ? r.fiber.seconds / r.fiberless.seconds
@@ -153,6 +164,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"scale\": %d,\n", static_cast<int>(scale));
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(seed));
   // bench_check.py reads the per-graph mode objects by these names.

@@ -11,6 +11,7 @@
 // bench/baselines/.
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -125,8 +126,12 @@ int main(int argc, char** argv) {
   // Under the default fiberless executor the per-lane switches compaction
   // used to eliminate are already gone — bench/fiberless.cpp covers that
   // comparison.
-  const NuLpaConfig base =
-      NuLpaConfig{}.with_tolerance(0.0).with_exec(simt::ExecPolicy::lockstep());
+  // Memory tracking is pinned off: the headline here is wall clock and
+  // fiber switches, and the coalescer bookkeeping taxes both modes
+  // equally, diluting the ratio (bench/coalesced.cpp is the harness that
+  // wants tracked counters).
+  const NuLpaConfig base = NuLpaConfig{}.with_tolerance(0.0).with_exec(
+      simt::ExecPolicy::lockstep().with_track_memory(false));
 
   std::vector<DatasetInstance> instances;
   std::vector<GraphResult> results;
@@ -193,6 +198,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"scale\": %d,\n", static_cast<int>(scale));
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(seed));
   std::fprintf(f, "  \"labels_identical\": %s,\n",

@@ -2,10 +2,15 @@
 // Section 4.5: ν-LPA's per-vertex hashtables need O(M) memory (two 2|E|
 // buffers) while GVE-LPA's per-thread collision-free tables need O(T·N + M)
 // — untenable for GPU thread counts, which is the whole motivation for the
-// per-vertex design.
+// per-vertex design. Alongside the analytic footprints, a tracked run of
+// each instance reports the measured memory-hierarchy behaviour of the
+// per-vertex layout (transactions per scanned edge and data-cache hit
+// rate, from the simulator's coalescer — see DESIGN.md "Memory
+// hierarchy"), tying the space claim to actual traffic.
 #include <cstdio>
 
 #include "bench/common.hpp"
+#include "core/nulpa.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -17,7 +22,8 @@ int main(int argc, char** argv) {
   std::printf("=== Hashtable memory: per-vertex (nu-LPA, O(M)) vs per-thread "
               "(GVE-LPA, O(T*N + M))\n\n");
   TextTable table({"Graph", "|V|", "|E|", "nu-LPA tables",
-                   "GVE @ 32 threads", "GVE @ 64 SMs x 2048 thr"});
+                   "GVE @ 32 threads", "GVE @ 64 SMs x 2048 thr",
+                   "txn/edge", "cache hit"});
 
   for (const auto& inst : graphs) {
     const auto n = static_cast<double>(inst.graph.num_vertices());
@@ -28,9 +34,23 @@ int main(int argc, char** argv) {
     auto gve_bytes = [n](double threads) {
       return threads * (n * 8.0 + n * 4.0);
     };
+    // Measured traffic of the per-vertex layout under the default config
+    // (coalesced slabs, tracking on).
+    const auto r = nu_lpa(inst.graph, NuLpaConfig{});
+    const auto& c = r.counters;
+    const double txn_per_edge =
+        c.edges_scanned > 0 ? static_cast<double>(c.global_transactions) /
+                                  static_cast<double>(c.edges_scanned)
+                            : 0.0;
+    const std::uint64_t probes = c.cache_hits + c.cache_misses;
+    const double hit_rate =
+        probes > 0 ? static_cast<double>(c.cache_hits) /
+                         static_cast<double>(probes)
+                   : 0.0;
     table.add_row({inst.spec.name, fmt_count(n), fmt_count(m),
                    fmt_count(nu_bytes) + "B", fmt_count(gve_bytes(32)) + "B",
-                   fmt_count(gve_bytes(64.0 * 2048.0)) + "B"});
+                   fmt_count(gve_bytes(64.0 * 2048.0)) + "B",
+                   fmt(txn_per_edge, 3), fmt(hit_rate * 100.0, 3) + "%"});
   }
   table.print();
   std::printf(

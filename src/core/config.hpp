@@ -78,6 +78,18 @@ struct NuLpaConfig {
   // Section 4.3 — kernel partitioning.
   std::uint32_t switch_degree = 32;
 
+  // Coalescing-aware data layout for the thread-per-vertex kernel: edge
+  // slabs and hashtable slabs of each warp-sized cohort of low-degree
+  // vertices are interleaved lane-major (element e of cohort lane l lives
+  // at base + e*32 + l), so the 32 lanes of a warp touch 32 *adjacent*
+  // words per issue window instead of 32 scattered per-vertex ranges.
+  // Labels are byte-identical either way — only the physical addresses
+  // change — and the win shows up as a drop in measured
+  // PerfCounters::global_transactions (bench/coalesced.cpp). Ignored by
+  // the coalesced-chaining probing variant and by shared-memory tables,
+  // which have their own layouts.
+  bool coalesced_layout = true;
+
   // Simulated hardware shape. `launch` drives the thread-per-vertex kernel;
   // the block-per-vertex kernel uses narrower blocks but many more of them
   // in flight, because on a real A100 hundreds of blocks are resident and
@@ -150,6 +162,11 @@ struct NuLpaConfig {
   [[nodiscard]] NuLpaConfig with_switch_degree(std::uint32_t deg) const {
     NuLpaConfig c = *this;
     c.switch_degree = deg;
+    return c;
+  }
+  [[nodiscard]] NuLpaConfig with_coalesced_layout(bool on) const {
+    NuLpaConfig c = *this;
+    c.coalesced_layout = on;
     return c;
   }
 };

@@ -83,6 +83,14 @@ class Engine {
     } else {
       cfg_.shared_memory_tables = false;
     }
+    // Coalescing-aware re-layout of the TPV kernel's working set (see
+    // NuLpaConfig::coalesced_layout): edge slabs and table slabs are
+    // rebuilt lane-major per warp-sized cohort of part_.low. The chaining
+    // probing variant and shared-memory tables keep their own layouts.
+    coal_enabled_ = cfg_.coalesced_layout &&
+                    cfg_.probing != Probing::kCoalesced &&
+                    !cfg_.shared_memory_tables;
+    if (coal_enabled_) build_coalesced_layout();
     // Persistent launch sessions: fiber stacks, lane arrays and shared
     // arenas are allocated once here and reused by every kernel launch of
     // every iteration (the seed engine re-allocated them per launch).
@@ -206,7 +214,9 @@ class Engine {
       }
     }
 
-    res.labels = std::move(labels_);
+    // device_vector and the result's plain vector differ in allocator, so
+    // this is a copy — the host-side D2H transfer at the end of the run.
+    res.labels.assign(labels_.begin(), labels_.end());
     res.has_counters = true;
     res.counters = ctr_;
     res.hash_stats = hstats_total();
@@ -297,19 +307,52 @@ class Engine {
     return &hstats_w_[lane.worker()];
   }
 
-  // ---- Device-memory access for the label and activity arrays. The
-  // parallel backend runs blocks concurrently, so kernel-side touches of
-  // cross-block state must be real (relaxed) atomics — the same word-sized
-  // visibility the GPU's memory system gives plain loads and stores. On
-  // the serial backend these compile to the plain accesses they replace.
-  template <typename T>
-  [[nodiscard]] static T dev_load(const T& slot) noexcept {
-    return std::atomic_ref<T>(const_cast<T&>(slot))
-        .load(std::memory_order_relaxed);
-  }
-  template <typename T>
-  static void dev_store(T& slot, T v) noexcept {
-    std::atomic_ref<T>(slot).store(v, std::memory_order_relaxed);
+  // ---- Coalescing-aware layout (NuLpaConfig::coalesced_layout). TPV
+  // vertices are grouped into warp-sized cohorts in partition order — the
+  // same order the full-range launch maps them onto warp lanes — and each
+  // cohort's edge targets/weights and hashtable slab are stored lane-major:
+  // element e of cohort lane l lives at cohort_base + e*32 + l. When the 32
+  // lanes of a warp each touch "their" element e in the same issue window,
+  // those 32 words are adjacent, so the coalescer emits one 128B
+  // transaction instead of up to 32. Capacities are the cohort maximum and
+  // bases are multiples of the warp size, so every cohort slab starts on a
+  // transaction-line boundary of its device_vector.
+  void build_coalesced_layout() {
+    constexpr std::uint32_t kW = simt::kWarpSize;
+    const std::vector<Vertex>& items = part_.low;
+    coal_edge_base_.assign(g_.num_vertices(), 0);
+    coal_tab_base_.assign(g_.num_vertices(), 0);
+    std::uint64_t esz = 0;
+    std::uint64_t tsz = 0;
+    for (std::size_t c = 0; c < items.size(); c += kW) {
+      const std::size_t end = std::min(items.size(), c + kW);
+      std::uint32_t edge_cap = 0;
+      std::uint32_t tab_cap = 0;
+      for (std::size_t i = c; i < end; ++i) {
+        const std::uint32_t deg = g_.degree(items[i]);
+        edge_cap = std::max(edge_cap, deg);
+        if (deg > 0) tab_cap = std::max(tab_cap, hashtable_capacity(deg));
+      }
+      for (std::size_t i = c; i < end; ++i) {
+        coal_edge_base_[items[i]] = esz + (i - c);
+        coal_tab_base_[items[i]] = tsz + (i - c);
+      }
+      esz += static_cast<std::uint64_t>(edge_cap) * kW;
+      tsz += static_cast<std::uint64_t>(tab_cap) * kW;
+    }
+    coal_tgt_.assign(esz, kEmptyKey);
+    coal_wts_.assign(esz, Weight{});
+    coal_k_.assign(tsz, kEmptyKey);
+    coal_v_.assign(tsz, V{});
+    for (const Vertex v : items) {
+      const auto nbrs = g_.neighbors(v);
+      const auto wts = g_.weights_of(v);
+      const std::uint64_t eb = coal_edge_base_[v];
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        coal_tgt_[eb + e * kW] = nbrs[e];
+        coal_wts_[eb + e * kW] = wts[e];
+      }
+    }
   }
 
   // ---- Thread-per-vertex kernel: one lane per low-degree vertex. The
@@ -364,15 +407,7 @@ class Engine {
         tpv_session_->run(grid, [&](simt::Lane& lane) {
           const std::uint32_t t = lane.global_thread();
           if (t >= count) return;
-          const Vertex v = work[t];
-          Vertex cstar = kEmptyKey;
-          lane.count_load(1);  // unprocessed flag (or worklist entry)
-          if (!cfg_.pruning || dev_load(unprocessed_[v])) {
-            dev_store<std::uint8_t>(unprocessed_[v], 0);
-            lane.count_store(1);
-            cstar = gather_unshared(lane, v);
-          }
-          cstar_[t] = cstar;
+          cstar_[t] = gather_if_active(lane, work[t]);
         });
         tpv_session_->run(grid, [&](simt::Lane& lane) {
           const std::uint32_t t = lane.global_thread();
@@ -384,14 +419,7 @@ class Engine {
           const std::uint32_t t = lane.global_thread();
           if (t >= count) return;
           const Vertex v = work[t];
-
-          Vertex cstar = kEmptyKey;
-          lane.count_load(1);  // unprocessed flag (or worklist entry)
-          if (!cfg_.pruning || dev_load(unprocessed_[v])) {
-            dev_store<std::uint8_t>(unprocessed_[v], 0);
-            lane.count_store(1);
-            cstar = gather_unshared(lane, v);
-          }
+          const Vertex cstar = gather_if_active(lane, v);
 
           lane.syncwarp();  // lockstep boundary: warp gathers, then commits
 
@@ -400,6 +428,19 @@ class Engine {
       }
     }
     return launched;
+  }
+
+  /// The TPV gather guarded by the pruning flag (Algorithm 1 lines 17-18).
+  /// With pruning the flag read is a real tracked device access; without,
+  /// the lane still pays one load for its worklist entry.
+  Vertex gather_if_active(simt::Lane& lane, Vertex v) {
+    if (cfg_.pruning) {
+      if (!lane.dev_load(unprocessed_[v])) return kEmptyKey;
+    } else {
+      lane.count_load(1);  // worklist entry
+    }
+    lane.dev_store(unprocessed_[v], std::uint8_t{0});
+    return gather_unshared(lane, v);
   }
 
   /// Gather phase for a single lane: clear the vertex's table, accumulate
@@ -412,46 +453,83 @@ class Engine {
       return gather_coalesced(lane, v, deg);
     }
     const std::uint32_t p1 = hashtable_capacity(deg);
-    const bool in_shared = cfg_.shared_memory_tables && p1 <= shared_cap_;
-    Vertex* keys;
-    V* values;
-    if (in_shared) {
-      std::byte* slice =
-          lane.shared() + lane.thread_idx() * shared_slice_;
-      values = reinterpret_cast<V*>(slice);
-      keys = reinterpret_cast<Vertex*>(slice + shared_keys_off_);
-    } else {
-      const EdgeIndex off = 2 * g_.offset(v);
-      keys = buf_k_.data() + off;
-      values = buf_v_.data() + off;
+    if (cfg_.shared_memory_tables && p1 <= shared_cap_) {
+      return gather_in_shared(lane, v, deg, p1);
     }
+    if (coal_enabled_) {
+      return gather_strided<simt::kWarpSize>(
+          lane, v, deg, p1, coal_k_.data() + coal_tab_base_[v],
+          coal_v_.data() + coal_tab_base_[v],
+          coal_tgt_.data() + coal_edge_base_[v],
+          coal_wts_.data() + coal_edge_base_[v]);
+    }
+    const EdgeIndex off = 2 * g_.offset(v);
+    return gather_strided<1>(lane, v, deg, p1, buf_k_.data() + off,
+                             buf_v_.data() + off, g_.neighbors(v).data(),
+                             g_.weights_of(v).data());
+  }
+
+  /// Global-table gather over a slab whose logical element i sits at
+  /// physical index i*Stride — 1 for the flat Figure-3 layout, kWarpSize
+  /// for the cohort-interleaved coalesced layout. Probe order, accumulate
+  /// order, and tie-breaks live in logical slot space, so both strides
+  /// compute identical labels; only the tracked addresses differ.
+  template <std::uint32_t Stride>
+  Vertex gather_strided(simt::Lane& lane, Vertex v, std::uint32_t deg,
+                        std::uint32_t p1, Vertex* keys, V* values,
+                        const Vertex* tgt, const Weight* wt) {
+    VertexTableView<V, Stride> table(keys, values, p1, hstats_for(lane));
+    table.clear();
+    lane.track_store_span(keys, p1, Stride);
+    lane.track_store_span(values, p1, Stride);
+
+    for (std::uint32_t e = 0; e < deg; ++e) {
+      const Vertex u = tgt[static_cast<std::size_t>(e) * Stride];
+      if (u == v) continue;
+      // Target id, weight, neighbour's label: the three per-edge global
+      // loads of the flat model, now with their real addresses.
+      lane.track_load(tgt[static_cast<std::size_t>(e) * Stride]);
+      lane.track_load(wt[static_cast<std::size_t>(e) * Stride]);
+      const std::uint32_t s = table.accumulate(
+          lane.dev_load(labels_[u]),
+          static_cast<V>(wt[static_cast<std::size_t>(e) * Stride]),
+          cfg_.probing);
+      if (s < p1) {
+        lane.track_store(values[static_cast<std::size_t>(s) * Stride]);
+      }
+    }
+    lane.counters().edges_scanned += deg;
+    lane.track_load_span(keys, p1, Stride);  // max-key scan
+    return table.max_key();
+  }
+
+  /// Shared-memory-table gather (Section 4.2 footnote): the table lives in
+  /// the block's shared arena, so its traffic is charged to the shared
+  /// counters and not address-tracked (the coalescer models the global
+  /// path only).
+  Vertex gather_in_shared(simt::Lane& lane, Vertex v, std::uint32_t deg,
+                          std::uint32_t p1) {
+    std::byte* slice = lane.shared() + lane.thread_idx() * shared_slice_;
+    V* values = reinterpret_cast<V*>(slice);
+    auto* keys = reinterpret_cast<Vertex*>(slice + shared_keys_off_);
     VertexTableView<V> table(keys, values, p1, hstats_for(lane));
     table.clear();
-    if (in_shared) {
-      lane.count_shared_store(2 * p1);
-    } else {
-      lane.count_store(2 * p1);
-    }
+    lane.count_shared_store(2 * p1);
 
     const auto nbrs = g_.neighbors(v);
     const auto wts = g_.weights_of(v);
     for (std::size_t e = 0; e < nbrs.size(); ++e) {
       if (nbrs[e] == v) continue;
-      lane.count_load(3);  // target id, weight, neighbour's label (global)
-      table.accumulate(dev_load(labels_[nbrs[e]]), static_cast<V>(wts[e]),
-                       cfg_.probing);
-      if (in_shared) {
-        lane.count_shared_store(1);
-      } else {
-        lane.count_store(1);
-      }
+      // Target id and weight stream from global; the label read is global
+      // too; only the table write lands in shared memory.
+      lane.track_load(nbrs[e]);
+      lane.track_load(wts[e]);
+      table.accumulate(lane.dev_load(labels_[nbrs[e]]),
+                       static_cast<V>(wts[e]), cfg_.probing);
+      lane.count_shared_store(1);
     }
     lane.counters().edges_scanned += deg;
-    if (in_shared) {
-      lane.count_shared_load(p1);  // max-key scan
-    } else {
-      lane.count_load(p1);
-    }
+    lane.count_shared_load(p1);  // max-key scan
     return table.max_key();
   }
 
@@ -461,38 +539,42 @@ class Engine {
   Vertex gather_coalesced(simt::Lane& lane, Vertex v, std::uint32_t deg) {
     const std::uint32_t p1 = hashtable_capacity(deg);
     const EdgeIndex off = 2 * g_.offset(v);
-    CoalescedTableView<V> table(buf_k_.data() + off, buf_v_.data() + off,
-                                buf_n_.data() + off, p1, hstats_for(lane));
+    Vertex* keys = buf_k_.data() + off;
+    V* values = buf_v_.data() + off;
+    std::uint32_t* links = buf_n_.data() + off;
+    CoalescedTableView<V> table(keys, values, links, p1, hstats_for(lane));
     table.clear();
-    lane.count_store(3 * p1);
+    lane.track_store_span(keys, p1);
+    lane.track_store_span(values, p1);
+    lane.track_store_span(links, p1);
 
     const auto nbrs = g_.neighbors(v);
     const auto wts = g_.weights_of(v);
     for (std::size_t e = 0; e < nbrs.size(); ++e) {
       if (nbrs[e] == v) continue;
-      lane.count_load(3);
-      table.accumulate(dev_load(labels_[nbrs[e]]), static_cast<V>(wts[e]));
-      lane.count_store(1);
+      lane.track_load(nbrs[e]);
+      lane.track_load(wts[e]);
+      const std::uint32_t s = table.accumulate(lane.dev_load(labels_[nbrs[e]]),
+                                               static_cast<V>(wts[e]));
+      if (s < p1) lane.track_store(values[s]);
     }
     lane.counters().edges_scanned += deg;
-    lane.count_load(p1);
+    lane.track_load_span(keys, p1);
     return table.max_key();
   }
 
   /// Commit phase (Algorithm 1 lines 28-33): adopt c* unless pick-less
   /// forbids it, bump the changed count, re-activate neighbours.
   void commit(simt::Lane& lane, Vertex v, Vertex cstar) {
-    lane.count_load(1);  // current label
-    const Vertex current = dev_load(labels_[v]);
+    const Vertex current = lane.dev_load(labels_[v]);
     if (cstar == kEmptyKey || cstar == current) return;
     if (pick_less_ && cstar > current) return;
-    dev_store(labels_[v], cstar);
-    lane.count_store(1);
+    lane.dev_store(labels_[v], cstar);
     lane.atomic_add(delta_n_, std::uint32_t{1});
     if (cfg_.pruning) {
-      const auto nbrs = g_.neighbors(v);
-      for (const Vertex j : nbrs) dev_store<std::uint8_t>(unprocessed_[j], 1);
-      lane.count_store(nbrs.size());
+      for (const Vertex j : g_.neighbors(v)) {
+        lane.dev_store(unprocessed_[j], std::uint8_t{1});
+      }
     }
   }
 
@@ -546,12 +628,13 @@ class Engine {
         std::uint32_t* moved = flags;     // set by lane 0 after the reduce
         std::uint32_t* skip = flags + 1;  // pruning verdict broadcast
         if (tid == 0) {
-          lane.count_load(1);
-          *skip = cfg_.pruning && !dev_load(unprocessed_[v]);
-          if (!*skip) {
-            dev_store<std::uint8_t>(unprocessed_[v], 0);
-            lane.count_store(1);
+          if (cfg_.pruning) {
+            *skip = !lane.dev_load(unprocessed_[v]);
+          } else {
+            lane.count_load(1);  // worklist entry
+            *skip = 0;
           }
+          if (!*skip) lane.dev_store(unprocessed_[v], std::uint8_t{0});
         }
         lane.syncthreads();
         if (*skip) return;
@@ -567,7 +650,8 @@ class Engine {
         for (std::uint32_t s = tid; s < p1; s += bdim) {
           keys[s] = kEmptyKey;
           values[s] = V{};
-          lane.count_store(2);
+          lane.track_store(keys[s]);
+          lane.track_store(values[s]);
         }
         lane.syncthreads();
 
@@ -576,9 +660,10 @@ class Engine {
         const auto wts = g_.weights_of(v);
         for (std::uint32_t e = tid; e < deg; e += bdim) {
           if (nbrs[e] == v) continue;
-          lane.count_load(3);
+          lane.track_load(nbrs[e]);
+          lane.track_load(wts[e]);
           shared_accumulate(lane, keys, values, p1, p2,
-                            dev_load(labels_[nbrs[e]]),
+                            lane.dev_load(labels_[nbrs[e]]),
                             static_cast<V>(wts[e]), cfg_.probing,
                             hstats_for(lane));
         }
@@ -593,7 +678,8 @@ class Engine {
         Vertex lk = kEmptyKey;
         double lw = -1.0;
         for (std::uint32_t s = tid; s < p1; s += bdim) {
-          lane.count_load(2);
+          lane.track_load(keys[s]);
+          lane.track_load(values[s]);
           if (keys[s] != kEmptyKey && static_cast<double>(values[s]) > lw) {
             lk = keys[s];
             lw = static_cast<double>(values[s]);
@@ -604,12 +690,10 @@ class Engine {
 
         if (tid == 0) {
           *moved = 0;
-          lane.count_load(1);
-          const Vertex current = dev_load(labels_[v]);
+          const Vertex current = lane.dev_load(labels_[v]);
           if (cstar != kEmptyKey && cstar != current &&
               (!pick_less_ || cstar < current)) {
-            dev_store(labels_[v], cstar);
-            lane.count_store(1);
+            lane.dev_store(labels_[v], cstar);
             lane.atomic_add(delta_n_, std::uint32_t{1});
             *moved = 1;
           }
@@ -619,8 +703,7 @@ class Engine {
         // Phase 4: parallel neighbour re-activation on a move.
         if (*moved && cfg_.pruning) {
           for (std::uint32_t e = tid; e < deg; e += bdim) {
-            dev_store<std::uint8_t>(unprocessed_[nbrs[e]], 1);
-            lane.count_store(1);
+            lane.dev_store(unprocessed_[nbrs[e]], std::uint8_t{1});
           }
         }
       });
@@ -654,11 +737,10 @@ class Engine {
         const std::uint32_t t = lane.global_thread();
         if (t >= count) return;
         const Vertex v = base + t;
-        lane.count_load(2);
-        const Vertex cstar = labels_[v];
+        const Vertex cstar = lane.dev_load(labels_[v]);
+        lane.track_load(prev_labels_[v]);
         if (cstar == prev_labels_[v]) return;
-        lane.count_load(1);
-        if (labels_[cstar] != cstar) {
+        if (lane.dev_load(labels_[cstar]) != cstar) {
           // Bad change: the adopted community has no leader. Revert, but
           // let at most one side of a swap do so (CAS against the adopted
           // label).
@@ -676,12 +758,29 @@ class Engine {
   DegreePartition part_;
   BlockScratchLayout scratch_;
 
-  std::vector<Vertex> labels_;
-  std::vector<Vertex> prev_labels_;
-  std::vector<std::uint8_t> unprocessed_;
-  std::vector<Vertex> buf_k_;
-  std::vector<V> buf_v_;
-  std::vector<std::uint32_t> buf_n_;  // coalesced-chaining links (optional)
+  // Buffers the kernels access through the tracked dev_load/dev_store path
+  // live in simt::device_vector: its set-stride alignment makes the
+  // transaction and cache-set decomposition of every buffer identical
+  // across engine instances, which is what lets tests compare mem counters
+  // between separately constructed serial and parallel engines.
+  simt::device_vector<Vertex> labels_;
+  simt::device_vector<Vertex> prev_labels_;
+  simt::device_vector<std::uint8_t> unprocessed_;
+  simt::device_vector<Vertex> buf_k_;
+  simt::device_vector<V> buf_v_;
+  simt::device_vector<std::uint32_t> buf_n_;  // chaining links (optional)
+
+  // Coalescing-aware layout (build_coalesced_layout): cohort-interleaved
+  // copies of the low-degree CSR slices and table slabs, plus each
+  // vertex's lane-adjusted base into them (indexed by vertex id, so the
+  // mapping survives frontier compaction).
+  bool coal_enabled_ = false;
+  simt::device_vector<Vertex> coal_tgt_;
+  simt::device_vector<Weight> coal_wts_;
+  simt::device_vector<Vertex> coal_k_;
+  simt::device_vector<V> coal_v_;
+  std::vector<std::uint64_t> coal_edge_base_;
+  std::vector<std::uint64_t> coal_tab_base_;
 
   // Shared-memory table layout (only when cfg_.shared_memory_tables).
   std::uint32_t shared_cap_ = 0;

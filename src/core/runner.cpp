@@ -128,6 +128,7 @@ NuLpaConfig nulpa_config_from_flags(const CommonFlags& flags) {
           .with_double_values(flags.double_values)
           .with_shared_memory_tables(flags.shared_tables)
           .with_pruning(flags.pruning)
+          .with_coalesced_layout(flags.coalesced_layout)
           .with_exec(exec_policy_from_flags(flags));
   if (flags.tolerance) cfg = cfg.with_tolerance(*flags.tolerance);
   if (flags.max_iterations) {
@@ -143,6 +144,7 @@ simt::ExecPolicy exec_policy_from_flags(const CommonFlags& flags) {
             .with_threads(flags.threads);
   }
   if (flags.seed) p = p.with_schedule_seed(*flags.seed);
+  p = p.with_track_memory(flags.track_memory);
   return p;
 }
 

@@ -23,7 +23,7 @@ bool shared_accumulate(simt::Lane& lane, Vertex* keys, V* values,
   std::uint64_t di = initial_step(probing, k, p1, p2);
   for (int t = 0; t < kMaxRetries; ++t) {
     const auto s = static_cast<std::uint32_t>(i % p1);
-    lane.count_load(1);
+    lane.track_load(keys[s]);
     if (keys[s] == k || keys[s] == kEmptyKey) {
       const Vertex old = lane.atomic_cas(keys[s], kEmptyKey, k);
       if (old == kEmptyKey || old == k) {
@@ -38,7 +38,7 @@ bool shared_accumulate(simt::Lane& lane, Vertex* keys, V* values,
   // Exhaustive rescue scan (see hash/probing.hpp on why this exists).
   if (stats) ++stats->fallbacks;
   for (std::uint32_t s = 0; s < p1; ++s) {
-    lane.count_load(1);
+    lane.track_load(keys[s]);
     if (keys[s] == k || keys[s] == kEmptyKey) {
       const Vertex old = lane.atomic_cas(keys[s], kEmptyKey, k);
       if (old == kEmptyKey || old == k) {

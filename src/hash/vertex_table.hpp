@@ -46,10 +46,16 @@ struct HashStats {
   friend bool operator==(const HashStats&, const HashStats&) = default;
 };
 
-template <typename V>
+/// `Stride` spaces logical slot `s` at physical index `s * Stride`. The
+/// default (1) is the classic dense layout; the coalesced engine layout
+/// passes the warp size so that 32 cohort lanes probing the same logical
+/// slot touch 32 *adjacent* words (one transaction) instead of 32 distinct
+/// cache lines. Probe sequences, tie-breaks, and returned slots are all in
+/// logical slot space, so results are byte-identical across strides.
+template <typename V, std::uint32_t Stride = 1>
 class VertexTableView {
  public:
-  /// `keys`/`values` must both have at least `capacity` elements.
+  /// `keys`/`values` must both have at least `capacity * Stride` elements.
   VertexTableView(Vertex* keys, V* values, std::uint32_t capacity,
                   HashStats* stats = nullptr) noexcept
       : keys_(keys),
@@ -64,8 +70,8 @@ class VertexTableView {
   /// Resets every slot to empty. O(p1).
   void clear() noexcept {
     for (std::uint32_t s = 0; s < p1_; ++s) {
-      keys_[s] = kEmptyKey;
-      values_[s] = V{};
+      keys_[at(s)] = kEmptyKey;
+      values_[at(s)] = V{};
     }
   }
 
@@ -79,13 +85,13 @@ class VertexTableView {
     std::uint64_t di = initial_step(probing, k, p1_, p2_);
     for (int t = 0; t < kMaxRetries; ++t) {
       const auto s = static_cast<std::uint32_t>(i % p1_);
-      if (keys_[s] == k) {
-        values_[s] += v;
+      if (keys_[at(s)] == k) {
+        values_[at(s)] += v;
         return s;
       }
-      if (keys_[s] == kEmptyKey) {
-        keys_[s] = k;
-        values_[s] = v;
+      if (keys_[at(s)] == kEmptyKey) {
+        keys_[at(s)] = k;
+        values_[at(s)] = v;
         return s;
       }
       if (stats_) ++stats_->probes;
@@ -102,9 +108,9 @@ class VertexTableView {
     Vertex best = kEmptyKey;
     V best_w = V{};
     for (std::uint32_t s = 0; s < p1_; ++s) {
-      if (keys_[s] != kEmptyKey && (best == kEmptyKey || values_[s] > best_w)) {
-        best = keys_[s];
-        best_w = values_[s];
+      if (keys_[at(s)] != kEmptyKey && (best == kEmptyKey || values_[at(s)] > best_w)) {
+        best = keys_[at(s)];
+        best_w = values_[at(s)];
       }
     }
     return best;
@@ -114,7 +120,7 @@ class VertexTableView {
   /// used by tests.
   [[nodiscard]] V weight_of(Vertex k) const noexcept {
     for (std::uint32_t s = 0; s < p1_; ++s) {
-      if (keys_[s] == k) return values_[s];
+      if (keys_[at(s)] == k) return values_[at(s)];
     }
     return V{};
   }
@@ -122,29 +128,36 @@ class VertexTableView {
   [[nodiscard]] std::uint32_t occupied() const noexcept {
     std::uint32_t n = 0;
     for (std::uint32_t s = 0; s < p1_; ++s) {
-      if (keys_[s] != kEmptyKey) ++n;
+      if (keys_[at(s)] != kEmptyKey) ++n;
     }
     return n;
   }
 
+  /// Raw physical storage spans (`capacity * Stride` elements, logical
+  /// slot s at index s * Stride). Contiguous only for Stride == 1.
   [[nodiscard]] std::span<const Vertex> keys() const noexcept {
-    return {keys_, p1_};
+    return {keys_, static_cast<std::size_t>(p1_) * Stride};
   }
   [[nodiscard]] std::span<const V> values() const noexcept {
-    return {values_, p1_};
+    return {values_, static_cast<std::size_t>(p1_) * Stride};
   }
 
  private:
+  /// Physical index of logical slot `s`.
+  [[nodiscard]] static constexpr std::size_t at(std::uint32_t s) noexcept {
+    return static_cast<std::size_t>(s) * Stride;
+  }
+
   std::uint32_t accumulate_fallback(Vertex k, V v) noexcept {
     if (stats_) ++stats_->fallbacks;
     for (std::uint32_t s = 0; s < p1_; ++s) {
-      if (keys_[s] == k) {
-        values_[s] += v;
+      if (keys_[at(s)] == k) {
+        values_[at(s)] += v;
         return s;
       }
-      if (keys_[s] == kEmptyKey) {
-        keys_[s] = k;
-        values_[s] = v;
+      if (keys_[at(s)] == kEmptyKey) {
+        keys_[at(s)] = k;
+        values_[at(s)] = v;
         return s;
       }
     }

@@ -51,6 +51,14 @@ constexpr struct {
     {"c_promoted", &simt::PerfCounters::promoted_lanes},
     {"c_poolhits", &simt::PerfCounters::stack_pool_hits},
     {"c_zerofills", &simt::PerfCounters::shared_zero_fills},
+    {"c_tracked", &simt::PerfCounters::tracked_accesses},
+    {"c_txns", &simt::PerfCounters::global_transactions},
+    {"c_coalesced", &simt::PerfCounters::coalesced_accesses},
+    {"c_txn32", &simt::PerfCounters::txn_32b},
+    {"c_txn64", &simt::PerfCounters::txn_64b},
+    {"c_txn128", &simt::PerfCounters::txn_128b},
+    {"c_chits", &simt::PerfCounters::cache_hits},
+    {"c_cmisses", &simt::PerfCounters::cache_misses},
 };
 
 /// Accumulates one flat JSON object; keys are emitted in insertion order so
@@ -123,6 +131,7 @@ void write_counters(JsonObjectWriter& w, const TraceEvent& ev,
     w.num("m_atomic_s", b.atomic_s);
     w.num("m_launch_s", b.launch_s);
     w.num("m_shared_s", b.shared_s);
+    w.num("m_txn_s", b.txn_s);
   } else if (ev.modeled_seconds > 0.0) {
     w.num("m_total_s", ev.modeled_seconds);
   }

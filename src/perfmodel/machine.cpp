@@ -10,6 +10,7 @@ MachineModel a100() {
       .mem_bandwidth_Bps = 1.935e12,    // spec HBM2e bandwidth
       .random_access_per_s = 6.0e10,    // ~32B transactions at ~0.5 eff.
       .atomic_per_s = 2.0e10,           // global atomics, moderate contention
+      .transactions_per_s = 2.0e11,     // LSU issue slots across 108 SMs
       .kernel_launch_s = 4.0e-6,
       .hardware_threads = 108 * 64,
   };
@@ -21,6 +22,7 @@ MachineModel xeon_gold_6226r_dual() {
       .mem_bandwidth_Bps = 2.8e11,   // ~140 GB/s per socket
       .random_access_per_s = 2.4e9,  // ~75ns DRAM latency x 32 cores x MLP
       .atomic_per_s = 1.0e9,
+      .transactions_per_s = 1.0e10,  // cache-line fills the cores can issue
       .kernel_launch_s = 0.0,
       .hardware_threads = 32,
   };
@@ -29,9 +31,27 @@ MachineModel xeon_gold_6226r_dual() {
 GpuCostBreakdown modeled_gpu_breakdown(const MachineModel& m,
                                        const simt::PerfCounters& c) {
   GpuCostBreakdown b;
-  // Word-granular counters; labels/weights are 32-bit (Section 5.1.2).
-  const double bytes = 4.0 * static_cast<double>(c.global_loads +
-                                                 c.global_stores);
+  // Streaming traffic. When the run tracked addresses (global_transactions
+  // > 0), tracked accesses are charged at *measured* granularity: only
+  // cache-missing transactions reach DRAM, each moving its coalesced size
+  // (the 32/64/128B histogram average). Untracked accesses — and the whole
+  // stream when tracking was off — fall back to the word-count model
+  // (labels/weights are 32-bit words, Section 5.1.2), which keeps the
+  // modeled times of host-only algorithms (Gunrock-style LPA, Louvain)
+  // unchanged.
+  const std::uint64_t words = c.global_loads + c.global_stores;
+  const std::uint64_t untracked = words - std::min(c.tracked_accesses, words);
+  double bytes = 4.0 * static_cast<double>(untracked);
+  if (c.global_transactions > 0) {
+    const double avg_txn_bytes =
+        (32.0 * static_cast<double>(c.txn_32b) +
+         64.0 * static_cast<double>(c.txn_64b) +
+         128.0 * static_cast<double>(c.txn_128b)) /
+        static_cast<double>(c.global_transactions);
+    bytes += avg_txn_bytes * static_cast<double>(c.cache_misses);
+    b.txn_s = static_cast<double>(c.global_transactions) /
+              m.transactions_per_s;
+  }
   b.stream_s = bytes / m.mem_bandwidth_Bps;
 
   // Every hash insert is one random access; every extra probe is another,

@@ -18,6 +18,7 @@ struct MachineModel {
   double mem_bandwidth_Bps;    // streaming global/DRAM bandwidth
   double random_access_per_s;  // independent random word accesses / s
   double atomic_per_s;         // global atomic RMWs / s
+  double transactions_per_s;   // coalesced global-memory transactions / s
   double kernel_launch_s;      // host->device launch latency
   unsigned hardware_threads;   // cores (CPU) or SMs*warps heuristic (GPU)
 };
@@ -38,9 +39,15 @@ struct GpuCostBreakdown {
   double random_s = 0.0;
   double atomic_s = 0.0;
   double shared_s = 0.0;
+  // Transaction issue cost: every coalesced transaction occupies an LSU /
+  // memory-pipe slot regardless of its size, so badly coalesced kernels pay
+  // here even when their byte volume is modest. Zero when the run did not
+  // track addresses (ExecPolicy::track_memory off) — the model then falls
+  // back to the pure word-count stream term.
+  double txn_s = 0.0;
 
   [[nodiscard]] double total() const {
-    return launch_s + stream_s + random_s + atomic_s + shared_s;
+    return launch_s + stream_s + random_s + atomic_s + shared_s + txn_s;
   }
 };
 

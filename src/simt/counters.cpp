@@ -37,6 +37,14 @@ constexpr Field kFields[] = {
     {"promoted", &PerfCounters::promoted_lanes},
     {"poolhits", &PerfCounters::stack_pool_hits},
     {"zerofills", &PerfCounters::shared_zero_fills},
+    {"tracked", &PerfCounters::tracked_accesses},
+    {"txns", &PerfCounters::global_transactions},
+    {"coalesced", &PerfCounters::coalesced_accesses},
+    {"txn32", &PerfCounters::txn_32b},
+    {"txn64", &PerfCounters::txn_64b},
+    {"txn128", &PerfCounters::txn_128b},
+    {"chits", &PerfCounters::cache_hits},
+    {"cmisses", &PerfCounters::cache_misses},
 };
 
 }  // namespace

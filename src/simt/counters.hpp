@@ -44,6 +44,20 @@ struct PerfCounters {
   std::uint64_t promoted_lanes = 0;
   std::uint64_t stack_pool_hits = 0;
   std::uint64_t shared_zero_fills = 0;
+  // Memory-hierarchy model (simt/mem.hpp): accesses issued through the
+  // address-tracking dev_load/dev_store path, the 32/64/128B transactions
+  // the per-warp coalescer grouped them into (with a size histogram),
+  // accesses that merged into a line an earlier lane of their issue window
+  // already opened, and the data-cache verdict per transaction. All zero
+  // when ExecPolicy::track_memory is off.
+  std::uint64_t tracked_accesses = 0;
+  std::uint64_t global_transactions = 0;
+  std::uint64_t coalesced_accesses = 0;
+  std::uint64_t txn_32b = 0;
+  std::uint64_t txn_64b = 0;
+  std::uint64_t txn_128b = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   void reset() { *this = PerfCounters{}; }
 
@@ -72,6 +86,14 @@ struct PerfCounters {
     promoted_lanes += o.promoted_lanes;
     stack_pool_hits += o.stack_pool_hits;
     shared_zero_fills += o.shared_zero_fills;
+    tracked_accesses += o.tracked_accesses;
+    global_transactions += o.global_transactions;
+    coalesced_accesses += o.coalesced_accesses;
+    txn_32b += o.txn_32b;
+    txn_64b += o.txn_64b;
+    txn_128b += o.txn_128b;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
     return *this;
   }
 
@@ -106,6 +128,14 @@ struct PerfCounters {
     promoted_lanes = sub(promoted_lanes, o.promoted_lanes);
     stack_pool_hits = sub(stack_pool_hits, o.stack_pool_hits);
     shared_zero_fills = sub(shared_zero_fills, o.shared_zero_fills);
+    tracked_accesses = sub(tracked_accesses, o.tracked_accesses);
+    global_transactions = sub(global_transactions, o.global_transactions);
+    coalesced_accesses = sub(coalesced_accesses, o.coalesced_accesses);
+    txn_32b = sub(txn_32b, o.txn_32b);
+    txn_64b = sub(txn_64b, o.txn_64b);
+    txn_128b = sub(txn_128b, o.txn_128b);
+    cache_hits = sub(cache_hits, o.cache_hits);
+    cache_misses = sub(cache_misses, o.cache_misses);
     return *this;
   }
 

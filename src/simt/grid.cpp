@@ -84,6 +84,7 @@ LaunchSession::LaunchSession(const LaunchConfig& cfg, PerfCounters& ctr,
     throw std::invalid_argument("simt: block_dim must be > 0");
   }
   seed_ = policy.schedule_seed != 0 ? policy.schedule_seed : cfg.schedule_seed;
+  track_ = policy.track_memory;
   workers_ = 1;
   if (policy.is_parallel()) {
     workers_ = policy.threads != 0 ? policy.threads
@@ -185,6 +186,10 @@ void LaunchSession::init_block(Shard& sh, ResidentBlock& rb,
   rb.live = cfg_.block_dim;
   rb.pass_seq = 0;
   prepare_shared(sh, rb);
+  // Fresh block, fresh tracker: empty logs and a cold per-SM cache, so the
+  // block's memory stats depend only on its own access sequence (the
+  // property that keeps merged counters thread-count-invariant).
+  if (track_) rb.mem.begin_block(cfg_.mem, cfg_.block_dim, sh.ctr);
   rb.live_lanes.resize(cfg_.block_dim);
   std::iota(rb.live_lanes.begin(), rb.live_lanes.end(), 0u);
   for (std::size_t w = 0; w < rb.warp_ready.size(); ++w) {
@@ -199,6 +204,7 @@ void LaunchSession::init_block(Shard& sh, ResidentBlock& rb,
     Lane& lane = lanes_[rb.first_lane + t];
     lane.runner_context_ = &sh;
     lane.counters_ = sh.ctr;
+    lane.mem_ = track_ ? &rb.mem : nullptr;
     lane.shared_ = rb.shared;
     lane.shared_dirty_ = &rb.shared_dirty;
     lane.thread_idx_ = t;
@@ -223,12 +229,14 @@ void LaunchSession::init_block_direct(Shard& sh, ResidentBlock& rb,
   rb.live = cfg_.block_dim;
   rb.pass_seq = 0;
   prepare_shared(sh, rb);
+  if (track_) rb.mem.begin_block(cfg_.mem, cfg_.block_dim, sh.ctr);
   rb.live_lanes.resize(cfg_.block_dim);
   std::iota(rb.live_lanes.begin(), rb.live_lanes.end(), 0u);
   for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
     Lane& lane = lanes_[rb.first_lane + t];
     lane.runner_context_ = &sh;
     lane.counters_ = sh.ctr;
+    lane.mem_ = track_ ? &rb.mem : nullptr;
     lane.shared_ = rb.shared;
     lane.shared_dirty_ = &rb.shared_dirty;
     lane.thread_idx_ = t;
@@ -305,6 +313,11 @@ void LaunchSession::try_release_warp(Shard& sh, ResidentBlock& rb,
   rb.warp_ready[warp] += released;
   rb.warp_bar_total -= released;
   rb.ready_total += released;
+  // The barrier completed: every lane of the warp finished the segment, so
+  // its issue windows are fully populated — close them through the
+  // coalescer and cache now, in the barrier-release order the serial
+  // scheduler would use.
+  if (track_) rb.mem.flush_warp(warp);
 }
 
 void LaunchSession::try_release_block(Shard& sh, ResidentBlock& rb) {
@@ -322,6 +335,7 @@ void LaunchSession::try_release_block(Shard& sh, ResidentBlock& rb) {
   }
   rb.ready_total += rb.block_bar_total;
   rb.block_bar_total = 0;
+  if (track_) rb.mem.flush_all();  // block barrier closes every warp's windows
 }
 
 bool LaunchSession::pass_block(Shard& sh, ResidentBlock& rb) {
@@ -351,6 +365,7 @@ bool LaunchSession::pass_block(Shard& sh, ResidentBlock& rb) {
     });
   }
   if (rb.live == 0) {
+    if (track_) rb.mem.flush_all();  // drain: close the final windows
     release_block_stacks(sh, rb);
     rb.active = false;
   }
@@ -389,6 +404,7 @@ void LaunchSession::direct_loop(Shard& sh) {
       sh.ctr->fiberless_lanes++;
     }
     sh.direct_lane = nullptr;
+    if (track_) rb.mem.flush_all();  // inline drain: close the windows
     rb.active = false;
   }
   sh.direct_lane = nullptr;
@@ -497,11 +513,6 @@ void LaunchSession::run_block_passes(Shard& sh, ResidentBlock& rb) {
 
 void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel) {
   run_impl(grid_dim, kernel, policy_.sync);
-}
-
-void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel,
-                        KernelTraits traits) {
-  run_impl(grid_dim, kernel, traits.sync);
 }
 
 void LaunchSession::run_impl(std::uint32_t grid_dim, KernelRef kernel,
@@ -761,11 +772,6 @@ void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
   if (grid_dim == 0) return;
   LaunchSession session(cfg, ctr, policy);
   session.run(grid_dim, kernel);
-}
-
-void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
-            KernelRef kernel, KernelTraits traits) {
-  launch(grid_dim, cfg, ctr, kernel, ExecPolicy{}.with_sync(traits.sync));
 }
 
 }  // namespace nulpa::simt

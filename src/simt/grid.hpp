@@ -53,11 +53,10 @@
 
 #include "simt/counters.hpp"
 #include "simt/fiber.hpp"
+#include "simt/mem.hpp"
 #include "util/rng.hpp"
 
 namespace nulpa::simt {
-
-inline constexpr std::uint32_t kWarpSize = 32;
 
 struct LaunchConfig {
   std::uint32_t block_dim = 256;       // threads per block
@@ -74,6 +73,10 @@ struct LaunchConfig {
   // count. Barrier semantics are unchanged. ExecPolicy::schedule_seed
   // overrides this when non-zero.
   std::uint64_t schedule_seed = 0;
+  // Geometry of the modeled memory hierarchy (coalescer line/sector sizes
+  // and the per-SM data cache). Only consulted when the session's
+  // ExecPolicy enables track_memory.
+  MemGeometry mem{};
 };
 
 /// How a kernel's lanes synchronize — the executor-mode axis of ExecPolicy.
@@ -91,22 +94,6 @@ enum class SyncMode : std::uint8_t {
   // whose phases are built from syncthreads; spawning fibers upfront
   // avoids one pointless promotion per block).
   kLockstep,
-};
-
-/// Deprecated shim (one release): the pre-ExecPolicy per-call mode hint.
-/// New code fixes the mode at session construction via ExecPolicy; the
-/// run()/launch() overloads taking KernelTraits are [[deprecated]].
-struct KernelTraits {
-  using Sync = SyncMode;
-
-  Sync sync = Sync::kAuto;
-
-  [[nodiscard]] static constexpr KernelTraits barrier_free() noexcept {
-    return {Sync::kBarrierFree};
-  }
-  [[nodiscard]] static constexpr KernelTraits lockstep() noexcept {
-    return {Sync::kLockstep};
-  }
 };
 
 /// The one knob surface for how a session executes its grids, fixed at
@@ -140,6 +127,12 @@ struct ExecPolicy {
   // Consumed by the engines sharing this policy (ν-LPA, Gunrock), not by
   // the session itself: launch only the active frontier each iteration.
   bool frontier_compaction = true;
+  // Memory-hierarchy model (simt/mem.hpp): record the byte addresses of
+  // accesses issued through Lane::dev_load/dev_store, coalesce per-warp
+  // issue windows into 32/64/128B transactions and run them through the
+  // per-SM data-cache model. Counters: PerfCounters::global_transactions
+  // and friends; they stay zero (and tracking costs nothing) when off.
+  bool track_memory = true;
 
   [[nodiscard]] constexpr bool is_parallel() const noexcept {
     return backend == Backend::kParallel;
@@ -195,6 +188,11 @@ struct ExecPolicy {
       bool on) const noexcept {
     ExecPolicy p = *this;
     p.frontier_compaction = on;
+    return p;
+  }
+  [[nodiscard]] constexpr ExecPolicy with_track_memory(bool on) const noexcept {
+    ExecPolicy p = *this;
+    p.track_memory = on;
     return p;
   }
 };
@@ -305,7 +303,80 @@ class Lane {
     return old;
   }
 
-  // ---- Memory-traffic accounting hooks (words, not bytes).
+  // ---- Tracked device-memory accesses. The real (relaxed-atomic) load or
+  // store the parallel backend needs, plus word-count accounting, plus —
+  // when the session's policy enables track_memory — an address record the
+  // per-warp coalescer and data-cache model consume at the next issue
+  // boundary (see simt/mem.hpp). Buffers accessed through these should be
+  // allocated via simt::device_vector so transaction counts are
+  // reproducible across allocations.
+  template <typename T>
+  [[nodiscard]] T dev_load(const T& slot) const noexcept {
+    counters().global_loads++;
+    if (mem_ != nullptr) {
+      counters().tracked_accesses++;
+      mem_->record(thread_idx_, &slot, sizeof(T));
+    }
+    return std::atomic_ref<T>(const_cast<T&>(slot))
+        .load(std::memory_order_relaxed);
+  }
+  template <typename T>
+  void dev_store(T& slot, T v) const noexcept {
+    counters().global_stores++;
+    if (mem_ != nullptr) {
+      counters().tracked_accesses++;
+      mem_->record(thread_idx_, &slot, sizeof(T));
+    }
+    std::atomic_ref<T>(slot).store(v, std::memory_order_relaxed);
+  }
+
+  // Record-only variants for values the kernel already read or wrote by
+  // other means (a plain read of its own table, a stream the view's clear()
+  // wrote): same counting and tracking as dev_load/dev_store, no access.
+  template <typename T>
+  void track_load(const T& slot) const noexcept {
+    counters().global_loads++;
+    if (mem_ != nullptr) {
+      counters().tracked_accesses++;
+      mem_->record(thread_idx_, &slot, sizeof(T));
+    }
+  }
+  template <typename T>
+  void track_store(const T& slot) const noexcept {
+    counters().global_stores++;
+    if (mem_ != nullptr) {
+      counters().tracked_accesses++;
+      mem_->record(thread_idx_, &slot, sizeof(T));
+    }
+  }
+  /// Strided-span variants: `n` accesses at base[0], base[stride], ... —
+  /// the shape of a per-vertex table walk (stride 1 flat, kWarpSize when
+  /// the slab is laid out warp-interleaved).
+  template <typename T>
+  void track_load_span(const T* base, std::uint64_t n,
+                       std::uint32_t stride = 1) const noexcept {
+    counters().global_loads += n;
+    if (mem_ != nullptr) {
+      counters().tracked_accesses += n;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        mem_->record(thread_idx_, base + i * stride, sizeof(T));
+      }
+    }
+  }
+  template <typename T>
+  void track_store_span(const T* base, std::uint64_t n,
+                        std::uint32_t stride = 1) const noexcept {
+    counters().global_stores += n;
+    if (mem_ != nullptr) {
+      counters().tracked_accesses += n;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        mem_->record(thread_idx_, base + i * stride, sizeof(T));
+      }
+    }
+  }
+
+  // ---- Memory-traffic accounting hooks (words, not bytes). Untracked:
+  // counted against the stream term of the cost model at full bandwidth.
   void count_load(std::uint64_t n = 1) const noexcept {
     counters().global_loads += n;
   }
@@ -339,6 +410,7 @@ class Lane {
 
   void* runner_context_ = nullptr;  // owning LaunchSession::Shard
   PerfCounters* counters_ = nullptr;
+  BlockMem* mem_ = nullptr;  // owning slot's tracker; null = tracking off
   std::byte* shared_ = nullptr;
   bool* shared_dirty_ = nullptr;  // owning slot's dirty flag
   std::byte* stack_ = nullptr;    // pool stack while the lane owns a fiber
@@ -402,11 +474,6 @@ class LaunchSession {
   /// deadlock or stack overflow.
   void run(std::uint32_t grid_dim, KernelRef kernel);
 
-  /// Deprecated shim (one release): per-call sync-mode override. The mode
-  /// belongs in the session's ExecPolicy now.
-  [[deprecated("pass the sync mode via ExecPolicy at session construction")]]
-  void run(std::uint32_t grid_dim, KernelRef kernel, KernelTraits traits);
-
   [[nodiscard]] const LaunchConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const ExecPolicy& policy() const noexcept { return policy_; }
   /// Number of shards (1 on the serial backend). Lane::worker() < this.
@@ -442,6 +509,10 @@ class LaunchSession {
     // order from mix(seed, block_idx, n), independent of every other
     // block and of the backend.
     std::uint64_t pass_seq = 0;
+    // Memory-hierarchy tracker for the block occupying this slot (access
+    // logs, coalescer, per-SM data cache). Re-armed at block init, flushed
+    // at barrier releases and block drain; idle when tracking is off.
+    BlockMem mem;
   };
 
   /// Per-worker execution state. The serial backend is one shard whose
@@ -537,6 +608,7 @@ class LaunchSession {
   ExecPolicy policy_;
   PerfCounters& ctr_;
   std::uint64_t seed_ = 0;      // effective schedule seed (policy > cfg)
+  bool track_ = true;           // policy_.track_memory, hoisted for the hooks
   unsigned workers_ = 1;        // shard count, fixed at construction
   std::uint32_t grid_dim_ = 0;  // grid of the run() in progress
   std::uint32_t slots_ = 0;     // allocated residency
@@ -554,11 +626,5 @@ class LaunchSession {
 /// should hold a LaunchSession instead.
 void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
             KernelRef kernel, const ExecPolicy& policy = {});
-
-/// Deprecated shim (one release): per-call sync-mode hint. Pass an
-/// ExecPolicy instead.
-[[deprecated("pass an ExecPolicy instead of KernelTraits")]]
-void launch(std::uint32_t grid_dim, const LaunchConfig& cfg, PerfCounters& ctr,
-            KernelRef kernel, KernelTraits traits);
 
 }  // namespace nulpa::simt

@@ -1,0 +1,125 @@
+#include "simt/mem.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace nulpa::simt {
+
+void DataCache::configure(const MemGeometry& geo) {
+  sets_ = std::max(1u, geo.cache_sets);
+  ways_ = std::max(1u, geo.cache_ways);
+  tags_.assign(static_cast<std::size_t>(sets_) * ways_, kInvalid);
+}
+
+void DataCache::reset() {
+  std::fill(tags_.begin(), tags_.end(), kInvalid);
+}
+
+bool DataCache::access(std::uint64_t line) {
+  std::uint64_t* set = tags_.data() +
+                       static_cast<std::size_t>(line % sets_) * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w] != line) continue;
+    // Hit: move to front (most recently used).
+    for (; w > 0; --w) set[w] = set[w - 1];
+    set[0] = line;
+    return true;
+  }
+  // Miss: fill at the front, evicting the LRU way.
+  for (std::uint32_t w = ways_ - 1; w > 0; --w) set[w] = set[w - 1];
+  set[0] = line;
+  return false;
+}
+
+void BlockMem::begin_block(const MemGeometry& geo, std::uint32_t block_dim,
+                           PerfCounters* ctr) {
+  if (block_dim_ != block_dim || log_.empty()) {
+    geo_ = geo;
+    block_dim_ = block_dim;
+    log_.resize(block_dim);
+    cache_.configure(geo);
+  } else {
+    cache_.reset();
+  }
+  for (auto& l : log_) l.clear();
+  ctr_ = ctr;
+}
+
+void BlockMem::flush_warp(std::uint32_t warp) {
+  const std::uint32_t lo = warp * kWarpSize;
+  if (lo >= block_dim_) return;
+  const std::uint32_t hi = std::min(lo + kWarpSize, block_dim_);
+  std::size_t windows = 0;
+  for (std::uint32_t t = lo; t < hi; ++t) {
+    windows = std::max(windows, log_[t].size());
+  }
+  for (std::size_t w = 0; w < windows; ++w) coalesce_window(lo, hi, w);
+  for (std::uint32_t t = lo; t < hi; ++t) log_[t].clear();
+}
+
+void BlockMem::flush_all() {
+  for (std::uint32_t warp = 0; warp * kWarpSize < block_dim_; ++warp) {
+    flush_warp(warp);
+  }
+}
+
+void BlockMem::coalesce_window(std::uint32_t lane_lo, std::uint32_t lane_hi,
+                               std::size_t window) {
+  // Group the window's accesses by 128B line, in first-touch (lane) order.
+  // The handful of distinct lines per window makes the linear scan cheaper
+  // than any map.
+  lines_.clear();
+  sectors_.clear();
+  const std::uint64_t line_bytes = geo_.line_bytes;
+  const std::uint64_t sector_bytes = geo_.sector_bytes;
+  for (std::uint32_t t = lane_lo; t < lane_hi; ++t) {
+    if (window >= log_[t].size()) continue;
+    const Access a = log_[t][window];
+    // An access can straddle a sector (not in practice: word accesses on
+    // word addresses), so mark every sector the byte range touches.
+    const std::uint64_t first = a.addr / line_bytes;
+    const std::uint64_t last = (a.addr + std::max(1u, a.bytes) - 1) /
+                               line_bytes;
+    for (std::uint64_t line = first; line <= last; ++line) {
+      const std::uint64_t line_base = line * line_bytes;
+      const std::uint64_t beg = std::max<std::uint64_t>(a.addr, line_base);
+      const std::uint64_t end = std::min<std::uint64_t>(
+          a.addr + std::max(1u, a.bytes), line_base + line_bytes);
+      std::uint32_t mask = 0;
+      for (std::uint64_t s = (beg - line_base) / sector_bytes;
+           s <= (end - 1 - line_base) / sector_bytes; ++s) {
+        mask |= 1u << s;
+      }
+      std::size_t i = 0;
+      for (; i < lines_.size(); ++i) {
+        if (lines_[i] == line) break;
+      }
+      if (i == lines_.size()) {
+        lines_.push_back(line);
+        sectors_.push_back(mask);
+      } else {
+        sectors_[i] |= mask;
+        if (line == first) ctr_->coalesced_accesses++;
+      }
+    }
+  }
+  // One transaction per distinct line; its size is the touched-sector span.
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    ctr_->global_transactions++;
+    const int touched = std::popcount(sectors_[i]);
+    if (touched <= 1) {
+      ctr_->txn_32b++;
+    } else if (touched == 2) {
+      ctr_->txn_64b++;
+    } else {
+      ctr_->txn_128b++;
+    }
+    if (cache_.access(lines_[i])) {
+      ctr_->cache_hits++;
+    } else {
+      ctr_->cache_misses++;
+    }
+  }
+}
+
+}  // namespace nulpa::simt

@@ -1,0 +1,161 @@
+// Transaction-level memory hierarchy model: a per-warp coalescer and a
+// small set-associative data cache fed by the actual byte addresses lanes
+// touch through Lane::dev_load/dev_store (and the span helpers).
+//
+// Model (the A100's global-memory path, simplified to what the counters
+// need):
+//   * Lanes append (address, size) records to a per-lane log as they
+//     execute. The log is drained at *issue boundaries* — warp-barrier
+//     release, block-barrier release, and block drain — which are exactly
+//     the points where every lane of the warp has finished the same code
+//     segment, so grouping position-wise (the i-th access of each lane of
+//     a warp forms issue window i) reconstructs the per-instruction warp
+//     windows a real warp scheduler would issue, independent of the order
+//     the simulator happened to step the lanes in.
+//   * Each window is coalesced: the distinct 128-byte lines it touches
+//     become one transaction each (PerfCounters::global_transactions);
+//     accesses that landed on a line some earlier lane of the window
+//     already opened count as coalesced_accesses. A transaction's size is
+//     the span of 32-byte sectors actually touched within its line —
+//     1 sector -> 32B, 2 -> 64B, 3-4 -> 128B (txn_32b/64b/128b).
+//   * Every transaction then probes a per-SM set-associative LRU data
+//     cache (cache_hits/cache_misses). The cache is reset whenever a new
+//     block occupies the slot, so a block's hit pattern depends only on
+//     its own access sequence — which is what makes the merged counters
+//     byte-identical across the serial and parallel backends for any
+//     thread count (per-block stats sum order-independently at drain).
+//
+// Determinism caveat: transaction counts depend on buffer *alignment*.
+// Buffers whose addresses the kernels track must come from device_vector
+// (below), which aligns allocations to a cache-set stride, so two runs —
+// or a serial and a parallel engine in the same process — decompose every
+// buffer into lines and sets identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "simt/counters.hpp"
+
+namespace nulpa::simt {
+
+/// Lanes per warp (the SIMT issue width the coalescer groups by).
+inline constexpr std::uint32_t kWarpSize = 32;
+
+/// Geometry of the modeled memory hierarchy. Defaults follow the A100's
+/// global path: 128B cache lines split into 32B sectors, and a small
+/// per-SM L1 slice (64 sets x 4 ways x 128B = 32 KiB).
+struct MemGeometry {
+  std::uint32_t line_bytes = 128;
+  std::uint32_t sector_bytes = 32;
+  std::uint32_t cache_sets = 64;
+  std::uint32_t cache_ways = 4;
+
+  /// Alignment that makes line *and* set decomposition of a buffer
+  /// independent of where the allocator placed it.
+  [[nodiscard]] constexpr std::size_t alloc_align() const noexcept {
+    return static_cast<std::size_t>(line_bytes) * cache_sets;
+  }
+};
+
+/// Minimal aligned allocator for buffers whose addresses kernels track.
+/// Alignment is the default geometry's set stride (8 KiB) — the model's
+/// stand-in for device allocation granularity (cudaMalloc returns
+/// similarly coarse-aligned pointers).
+template <typename T>
+struct DeviceAlloc {
+  using value_type = T;
+  static constexpr std::size_t kAlign = 128 * 64;
+
+  DeviceAlloc() noexcept = default;
+  template <typename U>
+  // NOLINTNEXTLINE(google-explicit-constructor): allocator rebind protocol.
+  DeviceAlloc(const DeviceAlloc<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = (n * sizeof(T) + kAlign - 1) / kAlign * kAlign;
+    void* p = std::aligned_alloc(kAlign, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  friend bool operator==(const DeviceAlloc&, const DeviceAlloc<U>&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is aligned to the cache-set stride, so tracked
+/// address streams are reproducible across allocations (see file comment).
+template <typename T>
+using device_vector = std::vector<T, DeviceAlloc<T>>;
+
+/// Set-associative LRU cache over line addresses. Deterministic: state is
+/// a pure function of the access sequence since the last reset().
+class DataCache {
+ public:
+  void configure(const MemGeometry& geo);
+  /// Invalidates every line (called when a new block takes the slot).
+  void reset();
+  /// Looks up / fills `line` (an address >> line shift). True on hit.
+  bool access(std::uint64_t line);
+
+ private:
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+  std::uint32_t sets_ = 0;
+  std::uint32_t ways_ = 0;
+  // tags_[set * ways_ ... ] in recency order, most recent first.
+  std::vector<std::uint64_t> tags_;
+};
+
+/// Per-resident-slot tracking state: the per-lane access logs, the
+/// coalescer, and the slot's data cache. Owned by the scheduler; kernels
+/// reach it only through Lane's tracked-access API. Single-threaded by
+/// construction — a slot is only ever touched by its owning shard.
+class BlockMem {
+ public:
+  /// Access record: byte address plus access width.
+  struct Access {
+    std::uint64_t addr;
+    std::uint32_t bytes;
+  };
+
+  /// Re-arms the tracker for a new block in this slot: clears the logs,
+  /// resets the cache, and (re)binds the counter sink the flushes charge.
+  void begin_block(const MemGeometry& geo, std::uint32_t block_dim,
+                   PerfCounters* ctr);
+
+  void record(std::uint32_t thread_idx, const void* p,
+              std::uint32_t bytes) {
+    log_[thread_idx].push_back(
+        {reinterpret_cast<std::uint64_t>(p), bytes});
+  }
+
+  /// Closes the issue windows of one warp: groups the warp's logged
+  /// accesses position-wise, coalesces each window into transactions, runs
+  /// them through the cache, charges the counters, and clears the logs.
+  void flush_warp(std::uint32_t warp);
+  /// flush_warp over every warp of the block.
+  void flush_all();
+
+ private:
+  void coalesce_window(std::uint32_t lane_lo, std::uint32_t lane_hi,
+                       std::size_t window);
+
+  MemGeometry geo_;
+  std::uint32_t block_dim_ = 0;
+  PerfCounters* ctr_ = nullptr;
+  DataCache cache_;
+  std::vector<std::vector<Access>> log_;  // one log per lane of the block
+  // Scratch for coalesce_window: distinct lines of the window (first-touch
+  // order) and the 32B-sector mask each accumulated.
+  std::vector<std::uint64_t> lines_;
+  std::vector<std::uint32_t> sectors_;
+};
+
+}  // namespace nulpa::simt

@@ -88,6 +88,7 @@ struct CommonFlags {
   bool double_values = false;             // --double-values
   bool shared_tables = false;             // --shared-tables
   bool pruning = true;                    // --pruning
+  bool coalesced_layout = true;           // --coalesced-layout
 
   // Cross-algorithm knobs.
   std::optional<double> tolerance;        // --tolerance
@@ -98,6 +99,10 @@ struct CommonFlags {
   // "Parallel backend & ExecPolicy").
   bool parallel_sim = false;  // --parallel-sim: shard blocks across threads
   unsigned threads = 0;       // --threads N: simulator workers (0 = hardware)
+  // Memory-hierarchy model: track addresses through the per-warp coalescer
+  // and data cache (simt/mem.hpp). Off zeroes the transaction/cache
+  // counters and removes the tracking overhead.
+  bool track_memory = true;   // --track-memory
 
   // Observability sinks (empty = disabled; "-" = stdout).
   std::string trace_file;    // --trace FILE -> JSONL event stream
@@ -116,6 +121,7 @@ inline CommonFlags parse_common_flags(const CliArgs& args) {
   f.double_values = args.get_bool("double-values", f.double_values);
   f.shared_tables = args.get_bool("shared-tables", f.shared_tables);
   f.pruning = args.get_bool("pruning", f.pruning);
+  f.coalesced_layout = args.get_bool("coalesced-layout", f.coalesced_layout);
   if (args.has("tolerance")) f.tolerance = args.get_double("tolerance", 0.0);
   if (args.has("max-iterations")) {
     f.max_iterations = static_cast<int>(args.get_int("max-iterations", 0));
@@ -125,6 +131,7 @@ inline CommonFlags parse_common_flags(const CliArgs& args) {
   }
   f.parallel_sim = args.get_bool("parallel-sim", f.parallel_sim);
   f.threads = static_cast<unsigned>(args.get_int("threads", f.threads));
+  f.track_memory = args.get_bool("track-memory", f.track_memory);
   f.trace_file = args.get("trace", "");
   f.metrics_file = args.get("metrics", "");
   return f;

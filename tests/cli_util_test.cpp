@@ -179,6 +179,18 @@ TEST(Counters, StreamRoundTripPreservesEveryField) {
   c.frontier_vertices = 47;
   c.skipped_lanes = 53;
   c.barrier_checks = 59;
+  c.fiberless_lanes = 61;
+  c.promoted_lanes = 67;
+  c.stack_pool_hits = 71;
+  c.shared_zero_fills = 73;
+  c.tracked_accesses = 79;
+  c.global_transactions = 83;
+  c.coalesced_accesses = 89;
+  c.txn_32b = 97;
+  c.txn_64b = 101;
+  c.txn_128b = 103;
+  c.cache_hits = 107;
+  c.cache_misses = 109;
 
   std::ostringstream os;
   os << c;

@@ -228,6 +228,84 @@ TEST(Coalesced, HandlesFullLoad) {
   }
 }
 
+TEST(Coalesced, CursorClaimsSlotsFromTheTopDown) {
+  const std::uint32_t cap = 7;
+  std::vector<Vertex> keys(cap, kEmptyKey);
+  std::vector<double> values(cap, 0.0);
+  std::vector<std::uint32_t> nexts(cap, CoalescedTableView<double>::kNil);
+  CoalescedTableView<double> t(keys.data(), values.data(), nexts.data(), cap);
+  t.clear();
+  // All keys hash to home slot 0; collisions must claim the highest free
+  // slot and walk downward (the cellar-less coalesced policy).
+  EXPECT_EQ(t.accumulate(0, 1.0), 0u);
+  EXPECT_EQ(t.accumulate(7, 1.0), cap - 1);
+  EXPECT_EQ(t.accumulate(14, 1.0), cap - 2);
+  // The chain through home 0 links the claimed slots in claim order.
+  EXPECT_EQ(nexts[0], cap - 1);
+  EXPECT_EQ(nexts[cap - 1], cap - 2);
+  EXPECT_EQ(nexts[cap - 2], CoalescedTableView<double>::kNil);
+  // Re-accumulating an existing chained key lands on its existing slot.
+  EXPECT_EQ(t.accumulate(14, 2.0), cap - 2);
+  EXPECT_DOUBLE_EQ(t.weight_of(14), 3.0);
+}
+
+TEST(Coalesced, CursorExhaustionReturnsCapacitySentinel) {
+  const std::uint32_t cap = 3;
+  std::vector<Vertex> keys(cap, kEmptyKey);
+  std::vector<double> values(cap, 0.0);
+  std::vector<std::uint32_t> nexts(cap, CoalescedTableView<double>::kNil);
+  CoalescedTableView<double> t(keys.data(), values.data(), nexts.data(), cap);
+  t.clear();
+  EXPECT_LT(t.accumulate(0, 1.0), cap);
+  EXPECT_LT(t.accumulate(3, 1.0), cap);
+  EXPECT_LT(t.accumulate(6, 1.0), cap);
+  // A fourth distinct key exceeds the capacity invariant: the cursor scan
+  // finds no free slot (it cannot wrap past 0) and reports `capacity`.
+  EXPECT_EQ(t.accumulate(9, 1.0), cap);
+  // Existing keys are still reachable and unharmed.
+  EXPECT_DOUBLE_EQ(t.weight_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.weight_of(6), 1.0);
+}
+
+TEST(Coalesced, ClearResetsSlotsChainsAndCursor) {
+  const std::uint32_t cap = 5;
+  std::vector<Vertex> keys(cap, kEmptyKey);
+  std::vector<double> values(cap, 0.0);
+  std::vector<std::uint32_t> nexts(cap, CoalescedTableView<double>::kNil);
+  CoalescedTableView<double> t(keys.data(), values.data(), nexts.data(), cap);
+  t.clear();
+  for (Vertex k = 0; k < 4; ++k) t.accumulate(k * cap, 1.0);
+  t.clear();
+  EXPECT_EQ(t.max_key(), kEmptyKey);
+  for (std::uint32_t s = 0; s < cap; ++s) {
+    EXPECT_EQ(keys[s], kEmptyKey);
+    EXPECT_DOUBLE_EQ(values[s], 0.0);
+    EXPECT_EQ(nexts[s], CoalescedTableView<double>::kNil);
+  }
+  // The claim cursor restarted from the top: the first collision after the
+  // clear takes the highest slot again, not where the old cursor stopped.
+  EXPECT_EQ(t.accumulate(0, 1.0), 0u);
+  EXPECT_EQ(t.accumulate(5, 1.0), cap - 1);
+}
+
+TEST(Coalesced, StatsCountInsertsAndProbes) {
+  const std::uint32_t cap = 5;
+  std::vector<Vertex> keys(cap, kEmptyKey);
+  std::vector<double> values(cap, 0.0);
+  std::vector<std::uint32_t> nexts(cap, CoalescedTableView<double>::kNil);
+  HashStats stats;
+  CoalescedTableView<double> t(keys.data(), values.data(), nexts.data(), cap,
+                               &stats);
+  t.clear();
+  t.accumulate(0, 1.0);   // home hit: 0 probes
+  t.accumulate(5, 1.0);   // chain walk 0 steps + 1 cursor step
+  t.accumulate(10, 1.0);  // chain walk 1 step + 1 cursor step
+  t.accumulate(5, 1.0);   // chain walk 1 step to the existing slot
+  EXPECT_EQ(stats.inserts, 4u);
+  EXPECT_EQ(stats.probes, 4u);
+  EXPECT_EQ(stats.fallbacks, 0u);  // chaining has no rescue scan
+}
+
 TEST(FloatValues, AccumulationMatchesDoubleWithinTolerance) {
   // Section 4.4's claim: 32-bit accumulation does not change outcomes for
   // unit-ish weights at graph scales.

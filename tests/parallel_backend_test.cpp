@@ -280,30 +280,19 @@ TEST(ExecPolicyApi, BuildersComposeWithoutMutation) {
   static_assert(ExecPolicy::lockstep().sync == simt::SyncMode::kLockstep);
 }
 
-TEST(ExecPolicyApi, DeprecatedShimsMatchTheNewSurface) {
-  // One-release compatibility: the KernelTraits run()/launch() overloads
-  // and the NuLpaConfig bool builders must keep their old meaning.
+TEST(ExecPolicyApi, DeprecatedConfigBuildersMatchTheNewSurface) {
+  // One-release compatibility: the NuLpaConfig bool builders must keep
+  // their old meaning. (The simt::KernelTraits shim they sat beside has
+  // completed its deprecation cycle and is gone; ExecPolicy is the only
+  // launch-policy surface now.)
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const NuLpaConfig old_fibered = NuLpaConfig{}.with_fiberless(false);
   const NuLpaConfig old_compactless =
       NuLpaConfig{}.with_frontier_compaction(false);
-
-  LaunchConfig cfg;
-  cfg.block_dim = 32;
-  PerfCounters via_traits, via_policy;
-  std::vector<std::uint32_t> a(2 * 32, 0), b(2 * 32, 0);
-  simt::launch(2, cfg, via_traits,
-               [&](Lane& l) { a[l.global_thread()] = l.thread_idx(); },
-               simt::KernelTraits::lockstep());
-  simt::launch(2, cfg, via_policy,
-               [&](Lane& l) { b[l.global_thread()] = l.thread_idx(); },
-               ExecPolicy::lockstep());
 #pragma GCC diagnostic pop
   EXPECT_EQ(old_fibered.exec.sync, simt::SyncMode::kLockstep);
   EXPECT_FALSE(old_compactless.exec.frontier_compaction);
-  EXPECT_EQ(a, b);
-  EXPECT_EQ(via_traits, via_policy);
 }
 
 }  // namespace

@@ -26,6 +26,7 @@ Usage: bench_check.py --bench <path-to-bench-binary>
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -76,6 +77,8 @@ def main() -> None:
     # parallel backend on a single-core reference machine records honest
     # ratios below 1.0) has no headroom to halve — there the gate only
     # rejects a further collapse past 80% of the recorded ratio.
+    base_threads = baseline.get("hardware_threads")
+    host_threads = os.cpu_count()
     for key, base_ratio in base_head.items():
         if not isinstance(base_ratio, float):
             continue  # graph name, vertex count, ...
@@ -83,6 +86,18 @@ def main() -> None:
         if base_ratio > 1.0:
             floor = 1.0 + 0.5 * (base_ratio - 1.0)
         else:
+            # A sub-1.0 baseline ratio usually means the recording host
+            # could not realize the win (e.g. too few cores for the
+            # parallel backend). If this host's shape differs from the
+            # baseline's, say so rather than silently holding the fresh
+            # run to the weaker collapsed-ratio floor.
+            if base_threads is not None and base_threads != host_threads:
+                print(f"bench_check: WARNING: headline {key} baseline ratio "
+                      f"{base_ratio:.2f}x was recorded on a host with "
+                      f"{base_threads} hardware threads; this host has "
+                      f"{host_threads}. Applying the collapsed-ratio floor "
+                      f"({0.8 * base_ratio:.2f}x) — consider re-recording "
+                      f"the baseline on this host.", file=sys.stderr)
             floor = 0.8 * base_ratio
         if fresh_ratio < floor:
             fail(f"headline {key} collapsed: {fresh_ratio:.2f}x "
