@@ -145,6 +145,7 @@ simt::ExecPolicy exec_policy_from_flags(const CommonFlags& flags) {
   }
   if (flags.seed) p = p.with_schedule_seed(*flags.seed);
   p = p.with_track_memory(flags.track_memory);
+  p = p.with_scoreboard(flags.scoreboard);
   return p;
 }
 

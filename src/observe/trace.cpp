@@ -59,6 +59,10 @@ constexpr struct {
     {"c_txn128", &simt::PerfCounters::txn_128b},
     {"c_chits", &simt::PerfCounters::cache_hits},
     {"c_cmisses", &simt::PerfCounters::cache_misses},
+    {"c_cycles", &simt::PerfCounters::modeled_cycles},
+    {"c_stallcyc", &simt::PerfCounters::stall_cycles},
+    {"c_hiddencyc", &simt::PerfCounters::hidden_latency_cycles},
+    {"c_stolen", &simt::PerfCounters::stolen_blocks},
 };
 
 /// Accumulates one flat JSON object; keys are emitted in insertion order so
@@ -131,7 +135,7 @@ void write_counters(JsonObjectWriter& w, const TraceEvent& ev,
     w.num("m_atomic_s", b.atomic_s);
     w.num("m_launch_s", b.launch_s);
     w.num("m_shared_s", b.shared_s);
-    w.num("m_txn_s", b.txn_s);
+    w.num("m_pipeline_s", b.pipeline_s);
   } else if (ev.modeled_seconds > 0.0) {
     w.num("m_total_s", ev.modeled_seconds);
   }
@@ -407,6 +411,16 @@ void print_iteration_table(const std::vector<TraceEvent>& events,
     total.has_counters = false;
     const TraceEvent* run_end = nullptr;
     std::vector<std::string> kernels;
+    // Per-kernel attribution: kernel_launch events carry the counter delta
+    // of that one launch (the engine drains every coalescer window and the
+    // scoreboard replay inside session.run(), so the delta is complete).
+    // Aggregate by kernel name in first-appearance order.
+    struct KernelAgg {
+      std::string name;
+      std::uint64_t launches = 0;
+      simt::PerfCounters ctr;
+    };
+    std::vector<KernelAgg> per_kernel;
     for (std::size_t k = i; k < end; ++k) {
       const TraceEvent& ev = events[k];
       if (ev.kind == EventKind::kRunEnd) run_end = &ev;
@@ -414,6 +428,17 @@ void print_iteration_table(const std::vector<TraceEvent>& events,
         kernels.push_back(ev.kernel + "(" +
                           fmt_count(static_cast<double>(ev.work_items)) +
                           ")");
+      }
+      if (ev.kind == EventKind::kKernelLaunch && ev.has_counters) {
+        auto it = std::find_if(
+            per_kernel.begin(), per_kernel.end(),
+            [&](const KernelAgg& a) { return a.name == ev.kernel; });
+        if (it == per_kernel.end()) {
+          per_kernel.push_back({ev.kernel, 0, {}});
+          it = per_kernel.end() - 1;
+        }
+        it->launches++;
+        it->ctr += ev.counters;
       }
       if (ev.kind != EventKind::kIterationEnd) continue;
       const std::uint64_t words =
@@ -450,6 +475,26 @@ void print_iteration_table(const std::vector<TraceEvent>& events,
       os << "kernels at iter 0:";
       for (const std::string& k : kernels) os << ' ' << k;
       os << '\n';
+    }
+    // Only render the per-kernel breakdown when some launch actually
+    // tracked memory — otherwise every column would be zero.
+    const bool any_kernel_txns = std::any_of(
+        per_kernel.begin(), per_kernel.end(), [](const KernelAgg& a) {
+          return a.ctr.global_transactions > 0;
+        });
+    if (any_kernel_txns) {
+      TextTable kt({"kernel", "launches", "txns", "misses", "cycles",
+                    "stall", "hidden"});
+      for (const KernelAgg& a : per_kernel) {
+        kt.add_row(
+            {a.name, fmt_count(static_cast<double>(a.launches)),
+             fmt_count(static_cast<double>(a.ctr.global_transactions)),
+             fmt_count(static_cast<double>(a.ctr.cache_misses)),
+             fmt_count(static_cast<double>(a.ctr.modeled_cycles)),
+             fmt_count(static_cast<double>(a.ctr.stall_cycles)),
+             fmt_count(static_cast<double>(a.ctr.hidden_latency_cycles))});
+      }
+      kt.print(os);
     }
     if (run_end != nullptr) {
       os << (run_end->converged ? "converged" : "stopped") << " after "

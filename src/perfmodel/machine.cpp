@@ -13,6 +13,8 @@ MachineModel a100() {
       .transactions_per_s = 2.0e11,     // LSU issue slots across 108 SMs
       .kernel_launch_s = 4.0e-6,
       .hardware_threads = 108 * 64,
+      .sm_clock_hz = 1.41e9,            // boost clock
+      .sm_count = 108,
   };
 }
 
@@ -25,6 +27,8 @@ MachineModel xeon_gold_6226r_dual() {
       .transactions_per_s = 1.0e10,  // cache-line fills the cores can issue
       .kernel_launch_s = 0.0,
       .hardware_threads = 32,
+      .sm_clock_hz = 2.9e9,          // core clock; "SM" = core here
+      .sm_count = 32,
   };
 }
 
@@ -49,8 +53,18 @@ GpuCostBreakdown modeled_gpu_breakdown(const MachineModel& m,
          128.0 * static_cast<double>(c.txn_128b)) /
         static_cast<double>(c.global_transactions);
     bytes += avg_txn_bytes * static_cast<double>(c.cache_misses);
-    b.txn_s = static_cast<double>(c.global_transactions) /
-              m.transactions_per_s;
+    // Pipeline term: prefer the scoreboard replay's cycle accounting —
+    // makespan cycles across the blocks, spread over the modeled SMs at
+    // the SM clock. Counters recorded before the scoreboard existed have
+    // modeled_cycles == 0; keep the old one-slot-per-transaction charge
+    // for those so legacy traces still total sensibly.
+    if (c.modeled_cycles > 0 && m.sm_clock_hz > 0.0 && m.sm_count > 0) {
+      b.pipeline_s = static_cast<double>(c.modeled_cycles) /
+                     (m.sm_clock_hz * static_cast<double>(m.sm_count));
+    } else {
+      b.pipeline_s = static_cast<double>(c.global_transactions) /
+                     m.transactions_per_s;
+    }
   }
   b.stream_s = bytes / m.mem_bandwidth_Bps;
 

@@ -21,6 +21,8 @@ struct MachineModel {
   double transactions_per_s;   // coalesced global-memory transactions / s
   double kernel_launch_s;      // host->device launch latency
   unsigned hardware_threads;   // cores (CPU) or SMs*warps heuristic (GPU)
+  double sm_clock_hz;          // SM core clock the cycle counters tick at
+  unsigned sm_count;           // concurrent SMs sharing the modeled work
 };
 
 /// NVIDIA A100-SXM4-80GB: 1935 GB/s HBM2e, 108 SMs (Section 5.1.1).
@@ -39,15 +41,21 @@ struct GpuCostBreakdown {
   double random_s = 0.0;
   double atomic_s = 0.0;
   double shared_s = 0.0;
-  // Transaction issue cost: every coalesced transaction occupies an LSU /
-  // memory-pipe slot regardless of its size, so badly coalesced kernels pay
-  // here even when their byte volume is modest. Zero when the run did not
-  // track addresses (ExecPolicy::track_memory off) — the model then falls
-  // back to the pure word-count stream term.
-  double txn_s = 0.0;
+  // Memory-pipeline occupancy: the scoreboard replay's modeled_cycles
+  // (issue slots plus the latency the warp scheduler could NOT hide behind
+  // other warps) converted to seconds at the SM clock and divided across
+  // the modeled SM count. This replaces the old additive `txn_s` term —
+  // one slot per transaction regardless of overlap — with an
+  // overlap-aware pipeline term: well-overlapped kernels pay close to
+  // pure issue occupancy, latency-bound kernels pay their exposed stalls.
+  // When the run tracked addresses but the cycle counters are absent
+  // (older traces), it falls back to transactions / transactions_per_s;
+  // zero when the run did not track addresses at all.
+  double pipeline_s = 0.0;
 
   [[nodiscard]] double total() const {
-    return launch_s + stream_s + random_s + atomic_s + shared_s + txn_s;
+    return launch_s + stream_s + random_s + atomic_s + shared_s +
+           pipeline_s;
   }
 };
 

@@ -45,6 +45,10 @@ constexpr Field kFields[] = {
     {"txn128", &PerfCounters::txn_128b},
     {"chits", &PerfCounters::cache_hits},
     {"cmisses", &PerfCounters::cache_misses},
+    {"cycles", &PerfCounters::modeled_cycles},
+    {"stallcyc", &PerfCounters::stall_cycles},
+    {"hiddencyc", &PerfCounters::hidden_latency_cycles},
+    {"stolen", &PerfCounters::stolen_blocks},
 };
 
 }  // namespace

@@ -58,6 +58,19 @@ struct PerfCounters {
   std::uint64_t txn_128b = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  // Pipelined warp scheduler (simt/scoreboard.hpp): per-block SM-cycle
+  // makespans summed over all blocks, the cycles the issue pipe sat idle
+  // waiting on outstanding memory, and the latency cycles that overlapped
+  // with other warps' issue instead of stalling. With the scoreboard off
+  // the issue replay is fully serialized, so modeled_cycles grows by
+  // hidden_latency_cycles and stall_cycles absorbs it — the exact identity
+  // tests/pipeline_test.cpp pins down. All zero when track_memory is off.
+  std::uint64_t modeled_cycles = 0;
+  std::uint64_t stall_cycles = 0;
+  std::uint64_t hidden_latency_cycles = 0;
+  // Freerun parallel backend: resident blocks an idle shard adopted from
+  // the heaviest shard mid-flight (always 0 in deterministic mode).
+  std::uint64_t stolen_blocks = 0;
 
   void reset() { *this = PerfCounters{}; }
 
@@ -94,6 +107,10 @@ struct PerfCounters {
     txn_128b += o.txn_128b;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    modeled_cycles += o.modeled_cycles;
+    stall_cycles += o.stall_cycles;
+    hidden_latency_cycles += o.hidden_latency_cycles;
+    stolen_blocks += o.stolen_blocks;
     return *this;
   }
 
@@ -136,6 +153,10 @@ struct PerfCounters {
     txn_128b = sub(txn_128b, o.txn_128b);
     cache_hits = sub(cache_hits, o.cache_hits);
     cache_misses = sub(cache_misses, o.cache_misses);
+    modeled_cycles = sub(modeled_cycles, o.modeled_cycles);
+    stall_cycles = sub(stall_cycles, o.stall_cycles);
+    hidden_latency_cycles = sub(hidden_latency_cycles, o.hidden_latency_cycles);
+    stolen_blocks = sub(stolen_blocks, o.stolen_blocks);
     return *this;
   }
 

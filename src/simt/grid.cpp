@@ -41,15 +41,8 @@ namespace nulpa::simt {
 
 namespace {
 
-/// Stateless schedule derivation: the lane order of (block, pass) depends
-/// only on the seed and those two coordinates, never on which backend,
-/// shard, or pool worker runs the block.
-std::uint64_t schedule_mix(std::uint64_t seed, std::uint64_t block,
-                           std::uint64_t pass) {
-  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (block + 1)) ^
-                (0x94d049bb133111ebULL * (pass + 1)));
-  return sm.next();
-}
+// schedule_mix (the stateless per-(block, pass) derivation) now lives in
+// simt/scoreboard.{hpp,cpp}, shared with the scoreboard's ready-pick.
 
 [[noreturn]] void throw_deadlock() {
   throw std::runtime_error(
@@ -189,7 +182,10 @@ void LaunchSession::init_block(Shard& sh, ResidentBlock& rb,
   // Fresh block, fresh tracker: empty logs and a cold per-SM cache, so the
   // block's memory stats depend only on its own access sequence (the
   // property that keeps merged counters thread-count-invariant).
-  if (track_) rb.mem.begin_block(cfg_.mem, cfg_.block_dim, sh.ctr);
+  if (track_) {
+    rb.mem.begin_block(cfg_.mem, cfg_.block_dim, sh.ctr);
+    rb.mem.arm_pipeline(cfg_.pipeline, policy_.scoreboard, seed_, block_idx);
+  }
   rb.live_lanes.resize(cfg_.block_dim);
   std::iota(rb.live_lanes.begin(), rb.live_lanes.end(), 0u);
   for (std::size_t w = 0; w < rb.warp_ready.size(); ++w) {
@@ -229,7 +225,10 @@ void LaunchSession::init_block_direct(Shard& sh, ResidentBlock& rb,
   rb.live = cfg_.block_dim;
   rb.pass_seq = 0;
   prepare_shared(sh, rb);
-  if (track_) rb.mem.begin_block(cfg_.mem, cfg_.block_dim, sh.ctr);
+  if (track_) {
+    rb.mem.begin_block(cfg_.mem, cfg_.block_dim, sh.ctr);
+    rb.mem.arm_pipeline(cfg_.pipeline, policy_.scoreboard, seed_, block_idx);
+  }
   rb.live_lanes.resize(cfg_.block_dim);
   std::iota(rb.live_lanes.begin(), rb.live_lanes.end(), 0u);
   for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
@@ -365,7 +364,10 @@ bool LaunchSession::pass_block(Shard& sh, ResidentBlock& rb) {
     });
   }
   if (rb.live == 0) {
-    if (track_) rb.mem.flush_all();  // drain: close the final windows
+    if (track_) {
+      rb.mem.flush_all();  // drain: close the final windows
+      rb.mem.drain_pipeline();  // replay the block against the model SM
+    }
     release_block_stacks(sh, rb);
     rb.active = false;
   }
@@ -404,7 +406,10 @@ void LaunchSession::direct_loop(Shard& sh) {
       sh.ctr->fiberless_lanes++;
     }
     sh.direct_lane = nullptr;
-    if (track_) rb.mem.flush_all();  // inline drain: close the windows
+    if (track_) {
+      rb.mem.flush_all();  // inline drain: close the windows
+      rb.mem.drain_pipeline();
+    }
     rb.active = false;
   }
   sh.direct_lane = nullptr;
@@ -650,31 +655,104 @@ void LaunchSession::run_parallel_freerun() {
   // deterministic == false: shards run their slots untethered, claiming
   // fresh blocks from a shared cursor as their slots drain. No cross-shard
   // reproducibility (block-to-slot assignment is racy by design), but
-  // still race-free: a block is only ever touched by its owning shard.
+  // still race-free: a slot is guarded by a per-slot lock its current
+  // owner holds across every touch, which is also what lets an idle shard
+  // *steal* a live block: once the grid cursor is exhausted and all of a
+  // shard's own slots drained, it re-homes one resident block from the
+  // heaviest remaining shard (most active slots) instead of exiting —
+  // skewed block runtimes no longer serialize on one worker. Affinity is
+  // tracked per slot so the victim stops scheduling a stolen slot and the
+  // thief keeps it until the grid drains.
   auto& pool = ThreadPool::global();
   const unsigned pool_width = pool.size();
   std::atomic<std::uint32_t> next{0};
+  const auto affinity =
+      std::make_unique<std::atomic<unsigned>[]>(slots_);
+  const auto slot_lock = std::make_unique<std::atomic_flag[]>(slots_);
+  for (std::uint32_t s = 0; s < slots_; ++s) {
+    affinity[s].store(s % workers_, std::memory_order_relaxed);
+  }
   pool.run([&](unsigned w) {
     for (unsigned id = w; id < workers_; id += pool_width) {
       Shard& sh = *shards_[id];
       try {
         for (;;) {
           bool any_active = false;
+          bool contended = false;
           bool progress = false;
-          for (std::uint32_t s = id; s < slots_; s += workers_) {
-            ResidentBlock& rb = blocks_[s];
-            if (!rb.active) {
-              const std::uint32_t b =
-                  next.fetch_add(1, std::memory_order_relaxed);
-              if (b >= grid_dim_) continue;
-              init_block(sh, rb, b);
-              progress = true;
+          for (std::uint32_t s = 0; s < slots_; ++s) {
+            if (affinity[s].load(std::memory_order_acquire) != id) continue;
+            if (slot_lock[s].test_and_set(std::memory_order_acquire)) {
+              // A thief is inspecting this slot right now; come back next
+              // round rather than blocking.
+              any_active = true;
+              contended = true;
+              continue;
             }
-            any_active = true;
-            progress |= pass_block(sh, rb);
+            ResidentBlock& rb = blocks_[s];
+            if (affinity[s].load(std::memory_order_relaxed) == id) {
+              if (!rb.active) {
+                const std::uint32_t b =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (b < grid_dim_) {
+                  init_block(sh, rb, b);
+                  progress = true;
+                }
+              }
+              if (rb.active) {
+                any_active = true;
+                progress |= pass_block(sh, rb);
+              }
+            }
+            slot_lock[s].clear(std::memory_order_release);
           }
-          if (!any_active) break;
-          if (!progress) throw_deadlock();
+          if (!any_active) {
+            // Own slots drained and the cursor is dry: try to adopt a live
+            // block from the heaviest shard. Slot state may only be read
+            // under the slot lock; a slot whose lock is held counts as
+            // active (its owner is stepping it this instant).
+            std::uint32_t victim_slot = slots_;
+            unsigned victim_load = 0;
+            for (unsigned v = 0; v < workers_; ++v) {
+              if (v == id) continue;
+              unsigned load = 0;
+              std::uint32_t candidate = slots_;
+              for (std::uint32_t s = 0; s < slots_; ++s) {
+                if (affinity[s].load(std::memory_order_acquire) != v) {
+                  continue;
+                }
+                if (slot_lock[s].test_and_set(std::memory_order_acquire)) {
+                  ++load;
+                  continue;
+                }
+                if (blocks_[s].active) {
+                  ++load;
+                  candidate = s;
+                }
+                slot_lock[s].clear(std::memory_order_release);
+              }
+              if (load >= 2 && load > victim_load &&
+                  candidate != slots_) {
+                victim_load = load;
+                victim_slot = candidate;
+              }
+            }
+            // A lone active block is left with its owner — adopting it
+            // would just ping-pong the tail of the grid between shards.
+            if (victim_slot == slots_) break;
+            if (slot_lock[victim_slot].test_and_set(
+                    std::memory_order_acquire)) {
+              continue;  // victim mid-pass; retry next round
+            }
+            ResidentBlock& rb = blocks_[victim_slot];
+            if (rb.active) {
+              adopt_block(sh, rb);
+              affinity[victim_slot].store(id, std::memory_order_release);
+            }
+            slot_lock[victim_slot].clear(std::memory_order_release);
+            continue;
+          }
+          if (!progress && !contended) throw_deadlock();
         }
       } catch (...) {
         sh.error = std::current_exception();
@@ -682,6 +760,21 @@ void LaunchSession::run_parallel_freerun() {
     }
   });
   rethrow_shard_error();
+}
+
+void LaunchSession::adopt_block(Shard& thief, ResidentBlock& rb) {
+  // Caller holds the slot lock and the victim is parked between passes, so
+  // every piece of block state is quiescent. Lanes keep their fibers and
+  // stacks (slab memory outlives the session; drained stacks simply check
+  // into the thief's pool); only the shard bindings move.
+  for (std::uint32_t t = 0; t < cfg_.block_dim; ++t) {
+    Lane& lane = lanes_[rb.first_lane + t];
+    lane.runner_context_ = &thief;
+    lane.counters_ = thief.ctr;
+    lane.worker_ = thief.id;
+  }
+  if (track_) rb.mem.bind_counters(thief.ctr);
+  thief.ctr->stolen_blocks++;
 }
 
 void LaunchSession::run_parallel_direct() {

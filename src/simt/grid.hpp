@@ -77,6 +77,10 @@ struct LaunchConfig {
   // and the per-SM data cache). Only consulted when the session's
   // ExecPolicy enables track_memory.
   MemGeometry mem{};
+  // Latency parameters of the scoreboard replay (simt/scoreboard.hpp):
+  // issue-pipe cycles per transaction and hit/miss return latencies. Only
+  // consulted when track_memory is on.
+  PipelineModel pipeline{};
 };
 
 /// How a kernel's lanes synchronize — the executor-mode axis of ExecPolicy.
@@ -133,6 +137,15 @@ struct ExecPolicy {
   // per-SM data-cache model. Counters: PerfCounters::global_transactions
   // and friends; they stay zero (and tracking costs nothing) when off.
   bool track_memory = true;
+  // Scoreboard scheduling in the cycle replay (simt/scoreboard.hpp): a
+  // warp stalled on a modeled memory return yields the issue pipe to
+  // other resident warps (latency hiding). false serializes the replay —
+  // every window waits for its own return, the lockstep-scheduler cost.
+  // Purely a timing-model knob: labels, the functional counters, and the
+  // transaction/cache stream are byte-identical across both settings; only
+  // modeled_cycles / stall_cycles / hidden_latency_cycles move, and those
+  // by an exact documented transform. Needs track_memory.
+  bool scoreboard = true;
 
   [[nodiscard]] constexpr bool is_parallel() const noexcept {
     return backend == Backend::kParallel;
@@ -193,6 +206,11 @@ struct ExecPolicy {
   [[nodiscard]] constexpr ExecPolicy with_track_memory(bool on) const noexcept {
     ExecPolicy p = *this;
     p.track_memory = on;
+    return p;
+  }
+  [[nodiscard]] constexpr ExecPolicy with_scoreboard(bool on) const noexcept {
+    ExecPolicy p = *this;
+    p.scoreboard = on;
     return p;
   }
 };
@@ -601,6 +619,10 @@ class LaunchSession {
   void run_parallel_lockstep();
   void run_parallel_freerun();
   void run_parallel_direct();
+  /// Freerun work stealing: re-binds a live block's lanes and tracker to
+  /// the thief shard, so the remaining passes charge the thief's counters
+  /// and check stacks into the thief's pool at drain.
+  void adopt_block(Shard& thief, ResidentBlock& rb);
   void merge_shard_counters();
   void rethrow_shard_error();
 

@@ -104,6 +104,8 @@ void BlockMem::coalesce_window(std::uint32_t lane_lo, std::uint32_t lane_hi,
     }
   }
   // One transaction per distinct line; its size is the touched-sector span.
+  std::uint32_t hits = 0;
+  std::uint32_t misses = 0;
   for (std::size_t i = 0; i < lines_.size(); ++i) {
     ctr_->global_transactions++;
     const int touched = std::popcount(sectors_[i]);
@@ -115,10 +117,19 @@ void BlockMem::coalesce_window(std::uint32_t lane_lo, std::uint32_t lane_hi,
       ctr_->txn_128b++;
     }
     if (cache_.access(lines_[i])) {
-      ctr_->cache_hits++;
+      ++hits;
     } else {
-      ctr_->cache_misses++;
+      ++misses;
     }
+  }
+  ctr_->cache_hits += hits;
+  ctr_->cache_misses += misses;
+  // Feed the window's cost to the scoreboard replay (issue cycles from the
+  // transaction count, return latency from the cache verdicts).
+  if (!lines_.empty()) {
+    pipeline_.add_window(lane_lo / kWarpSize,
+                         static_cast<std::uint32_t>(lines_.size()), hits,
+                         misses);
   }
 }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "simt/counters.hpp"
+#include "simt/scoreboard.hpp"
 
 namespace nulpa::simt {
 
@@ -130,6 +131,27 @@ class BlockMem {
   void begin_block(const MemGeometry& geo, std::uint32_t block_dim,
                    PerfCounters* ctr);
 
+  /// Arms the scoreboard replay for the block begin_block just set up:
+  /// every coalesced window from here to drain_pipeline() feeds the
+  /// per-warp cost queues (see simt/scoreboard.hpp).
+  void arm_pipeline(const PipelineModel& model, bool scoreboard,
+                    std::uint64_t seed, std::uint32_t block_idx) {
+    pipeline_.begin_block((block_dim_ + kWarpSize - 1) / kWarpSize, model,
+                          scoreboard, seed, block_idx);
+  }
+
+  /// Replays the block's issue windows against the model SM and charges
+  /// the cycle counters. Call once, at true block drain — the barrier
+  /// flushes in between only close windows, they do not end the block.
+  void drain_pipeline() {
+    if (ctr_ != nullptr) pipeline_.drain(*ctr_);
+  }
+
+  /// Re-points the counter sink mid-block — the freerun work-stealing
+  /// path adopts a live block into another shard, whose local counters
+  /// must receive the remaining flushes and the pipeline drain.
+  void bind_counters(PerfCounters* ctr) noexcept { ctr_ = ctr; }
+
   void record(std::uint32_t thread_idx, const void* p,
               std::uint32_t bytes) {
     log_[thread_idx].push_back(
@@ -151,6 +173,7 @@ class BlockMem {
   std::uint32_t block_dim_ = 0;
   PerfCounters* ctr_ = nullptr;
   DataCache cache_;
+  SmPipeline pipeline_;
   std::vector<std::vector<Access>> log_;  // one log per lane of the block
   // Scratch for coalesce_window: distinct lines of the window (first-touch
   // order) and the 32B-sector mask each accumulated.

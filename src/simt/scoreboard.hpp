@@ -1,0 +1,113 @@
+// GPU-style memory scoreboard: a cycle-level replay of the coalescer's
+// per-warp issue windows that models how much memory latency a warp
+// scheduler can hide behind other resident warps' issue.
+//
+// The functional simulator (simt/grid.hpp) deliberately keeps stepping
+// lanes in its canonical lockstep order — labels and the transaction/cache
+// counters depend on that order and must stay byte-identical whatever the
+// timing model says. The scoreboard therefore runs *after the fact*: as
+// BlockMem drains a warp's issue windows through the coalescer, each
+// window's cost (issue cycles from its transaction count, return latency
+// from its cache verdicts) is appended to a per-warp queue, and when the
+// block drains the queues are replayed against a model SM:
+//
+//   * Windows of one warp are an in-order dependence chain — window i+1
+//     cannot issue until window i's data returned (a real scoreboard
+//     blocks the warp on its outstanding registers).
+//   * The SM has one issue pipe: issuing a window occupies it for
+//     `issue_cycles_per_txn * transactions` cycles; while a warp waits on
+//     a return, any *other* ready warp may issue — that overlap is the
+//     latency hiding this model measures.
+//   * When no warp is ready the pipe stalls until the earliest return.
+//
+// Per block the replay charges three counters (see simt/counters.hpp):
+//   modeled_cycles          — the block's makespan on the model SM
+//   stall_cycles            — cycles the issue pipe sat idle
+//   hidden_latency_cycles   — latency that overlapped issue instead
+// with the exact identities (Σ over a block)
+//   makespan   = Σ issue + stall
+//   hidden     = Σ latency − stall
+// With the scoreboard disabled (ExecPolicy::scoreboard = false) the replay
+// degenerates to fully serialized issue — every window waits for its own
+// return — so modeled = Σ issue + Σ latency, stall = Σ latency, hidden = 0.
+// The two modes are thus related by a pure counter transform
+// (modeled_off = modeled_on + hidden_on, stall_off = stall_on + hidden_on),
+// which tests assert byte-exactly.
+//
+// Determinism: the replay is a pure function of the block's own window
+// stream (which the coalescer produces in canonical flush order) plus the
+// session's schedule seed, so summed counters are byte-identical across
+// the serial and parallel backends at any thread count. The ready-warp
+// pick is round-robin by default and keyed off schedule_mix(seed, block,
+// issue_seq) under schedule fuzz — same derivation discipline as the lane
+// shuffle, so fuzzed replays stay backend-invariant too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/counters.hpp"
+
+namespace nulpa::simt {
+
+/// Stateless schedule derivation shared by the lane shuffle (grid.cpp) and
+/// the scoreboard's fuzzed ready-pick: the value for (block, pass) depends
+/// only on the seed and those two coordinates, never on which backend,
+/// shard, or pool worker runs the block.
+std::uint64_t schedule_mix(std::uint64_t seed, std::uint64_t block,
+                           std::uint64_t pass);
+
+/// Latency parameters of the model SM's memory path. The numbers are
+/// effective (throughput-inclusive) service times in SM cycles, A100-ish:
+/// the LSU sustains about one transaction per cycle (each replay of an
+/// uncoalesced request occupies one issue slot), L1-hit returns land in
+/// tens of cycles, DRAM-miss returns in hundreds.
+struct PipelineModel {
+  std::uint32_t issue_cycles_per_txn = 1;
+  // The model cache (32 KiB) stands in for the whole on-chip hierarchy
+  // (192 KiB L1 at ~33 cycles plus the 40 MB L2 at ~200), so a hit is
+  // charged a blended on-chip return, a miss the DRAM round trip.
+  std::uint32_t cache_hit_cycles = 40;
+  std::uint32_t cache_miss_cycles = 320;
+};
+
+/// Per-resident-slot replay state. Owned by BlockMem (one per slot), armed
+/// per block, fed by coalesce_window, drained when the block drains.
+/// Single-threaded by construction, like the rest of the slot state.
+class SmPipeline {
+ public:
+  /// Re-arms for a new block: clears the window queues and captures the
+  /// replay parameters. `seed`/`block_idx` feed the fuzzed ready-pick.
+  void begin_block(std::uint32_t warps, const PipelineModel& model,
+                   bool scoreboard, std::uint64_t seed,
+                   std::uint32_t block_idx);
+
+  /// Appends one coalesced issue window's cost to `warp`'s queue.
+  void add_window(std::uint32_t warp, std::uint32_t transactions,
+                  std::uint32_t cache_hits, std::uint32_t cache_misses);
+
+  /// Replays the block's windows and charges modeled_cycles /
+  /// stall_cycles / hidden_latency_cycles to `ctr`; disarms.
+  void drain(PerfCounters& ctr);
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+ private:
+  struct Window {
+    std::uint64_t issue;    // issue-pipe occupancy, cycles
+    std::uint64_t latency;  // return latency after issue, cycles
+  };
+
+  std::vector<std::vector<Window>> windows_;  // one queue per warp
+  // Replay scratch, kept across blocks to avoid per-drain allocation:
+  // per-warp next pending window and outstanding-return cycle.
+  std::vector<std::size_t> next_;
+  std::vector<std::uint64_t> ready_;
+  PipelineModel model_{};
+  bool scoreboard_ = true;
+  bool armed_ = false;
+  std::uint64_t seed_ = 0;
+  std::uint32_t block_idx_ = 0;
+};
+
+}  // namespace nulpa::simt

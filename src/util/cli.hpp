@@ -103,6 +103,11 @@ struct CommonFlags {
   // and data cache (simt/mem.hpp). Off zeroes the transaction/cache
   // counters and removes the tracking overhead.
   bool track_memory = true;   // --track-memory
+  // Scoreboard timing replay: model latency hiding across resident warps
+  // (simt/scoreboard.hpp). Off serializes the replay — labels and the
+  // functional counters are identical either way; only the cycle counters
+  // move, by the documented exact transform.
+  bool scoreboard = true;     // --scoreboard
 
   // Observability sinks (empty = disabled; "-" = stdout).
   std::string trace_file;    // --trace FILE -> JSONL event stream
@@ -132,6 +137,7 @@ inline CommonFlags parse_common_flags(const CliArgs& args) {
   f.parallel_sim = args.get_bool("parallel-sim", f.parallel_sim);
   f.threads = static_cast<unsigned>(args.get_int("threads", f.threads));
   f.track_memory = args.get_bool("track-memory", f.track_memory);
+  f.scoreboard = args.get_bool("scoreboard", f.scoreboard);
   f.trace_file = args.get("trace", "");
   f.metrics_file = args.get("metrics", "");
   return f;

@@ -1,0 +1,267 @@
+// Scoreboard / pipelined-warp-scheduler suite (simt/scoreboard.hpp): the
+// cycle-level replay's hand-computable latency model, the exact counter
+// transform between scoreboard and serialized scheduling, byte-identity of
+// the cycle counters across backends and thread counts (including under
+// schedule fuzz), the stream/merge round trip of the new PerfCounters
+// fields, and the freerun work-stealing path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/nulpa.hpp"
+#include "graph/generators.hpp"
+#include "quality/communities.hpp"
+#include "simt/counters.hpp"
+#include "simt/grid.hpp"
+#include "simt/scoreboard.hpp"
+
+namespace nulpa {
+namespace {
+
+using simt::ExecPolicy;
+using simt::PerfCounters;
+using simt::PipelineModel;
+using simt::SmPipeline;
+
+// Default model constants the hand computations below rely on.
+static_assert(PipelineModel{}.issue_cycles_per_txn == 1);
+static_assert(PipelineModel{}.cache_hit_cycles == 40);
+static_assert(PipelineModel{}.cache_miss_cycles == 320);
+
+// ------------------------------------------------ SmPipeline unit replay
+
+PerfCounters drain_once(SmPipeline& p) {
+  PerfCounters ctr;
+  p.drain(ctr);
+  return ctr;
+}
+
+TEST(SmPipeline, SingleWarpHidesNothing) {
+  SmPipeline p;
+  p.begin_block(1, PipelineModel{}, /*scoreboard=*/true, 0, 0);
+  // One window: 2 txns (2 issue cycles), 1 hit (40 latency cycles).
+  p.add_window(0, 2, 1, 0);
+  const PerfCounters ctr = drain_once(p);
+  // Issue 0..2, return lands at 42, nothing else to issue: the pipe idles
+  // through the whole 40-cycle return. makespan 42, stall 40, hidden 0.
+  EXPECT_EQ(ctr.modeled_cycles, 42u);
+  EXPECT_EQ(ctr.stall_cycles, 40u);
+  EXPECT_EQ(ctr.hidden_latency_cycles, 0u);
+}
+
+TEST(SmPipeline, SecondWarpIssuesUnderFirstWarpsMiss) {
+  SmPipeline p;
+  p.begin_block(2, PipelineModel{}, /*scoreboard=*/true, 0, 0);
+  // Each warp: 1 txn (1 issue cycle), 1 miss (320 latency cycles).
+  p.add_window(0, 1, 0, 1);
+  p.add_window(1, 1, 0, 1);
+  const PerfCounters ctr = drain_once(p);
+  // w0 issues 0..1 (return at 321), w1 issues 1..2 (return at 322): w1's
+  // whole issue plus 320 cycles of w0's wait overlap. makespan 322,
+  // stall = tail 322-2 = 320, hidden = 640 - 320 = 320.
+  EXPECT_EQ(ctr.modeled_cycles, 322u);
+  EXPECT_EQ(ctr.stall_cycles, 320u);
+  EXPECT_EQ(ctr.hidden_latency_cycles, 320u);
+}
+
+TEST(SmPipeline, WindowsOfOneWarpAreAnInOrderChain) {
+  SmPipeline p;
+  p.begin_block(1, PipelineModel{}, /*scoreboard=*/true, 0, 0);
+  p.add_window(0, 1, 0, 1);
+  p.add_window(0, 1, 0, 1);
+  const PerfCounters ctr = drain_once(p);
+  // Window 2 may not issue until window 1's miss returns at 321: issue
+  // 0..1, stall to 321, issue 321..322, tail to 642. No other warp, so
+  // every latency cycle is exposed.
+  EXPECT_EQ(ctr.modeled_cycles, 642u);
+  EXPECT_EQ(ctr.stall_cycles, 640u);
+  EXPECT_EQ(ctr.hidden_latency_cycles, 0u);
+}
+
+TEST(SmPipeline, SerializedModeIsTheExactTransformOfPipelined) {
+  const auto fill = [](SmPipeline& p, bool scoreboard) {
+    p.begin_block(2, PipelineModel{}, scoreboard, 0, 0);
+    p.add_window(0, 1, 0, 1);
+    p.add_window(1, 1, 0, 1);
+  };
+  SmPipeline p;
+  fill(p, true);
+  const PerfCounters on = drain_once(p);
+  fill(p, false);
+  const PerfCounters off = drain_once(p);
+  // Serialized: every window waits for its own return. modeled = sum of
+  // issue and latency, stall = all latency, hidden = 0 — which is exactly
+  // the pipelined counters with the hidden cycles folded back in.
+  EXPECT_EQ(off.modeled_cycles, 642u);
+  EXPECT_EQ(off.stall_cycles, 640u);
+  EXPECT_EQ(off.hidden_latency_cycles, 0u);
+  EXPECT_EQ(off.modeled_cycles, on.modeled_cycles + on.hidden_latency_cycles);
+  EXPECT_EQ(off.stall_cycles, on.stall_cycles + on.hidden_latency_cycles);
+}
+
+TEST(SmPipeline, FuzzedReadyPickIsDeterministicAndKeepsTheIdentities) {
+  // An irregular window mix over 4 warps; issue/latency totals by hand.
+  const auto fill = [](SmPipeline& p, std::uint64_t seed) {
+    p.begin_block(4, PipelineModel{}, /*scoreboard=*/true, seed, 3);
+    p.add_window(0, 3, 2, 1);  // issue 3, latency 400
+    p.add_window(0, 1, 1, 0);  // issue 1, latency 40
+    p.add_window(1, 2, 0, 2);  // issue 2, latency 640
+    p.add_window(2, 1, 0, 1);  // issue 1, latency 320
+    p.add_window(3, 4, 4, 0);  // issue 4, latency 160
+    p.add_window(3, 1, 0, 1);  // issue 1, latency 320
+  };
+  const std::uint64_t total_issue = 3 + 1 + 2 + 1 + 4 + 1;
+  const std::uint64_t total_latency = 400 + 40 + 640 + 320 + 160 + 320;
+  for (const std::uint64_t seed : {0ull, 42ull, 0xfeedull}) {
+    SmPipeline p;
+    fill(p, seed);
+    const PerfCounters a = drain_once(p);
+    fill(p, seed);
+    const PerfCounters b = drain_once(p);
+    EXPECT_EQ(a, b) << "seed=" << seed;
+    // The replay identities hold for every schedule the fuzz can draw.
+    EXPECT_EQ(a.modeled_cycles, total_issue + a.stall_cycles)
+        << "seed=" << seed;
+    EXPECT_EQ(a.stall_cycles + a.hidden_latency_cycles, total_latency)
+        << "seed=" << seed;
+  }
+}
+
+TEST(SmPipeline, EmptyBlockChargesNothing) {
+  SmPipeline p;
+  p.begin_block(4, PipelineModel{}, /*scoreboard=*/true, 0, 0);
+  const PerfCounters ctr = drain_once(p);
+  EXPECT_EQ(ctr, PerfCounters{});
+  // Drain disarms: further windows are dropped, a second drain is a no-op.
+  p.add_window(0, 5, 0, 5);
+  const PerfCounters again = drain_once(p);
+  EXPECT_EQ(again, PerfCounters{});
+}
+
+// ------------------------------------------- counter stream / merge plumbing
+
+PerfCounters nonzero_cycle_counters() {
+  PerfCounters c;
+  c.global_loads = 11;
+  c.global_transactions = 7;
+  c.cache_hits = 5;
+  c.cache_misses = 2;
+  c.modeled_cycles = 1234567;
+  c.stall_cycles = 234567;
+  c.hidden_latency_cycles = 7890123;
+  c.stolen_blocks = 3;
+  return c;
+}
+
+TEST(PipelineCounters, StreamRoundTripCarriesTheCycleFields) {
+  const PerfCounters c = nonzero_cycle_counters();
+  std::stringstream ss;
+  ss << c;
+  PerfCounters back;
+  ss >> back;
+  EXPECT_EQ(c, back);
+}
+
+TEST(PipelineCounters, MergeSumsAndSubtractSaturates) {
+  const PerfCounters c = nonzero_cycle_counters();
+  PerfCounters sum = c;
+  sum += c;
+  EXPECT_EQ(sum.modeled_cycles, 2 * c.modeled_cycles);
+  EXPECT_EQ(sum.stall_cycles, 2 * c.stall_cycles);
+  EXPECT_EQ(sum.hidden_latency_cycles, 2 * c.hidden_latency_cycles);
+  EXPECT_EQ(sum.stolen_blocks, 2 * c.stolen_blocks);
+  sum -= c;
+  EXPECT_EQ(sum, c);
+  PerfCounters under;
+  under -= c;  // all fields saturate at zero instead of wrapping
+  EXPECT_EQ(under, PerfCounters{});
+}
+
+// ---------------------------------------------------- engine-level contract
+
+TEST(PipelineEngine, ScoreboardOffIsAnExactCounterTransform) {
+  const Graph g = generate_web(800, 6, 0.85, 17);
+  const NuLpaResult on = nu_lpa(g, NuLpaConfig{});
+  const NuLpaResult off = nu_lpa(
+      g, NuLpaConfig{}.with_exec(ExecPolicy{}.with_scoreboard(false)));
+  EXPECT_EQ(on.labels, off.labels);
+  EXPECT_GT(on.counters.modeled_cycles, 0u);
+  EXPECT_GT(on.counters.hidden_latency_cycles, 0u);
+  EXPECT_EQ(off.counters.hidden_latency_cycles, 0u);
+  // Fold the hidden cycles back into the scoreboard run's counters and the
+  // two modes must agree byte-for-byte on the *entire* struct — the
+  // scoreboard is a timing model only, so every functional counter is
+  // pinned by this one comparison.
+  PerfCounters folded = on.counters;
+  folded.modeled_cycles += folded.hidden_latency_cycles;
+  folded.stall_cycles += folded.hidden_latency_cycles;
+  folded.hidden_latency_cycles = 0;
+  EXPECT_EQ(folded, off.counters);
+}
+
+TEST(PipelineEngine, CycleCountersMatchAcrossBackendsAndThreads) {
+  const Graph g = generate_web(800, 6, 0.85, 23);
+  for (const std::uint64_t seed : {0ull, 0x5eedull}) {
+    const NuLpaConfig base = NuLpaConfig{}.with_exec(
+        ExecPolicy{}.with_schedule_seed(seed));
+    const NuLpaResult serial = nu_lpa(g, base);
+    EXPECT_GT(serial.counters.modeled_cycles, 0u);
+    EXPECT_GT(serial.counters.hidden_latency_cycles, 0u);
+    EXPECT_EQ(serial.counters.stolen_blocks, 0u);
+    for (const unsigned t : {1u, 2u, 8u}) {
+      const NuLpaResult par = nu_lpa(
+          g, base.with_exec(
+                 ExecPolicy::parallel(t).with_schedule_seed(seed)));
+      EXPECT_EQ(serial.labels, par.labels) << "seed=" << seed
+                                           << " threads=" << t;
+      // Full counter equality including the cycle fields; fiber_switches
+      // is the one known backend-dependent scheduler counter (see
+      // mem_model_test), normalize it so everything else is pinned.
+      PerfCounters adjusted = par.counters;
+      adjusted.fiber_switches = serial.counters.fiber_switches;
+      EXPECT_EQ(serial.counters, adjusted) << "seed=" << seed
+                                           << " threads=" << t;
+    }
+  }
+}
+
+TEST(PipelineEngine, ScoreboardRevealsTheCoalescedLayoutGap) {
+  // The latency-hiding headline the bench gates on, in miniature: on the
+  // community-structured (social) shape the coalesced layout must cut
+  // modeled stall cycles and modeled time, not just transactions. (Low-
+  // degree shapes like road grids are issue-light and can go the other
+  // way; the perf bench reports them honestly and gates on this shape.)
+  const Graph g = generate_web(4000, 12, 0.85, 31, 48);
+  const NuLpaResult flat =
+      nu_lpa(g, NuLpaConfig{}.with_coalesced_layout(false));
+  const NuLpaResult coal =
+      nu_lpa(g, NuLpaConfig{}.with_coalesced_layout(true));
+  EXPECT_EQ(flat.labels, coal.labels);
+  ASSERT_GT(flat.counters.stall_cycles, 0u);
+  EXPECT_LT(coal.counters.stall_cycles, flat.counters.stall_cycles);
+  EXPECT_LT(coal.counters.modeled_cycles, flat.counters.modeled_cycles);
+}
+
+TEST(PipelineEngine, FreerunWithWorkStealingKeepsResultsValid) {
+  // deterministic(false) enables the stealing path. Freerun blocks see
+  // other blocks' label updates asynchronously, so the convergence path
+  // (and any counter derived from it) is timing-dependent by contract;
+  // assert only what is invariant: a valid clustering and that the merged
+  // accounting is populated. Steals depend on runtime timing too, so
+  // stolen_blocks is not asserted beyond being absent in deterministic
+  // runs (covered above).
+  const Graph g = generate_web(1200, 6, 0.85, 41);
+  const NuLpaResult freerun = nu_lpa(
+      g, NuLpaConfig{}.with_exec(
+             ExecPolicy::parallel(4).with_deterministic(false)));
+  EXPECT_TRUE(is_valid_membership(g, freerun.labels));
+  EXPECT_GE(freerun.iterations, 1);
+  EXPECT_GT(freerun.counters.edges_scanned, 0u);
+  EXPECT_GT(freerun.counters.modeled_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace nulpa

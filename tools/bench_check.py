@@ -86,11 +86,19 @@ def main() -> None:
         if base_ratio > 1.0:
             floor = 1.0 + 0.5 * (base_ratio - 1.0)
         else:
-            # A sub-1.0 baseline ratio usually means the recording host
-            # could not realize the win (e.g. too few cores for the
-            # parallel backend). If this host's shape differs from the
-            # baseline's, say so rather than silently holding the fresh
-            # run to the weaker collapsed-ratio floor.
+            # A sub-1.0 baseline ratio means the recording host could not
+            # realize the win (e.g. too few cores for the parallel
+            # backend). That is only acceptable when the baseline says so
+            # explicitly: the recording bench must have emitted a
+            # "subunity_note" documenting why. A sub-1.0 ratio without the
+            # note is a silently collapsed baseline — hard-fail rather
+            # than weaken the gate around it.
+            if not baseline.get("subunity_note"):
+                fail(f"headline {key} baseline ratio {base_ratio:.2f}x is "
+                     f"below 1.0 but the baseline carries no "
+                     f"'subunity_note' explaining it; re-record the "
+                     f"baseline (the bench emits the note automatically) "
+                     f"or fix the regression it hides")
             if base_threads is not None and base_threads != host_threads:
                 print(f"bench_check: WARNING: headline {key} baseline ratio "
                       f"{base_ratio:.2f}x was recorded on a host with "
