@@ -1,0 +1,264 @@
+// Multi-device exchange-volume study: the same sharded detection run with
+// the naive full-mirror broadcast (--comm-mode full pinned) vs the delta
+// exchange (auto mode, changed-bitset filtered). Labels are byte-identical
+// by the sharding determinism contract; the win is wire volume — after the
+// first couple of iterations only a small fraction of masters still change
+// per sweep, so the delta path ships a fraction of the mirror set while
+// the broadcast re-sends every mirror every iteration.
+//
+// Reported per graph: average labels crossing shard boundaries per
+// iteration (post-iteration-2, where LPA's change rate has settled — the
+// first two sweeps are dense for both modes and would mask the tail) and
+// the broadcast/delta reduction ratio. The committed baseline
+// (bench/baselines/BENCH_shard.json) gates the headline reduction with an
+// absolute floor of 5x via the metrics schema in tools/bench_check.py.
+//
+// Emits machine-readable BENCH_shard.json for tools/bench_check.py.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/runner.hpp"
+#include "core/sharded.hpp"
+#include "graph/dataset.hpp"
+#include "graph/stats.hpp"
+#include "observe/trace.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace nulpa;
+
+struct ModeStats {
+  RunReport report;
+  double seconds = 0.0;
+  // Post-iteration-2 averages from the "exchange" trace events.
+  double labels_per_iter = 0.0;
+  double bytes_per_iter = 0.0;
+};
+
+ModeStats run_mode(const Graph& g, const ShardPlan& plan,
+                   const ShardedConfig& cfg) {
+  observe::CollectingTracer tracer;
+  ModeStats s;
+  Timer timer;
+  s.report = sharded_lpa(g, plan, cfg, &tracer);
+  s.seconds = timer.seconds();
+  std::uint64_t labels = 0, bytes = 0, iters = 0;
+  for (const observe::TraceEvent& ev : tracer.events()) {
+    if (ev.kind != observe::EventKind::kKernelLaunch ||
+        ev.kernel != "exchange" || ev.iteration < 2) {
+      continue;
+    }
+    labels += ev.counters.exchanged_labels;
+    bytes += ev.counters.exchange_bytes;
+    ++iters;
+  }
+  if (iters > 0) {
+    s.labels_per_iter = static_cast<double>(labels) / iters;
+    s.bytes_per_iter = static_cast<double>(bytes) / iters;
+  }
+  return s;
+}
+
+struct GraphResult {
+  std::string name;
+  const Graph* graph = nullptr;
+  ModeStats broadcast;
+  ModeStats delta;
+  double replication = 0.0;
+  bool identical = false;
+  double label_reduction = 0.0;  // broadcast / delta, labels per iteration
+  double byte_reduction = 0.0;
+};
+
+void write_mode(std::FILE* f, const char* name, const ModeStats& s) {
+  std::fprintf(f, "      \"%s\": {\n", name);
+  std::fprintf(f, "        \"seconds\": %.6f,\n", s.seconds);
+  std::fprintf(f, "        \"iterations\": %d,\n", s.report.iterations);
+  std::fprintf(f, "        \"labels_per_iter\": %.1f,\n", s.labels_per_iter);
+  std::fprintf(f, "        \"bytes_per_iter\": %.1f,\n", s.bytes_per_iter);
+  std::fprintf(f, "        \"exchanged_labels\": %llu,\n",
+               static_cast<unsigned long long>(
+                   s.report.counters.exchanged_labels));
+  std::fprintf(f, "        \"exchange_bytes\": %llu,\n",
+               static_cast<unsigned long long>(
+                   s.report.counters.exchange_bytes));
+  std::fprintf(f, "        \"mirror_updates\": %llu\n",
+               static_cast<unsigned long long>(
+                   s.report.counters.mirror_updates));
+  std::fprintf(f, "      }");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nulpa;
+  const CliArgs args(argc, argv);
+  const auto scale = args.get_int("scale", 4000);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto num_shards =
+      static_cast<std::uint32_t>(args.get_int("shards", 4));
+  const std::string out = args.get("out", "BENCH_shard.json");
+
+  // Tolerance 0 runs the full iteration budget, covering the sparse tail
+  // where the delta exchange earns its keep; both modes execute identical
+  // iterations (determinism contract), so per-iteration volumes compare
+  // one-to-one.
+  const ShardedConfig base = ShardedConfig{}
+                                 .with_shards(num_shards)
+                                 .with_tolerance(0.0);
+
+  struct Pick {
+    const char* name;
+    int factor;
+  };
+  const Pick picks[] = {
+      {"europe_osm", 3}, {"kmer_V1r", 1}, {"webbase-2001", 1}};
+
+  std::printf("=== Delta exchange vs full broadcast (%u shards, "
+              "contiguous edge-cut)\n\n",
+              num_shards);
+  TextTable table({"graph", "|V|", "cut arcs", "repl", "mode",
+                   "labels/iter (it>=2)", "wire B/iter", "wall-clock",
+                   "identical"});
+
+  std::vector<DatasetInstance> instances;
+  for (const Pick& pick : picks) {
+    for (const DatasetSpec& s : dataset_specs()) {
+      if (s.name == pick.name) {
+        instances.push_back(make_dataset(
+            s, static_cast<Vertex>(scale * pick.factor), seed));
+      }
+    }
+  }
+
+  std::vector<GraphResult> results;
+  for (const DatasetInstance& inst : instances) {
+    GraphResult r;
+    r.name = inst.spec.name;
+    r.graph = &inst.graph;
+    const ShardPlan plan =
+        make_shard_plan(inst.graph, num_shards, base.shard_mode);
+    const PartitionStats ps = compute_partition_stats(inst.graph, plan);
+    r.replication = ps.replication_factor;
+    r.broadcast = run_mode(
+        inst.graph, plan,
+        base.with_comm_mode(comm::DataCommMode::kFullVector));
+    r.delta = run_mode(inst.graph, plan, base);
+    r.identical = r.broadcast.report.labels == r.delta.report.labels;
+    r.label_reduction = r.delta.labels_per_iter > 0
+                            ? r.broadcast.labels_per_iter /
+                                  r.delta.labels_per_iter
+                            : 0.0;
+    r.byte_reduction =
+        r.delta.bytes_per_iter > 0
+            ? r.broadcast.bytes_per_iter / r.delta.bytes_per_iter
+            : 0.0;
+
+    table.add_row({r.name,
+                   fmt_count(static_cast<double>(inst.graph.num_vertices())),
+                   fmt_count(static_cast<double>(ps.cut_arcs)),
+                   fmt(ps.replication_factor, 3), "broadcast",
+                   fmt_count(r.broadcast.labels_per_iter),
+                   fmt_count(r.broadcast.bytes_per_iter),
+                   fmt(r.broadcast.seconds, 3) + " s", "-"});
+    table.add_row({"", "", "", "", "delta",
+                   fmt_count(r.delta.labels_per_iter),
+                   fmt_count(r.delta.bytes_per_iter),
+                   fmt(r.delta.seconds, 3) + " s",
+                   r.identical ? "yes" : "NO"});
+    table.add_row({"", "", "", "", "reduction",
+                   fmt(r.label_reduction, 2) + "x",
+                   fmt(r.byte_reduction, 2) + "x", "", ""});
+    results.push_back(std::move(r));
+  }
+  table.print();
+
+  bool all_identical = true;
+  const GraphResult* largest = nullptr;
+  for (const GraphResult& r : results) {
+    all_identical = all_identical && r.identical;
+    if (largest == nullptr ||
+        r.graph->num_vertices() > largest->graph->num_vertices()) {
+      largest = &r;
+    }
+  }
+
+  std::printf("\nPost-iteration-2 average: the first two sweeps are dense "
+              "(most vertices still changing) for both modes; the delta "
+              "win is the converging tail, where the broadcast keeps "
+              "re-sending every mirror.\n");
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"scale\": %d,\n", static_cast<int>(scale));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"shards\": %u,\n", num_shards);
+  std::fprintf(f, "  \"reference_mode\": \"broadcast\",\n");
+  std::fprintf(f, "  \"optimized_mode\": \"delta\",\n");
+  std::fprintf(f, "  \"labels_identical\": %s,\n",
+               all_identical ? "true" : "false");
+  if (largest != nullptr) {
+    std::fprintf(f,
+                 "  \"headline\": {\"graph\": \"%s\", \"vertices\": %u},\n",
+                 largest->name.c_str(), largest->graph->num_vertices());
+    // All three gated metrics are machine-independent: exchange volumes
+    // and the partition shape are deterministic functions of
+    // (graph, seed, shard count). The ISSUE-level contract is the 5x
+    // absolute floor on the label reduction.
+    std::fprintf(f,
+                 "  \"metrics\": {\n"
+                 "    \"delta_exchange_reduction\": {\"value\": %.4f, "
+                 "\"kind\": \"ratio\", \"min_value\": 5.0},\n"
+                 "    \"exchange_bytes_reduction\": {\"value\": %.4f, "
+                 "\"kind\": \"ratio\"},\n"
+                 "    \"replication_factor\": {\"value\": %.6f, "
+                 "\"kind\": \"exact\", \"rel_tol\": 0.001}\n"
+                 "  },\n",
+                 largest->label_reduction, largest->byte_reduction,
+                 largest->replication);
+  }
+  std::fprintf(f, "  \"graphs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const GraphResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f,
+                 "      \"name\": \"%s\", \"vertices\": %u, "
+                 "\"edges\": %llu,\n",
+                 r.name.c_str(), r.graph->num_vertices(),
+                 static_cast<unsigned long long>(r.graph->num_edges()));
+    std::fprintf(f, "      \"labels_identical\": %s,\n",
+                 r.identical ? "true" : "false");
+    std::fprintf(f, "      \"replication_factor\": %.6f,\n", r.replication);
+    std::fprintf(f, "      \"label_reduction\": %.4f,\n", r.label_reduction);
+    std::fprintf(f, "      \"byte_reduction\": %.4f,\n", r.byte_reduction);
+    write_mode(f, "broadcast", r.broadcast);
+    std::fprintf(f, ",\n");
+    write_mode(f, "delta", r.delta);
+    std::fprintf(f, "\n    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  // Hard local gates: byte-identical labels, and the headline reduction
+  // clearing its absolute 5x floor. Baseline-relative drift is
+  // tools/bench_check.py's job.
+  const bool reduction_ok =
+      largest != nullptr && largest->label_reduction >= 5.0;
+  if (!reduction_ok) {
+    std::fprintf(stderr,
+                 "FAIL: headline delta-exchange reduction %.2fx below the "
+                 "5x floor\n",
+                 largest != nullptr ? largest->label_reduction : 0.0);
+  }
+  return all_identical && reduction_ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Changed-value tracking for the delta exchange (src/comm/exchange.hpp):
+// one bit per tracked slot, set by the compute kernels when they write a
+// value this iteration, read by batch_get to pack only the dirty entries.
+// The Galois/Katana host-comm template calls this the "comm bitset".
+//
+// set() uses a relaxed atomic RMW on the containing word so lanes of the
+// parallel simulator backend can mark concurrently; everything else
+// (reset, queries, iteration) is host-side single-threaded between kernel
+// launches.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nulpa::comm {
+
+class ChangedBitset {
+ public:
+  ChangedBitset() = default;
+  explicit ChangedBitset(std::size_t n)
+      : size_(n), words_((n + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void set(std::size_t i) noexcept {
+    std::atomic_ref<std::uint64_t> word(words_[i >> 6]);
+    word.fetch_or(std::uint64_t{1} << (i & 63), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void reset() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Population count over the whole set.
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (const auto w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  /// Visits every set index in ascending order.
+  template <typename F>
+  void for_each_set(F&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace nulpa::comm

@@ -1,0 +1,71 @@
+#include "comm/exchange.hpp"
+
+namespace nulpa::comm {
+
+std::string_view comm_mode_name(DataCommMode mode) noexcept {
+  switch (mode) {
+    case DataCommMode::kNoData: return "none";
+    case DataCommMode::kBitsetData: return "bitset";
+    case DataCommMode::kOffsetsData: return "offsets";
+    case DataCommMode::kFullVector: return "full";
+  }
+  return "unknown";
+}
+
+bool comm_mode_from_name(std::string_view name, DataCommMode& out) noexcept {
+  if (name == "none") {
+    out = DataCommMode::kNoData;
+    return true;
+  }
+  if (name == "bitset") {
+    out = DataCommMode::kBitsetData;
+    return true;
+  }
+  if (name == "offsets") {
+    out = DataCommMode::kOffsetsData;
+    return true;
+  }
+  if (name == "full") {
+    out = DataCommMode::kFullVector;
+    return true;
+  }
+  return false;
+}
+
+std::size_t message_wire_bytes(DataCommMode mode, std::size_t list_size,
+                               std::size_t changed,
+                               std::size_t value_bytes) noexcept {
+  constexpr std::size_t kHeader = 8;  // mode tag + payload count
+  switch (mode) {
+    case DataCommMode::kNoData:
+      return kHeader;
+    case DataCommMode::kBitsetData:
+      return kHeader + ((list_size + 63) / 64) * 8 + changed * value_bytes;
+    case DataCommMode::kOffsetsData:
+      return kHeader + changed * sizeof(std::uint32_t) +
+             changed * value_bytes;
+    case DataCommMode::kFullVector:
+      return kHeader + list_size * value_bytes;
+  }
+  return kHeader;
+}
+
+DataCommMode pick_comm_mode(std::size_t list_size, std::size_t changed,
+                            std::size_t value_bytes) noexcept {
+  if (changed == 0) return DataCommMode::kNoData;
+  DataCommMode best = DataCommMode::kOffsetsData;
+  std::size_t best_bytes =
+      message_wire_bytes(best, list_size, changed, value_bytes);
+  for (const DataCommMode m :
+       {DataCommMode::kBitsetData, DataCommMode::kFullVector}) {
+    const std::size_t b =
+        message_wire_bytes(m, list_size, changed, value_bytes);
+    if (b < best_bytes) {
+      best = m;
+      best_bytes = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace nulpa::comm

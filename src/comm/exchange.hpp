@@ -1,0 +1,182 @@
+// Delta exchange between shards — the Katana/Galois host-comm pattern
+// (batch_get / batch_set over aligned master/mirror lists) with the four
+// DataCommMode message encodings:
+//
+//   kNoData      nothing changed; a bare header crosses the wire.
+//   kBitsetData  one presence bit per list slot + the changed values.
+//   kOffsetsData changed list positions (u32 each) + the changed values.
+//   kFullVector  every list value, no presence structure at all — the
+//                naive broadcast, and also the cheapest encoding once
+//                almost everything changed.
+//
+// batch_get auto-picks the cheapest encoding for each message from the
+// modeled wire size (selection rule in pick_comm_mode below), or honors a
+// forced mode so the bench can pin the naive-broadcast reference. The
+// layer is deliberately algorithm-agnostic: Message/batch_get/batch_set
+// are templated over the value type, and nothing here knows about labels
+// or LPA — any registry algorithm with per-iteration vertex state can
+// adopt it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "comm/bitset.hpp"
+#include "graph/csr.hpp"
+#include "simt/counters.hpp"
+
+namespace nulpa::comm {
+
+/// Mirrors Galois' DataCommMode (SNIPPETS.md host-comm excerpts).
+enum class DataCommMode : std::uint8_t {
+  kNoData,
+  kBitsetData,
+  kOffsetsData,
+  kFullVector,
+};
+
+/// Wire/CLI name ("none", "bitset", "offsets", "full").
+std::string_view comm_mode_name(DataCommMode mode) noexcept;
+
+/// Inverse of comm_mode_name. Returns false on an unknown name.
+bool comm_mode_from_name(std::string_view name, DataCommMode& out) noexcept;
+
+/// Modeled wire size of one message: an 8-byte header, plus the mode's
+/// presence structure, plus the packed values. This is the cost model the
+/// auto-pick minimizes and the exchange_bytes counter reports.
+std::size_t message_wire_bytes(DataCommMode mode, std::size_t list_size,
+                               std::size_t changed,
+                               std::size_t value_bytes) noexcept;
+
+/// Selection rule: kNoData when nothing changed, otherwise the encoding
+/// with the smallest modeled wire size; ties break toward the sparser
+/// structure (offsets, then bitset, then full vector) so near-threshold
+/// densities stay deterministic.
+DataCommMode pick_comm_mode(std::size_t list_size, std::size_t changed,
+                            std::size_t value_bytes) noexcept;
+
+/// One packed shard-to-shard message. Entries are identified by *list
+/// position* (index into the aligned send/recv lists both sides hold), so
+/// no global ids ever cross the wire.
+template <typename T>
+struct Message {
+  DataCommMode mode = DataCommMode::kNoData;
+  std::uint32_t list_size = 0;
+  std::vector<std::uint64_t> bitset;    // kBitsetData: bit i = slot i packed
+  std::vector<std::uint32_t> offsets;   // kOffsetsData: packed positions
+  std::vector<T> values;                // payload, ascending list order
+
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return message_wire_bytes(mode, list_size, values.size(), sizeof(T));
+  }
+};
+
+/// Packs the values of the `send_list` entries whose bit is set in
+/// `changed` (a bitset over the *value array* — one bit per owned slot, so
+/// one bitset serves every peer's send list). `forced` pins the encoding
+/// (the full-vector reference packs every slot regardless of the bitset);
+/// nullopt auto-picks via pick_comm_mode.
+///
+/// Counters: exchanged_labels += packed values, exchange_bytes += modeled
+/// wire size, full_broadcast_labels_saved += list entries a full broadcast
+/// would have carried but this message dropped.
+template <typename T>
+Message<T> batch_get(std::span<const Vertex> send_list,
+                     std::span<const T> values, const ChangedBitset& changed,
+                     std::optional<DataCommMode> forced,
+                     simt::PerfCounters& ctr) {
+  Message<T> msg;
+  msg.list_size = static_cast<std::uint32_t>(send_list.size());
+
+  std::size_t k = 0;
+  for (const Vertex slot : send_list) {
+    if (changed.test(slot)) ++k;
+  }
+  msg.mode = forced ? *forced
+                    : pick_comm_mode(send_list.size(), k, sizeof(T));
+
+  switch (msg.mode) {
+    case DataCommMode::kNoData:
+      break;
+    case DataCommMode::kFullVector:
+      msg.values.reserve(send_list.size());
+      for (const Vertex slot : send_list) msg.values.push_back(values[slot]);
+      break;
+    case DataCommMode::kBitsetData:
+      msg.bitset.assign((send_list.size() + 63) / 64, 0);
+      msg.values.reserve(k);
+      for (std::size_t i = 0; i < send_list.size(); ++i) {
+        if (!changed.test(send_list[i])) continue;
+        msg.bitset[i >> 6] |= std::uint64_t{1} << (i & 63);
+        msg.values.push_back(values[send_list[i]]);
+      }
+      break;
+    case DataCommMode::kOffsetsData:
+      msg.offsets.reserve(k);
+      msg.values.reserve(k);
+      for (std::size_t i = 0; i < send_list.size(); ++i) {
+        if (!changed.test(send_list[i])) continue;
+        msg.offsets.push_back(static_cast<std::uint32_t>(i));
+        msg.values.push_back(values[send_list[i]]);
+      }
+      break;
+  }
+
+  ctr.exchanged_labels += msg.values.size();
+  ctr.exchange_bytes += msg.wire_bytes();
+  ctr.full_broadcast_labels_saved += send_list.size() - msg.values.size();
+  return msg;
+}
+
+/// Applies a packed message to the receiving side: payload entry for list
+/// position p lands in values[recv_list[p]]. Only writes that actually
+/// change the stored value count as mirror_updates and reach `on_update`
+/// (with the recv-list position) — a full-vector message re-sending
+/// unchanged values must behave exactly like the delta encodings, so
+/// downstream reactivation is encoding-invariant.
+template <typename T, typename OnUpdate>
+void batch_set(const Message<T>& msg, std::span<const Vertex> recv_list,
+               std::span<T> values, simt::PerfCounters& ctr,
+               OnUpdate&& on_update) {
+  const auto apply = [&](std::size_t pos, const T& v) {
+    T& slot = values[recv_list[pos]];
+    if (slot == v) return;
+    slot = v;
+    ++ctr.mirror_updates;
+    on_update(pos);
+  };
+
+  switch (msg.mode) {
+    case DataCommMode::kNoData:
+      break;
+    case DataCommMode::kFullVector:
+      for (std::size_t i = 0; i < msg.values.size(); ++i) {
+        apply(i, msg.values[i]);
+      }
+      break;
+    case DataCommMode::kBitsetData: {
+      std::size_t next = 0;
+      for (std::size_t wi = 0; wi < msg.bitset.size(); ++wi) {
+        std::uint64_t w = msg.bitset[wi];
+        while (w != 0) {
+          const auto pos = wi * 64 +
+                           static_cast<std::size_t>(std::countr_zero(w));
+          apply(pos, msg.values[next++]);
+          w &= w - 1;
+        }
+      }
+      break;
+    }
+    case DataCommMode::kOffsetsData:
+      for (std::size_t i = 0; i < msg.offsets.size(); ++i) {
+        apply(msg.offsets[i], msg.values[i]);
+      }
+      break;
+  }
+}
+
+}  // namespace nulpa::comm

@@ -22,6 +22,7 @@
 #include "core/config.hpp"
 #include "core/nulpa.hpp"
 #include "core/report.hpp"
+#include "core/sharded.hpp"
 #include "observe/trace.hpp"
 #include "util/cli.hpp"
 
@@ -38,6 +39,7 @@ struct RunOptions {
   GveLpaConfig gve{};
   GunrockLpaConfig gunrock{};
   LouvainConfig louvain{};
+  ShardedConfig sharded{};
   // How the SIMT simulator executes (backend, threads, determinism, sync,
   // schedule seed). The canonical copy: run_options_from_flags() mirrors it
   // into every simulator-backed per-algorithm config above (nulpa.exec,
@@ -54,8 +56,8 @@ struct AlgorithmInfo {
   Runner run;
 };
 
-/// Every registered algorithm, in presentation order: "nulpa", "gve",
-/// "flpa", "plp", "seq", "gunrock", "louvain".
+/// Every registered algorithm, in presentation order: "nulpa", "sharded",
+/// "gve", "flpa", "plp", "seq", "gunrock", "louvain".
 const std::vector<AlgorithmInfo>& algorithm_registry();
 
 /// Registry lookup; nullptr when `name` is unknown.

@@ -1,0 +1,337 @@
+#include "core/sharded.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "graph/stats.hpp"
+#include "hash/vertex_table.hpp"
+#include "simt/mem.hpp"
+#include "util/bits.hpp"
+#include "util/timer.hpp"
+
+namespace nulpa {
+
+namespace {
+
+/// Everything one simulated device owns: the local CSR mirrored into
+/// device buffers, the double-buffered labels (masters + mirrors), the
+/// per-vertex hashtable slabs, the changed-master bitset the comm layer
+/// packs against, and the shard's private LaunchSession/counters.
+struct ShardState {
+  const ShardPlan::Shard* shard = nullptr;
+
+  simt::device_vector<Vertex> targets;
+  simt::device_vector<float> weights;
+  simt::device_vector<Vertex> labels;  // current; mirrors refresh at barriers
+  simt::device_vector<Vertex> prev;    // last-barrier snapshot, gather source
+  simt::device_vector<Vertex> buf_k;   // hashtable keys, 2 slots per arc
+  simt::device_vector<float> buf_v;    // hashtable weights
+
+  comm::ChangedBitset changed;          // masters whose label moved this iter
+  std::vector<std::uint8_t> active;     // per master: gather next iteration?
+  std::vector<Vertex> frontier;
+
+  simt::PerfCounters ctr;
+  std::vector<HashStats> worker_stats;
+  std::unique_ptr<simt::LaunchSession> session;
+};
+
+}  // namespace
+
+RunReport sharded_lpa(const Graph& g, const ShardedConfig& cfg,
+                      observe::Tracer* tracer) {
+  const ShardPlan plan = make_shard_plan(g, cfg.shards, cfg.shard_mode);
+  return sharded_lpa(g, plan, cfg, tracer);
+}
+
+RunReport sharded_lpa(const Graph& g, const ShardPlan& plan,
+                      const ShardedConfig& cfg, observe::Tracer* tracer) {
+  Timer timer;
+  RunReport res;
+  res.has_counters = true;
+  const Vertex n = g.num_vertices();
+  res.labels.resize(n);
+  for (Vertex v = 0; v < n; ++v) res.labels[v] = v;
+
+  // Partition stats ride on run_start so trace-summary can report cut
+  // quality without re-sharding the graph; O(E), so traced runs only.
+  PartitionStats ps{};
+  if (observe::active(tracer)) ps = compute_partition_stats(g, plan);
+  const observe::RunTrace trace(tracer, "sharded", n, g.num_edges(),
+                                plan.num_shards, ps.cut_arcs,
+                                ps.replication_factor);
+  if (n == 0) {
+    res.seconds = timer.seconds();
+    trace.run_end(0, true, 0, 0, res.seconds);
+    return res;
+  }
+
+  const simt::ExecPolicy policy =
+      cfg.exec.with_sync(simt::SyncMode::kBarrierFree);
+
+  std::vector<ShardState> shards(plan.num_shards);
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    ShardState& st = shards[s];
+    const ShardPlan::Shard& sh = plan.shards[s];
+    st.shard = &sh;
+    const Vertex locals = static_cast<Vertex>(sh.local_to_global.size());
+    const EdgeIndex arcs = sh.local.num_edges();
+    st.targets.assign(sh.local.targets().begin(), sh.local.targets().end());
+    st.weights.assign(sh.local.weights().begin(), sh.local.weights().end());
+    st.labels.resize(locals);
+    for (Vertex l = 0; l < locals; ++l) st.labels[l] = sh.local_to_global[l];
+    st.prev.resize(locals);
+    st.buf_k.assign(2 * arcs, kEmptyKey);
+    st.buf_v.assign(2 * arcs, 0.0f);
+    st.changed = comm::ChangedBitset(sh.num_masters);
+    st.active.assign(sh.num_masters, 1);
+    st.frontier.reserve(sh.num_masters);
+    st.session =
+        std::make_unique<simt::LaunchSession>(cfg.launch, st.ctr, policy);
+    st.worker_stats.assign(st.session->workers(), HashStats{});
+  }
+
+  // Comm-layer counters live outside any shard's session so a per-shard
+  // merge can't double-count them; they fold into the report at the end.
+  simt::PerfCounters comm_ctr;
+
+  std::uint64_t total_changed = 0;
+  bool converged = false;
+  int it = 0;
+  for (; it < cfg.max_iterations; ++it) {
+    Timer iter_timer;
+    simt::PerfCounters iter0{};
+    HashStats hash0{};
+    if (trace.on()) {
+      for (const ShardState& st : shards) {
+        iter0 += st.ctr;
+        for (const HashStats& h : st.worker_stats) hash0 += h;
+      }
+      iter0 += comm_ctr;
+    }
+    const bool pick_less =
+        cfg.pick_less_every > 0 && it % cfg.pick_less_every == 0;
+
+    // Frontier per shard (masters only; mirrors never gather).
+    std::uint64_t active_total = 0;
+    for (ShardState& st : shards) {
+      const Vertex masters = st.shard->num_masters;
+      st.frontier.clear();
+      if (policy.frontier_compaction) {
+        for (Vertex v = 0; v < masters; ++v) {
+          if (st.active[v]) st.frontier.push_back(v);
+        }
+        st.ctr.global_loads += masters;
+        st.ctr.global_stores += st.frontier.size();
+        st.ctr.skipped_lanes += masters - st.frontier.size();
+      } else {
+        for (Vertex v = 0; v < masters; ++v) st.frontier.push_back(v);
+      }
+      st.ctr.frontier_vertices += st.frontier.size();
+      active_total += st.frontier.size();
+    }
+    trace.iteration_start(it, active_total);
+
+    // Barrier snapshot: gathers read prev, commits write labels. Mirrors
+    // carry their owner's last-barrier label, so prev is globally
+    // consistent regardless of how many shards hold copies.
+    for (ShardState& st : shards) {
+      std::copy(st.labels.begin(), st.labels.end(), st.prev.begin());
+      st.changed.reset();
+      std::fill(st.active.begin(), st.active.end(), std::uint8_t{0});
+    }
+
+    // Compute pass: one barrier-free launch per shard. Shard order is
+    // irrelevant to the result (each shard reads only its own prev) —
+    // intra-shard parallelism comes from the session's ExecPolicy backend.
+    for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+      ShardState& st = shards[s];
+      const auto fsize = static_cast<std::uint32_t>(st.frontier.size());
+      if (fsize == 0) continue;
+      const simt::PerfCounters ctr0 =
+          trace.on() ? st.ctr.snapshot() : simt::PerfCounters{};
+      ++st.ctr.kernel_launches;
+      const auto grid = ceil_div(fsize, cfg.launch.block_dim);
+      const auto& offsets = st.shard->local.offsets();
+      st.session->run(grid, [&](simt::Lane& lane) {
+        const std::uint32_t t = lane.global_thread();
+        if (t >= fsize) return;
+        const Vertex v = st.frontier[t];
+        lane.count_load(1);  // worklist read
+        const EdgeIndex off = offsets[v];
+        const auto deg = static_cast<std::uint32_t>(offsets[v + 1] - off);
+        lane.count_load(2);  // CSR row bounds
+        if (deg == 0) return;
+
+        const std::uint32_t p1 = hashtable_capacity(deg);
+        const EdgeIndex toff = 2 * off;
+        VertexTableView<float> table(st.buf_k.data() + toff,
+                                     st.buf_v.data() + toff, p1,
+                                     &st.worker_stats[lane.worker()]);
+        table.clear();
+        lane.track_store_span(st.buf_k.data() + toff, p1);
+        lane.track_store_span(st.buf_v.data() + toff, p1);
+
+        for (EdgeIndex e = off; e < off + deg; ++e) {
+          const Vertex u = lane.dev_load(st.targets[e]);
+          if (u == v) continue;  // self-loop
+          const float w = lane.dev_load(st.weights[e]);
+          const Vertex lbl = lane.dev_load(st.prev[u]);
+          const std::uint32_t slot =
+              table.accumulate(lbl, w, cfg.probing);
+          lane.track_store(st.buf_k[toff + slot]);
+          lane.track_store(st.buf_v[toff + slot]);
+        }
+        lane.counters().edges_scanned += deg;
+
+        // Max weight, min label on ties — the deterministic reduction
+        // order of the synchronous formulation (matches the Gunrock-style
+        // baseline, so slot order never leaks into the result).
+        const Vertex cur = lane.dev_load(st.prev[v]);
+        Vertex best = cur;
+        float best_w = -1.0f;
+        lane.track_load_span(st.buf_k.data() + toff, p1);
+        lane.track_load_span(st.buf_v.data() + toff, p1);
+        for (std::uint32_t slot = 0; slot < p1; ++slot) {
+          const Vertex key = st.buf_k[toff + slot];
+          if (key == kEmptyKey) continue;
+          const float w = st.buf_v[toff + slot];
+          if (w > best_w || (w == best_w && key < best)) {
+            best_w = w;
+            best = key;
+          }
+        }
+        if (best == cur) return;
+        if (pick_less && best > cur) return;  // PL: only adopt smaller
+        lane.dev_store(st.labels[v], best);
+        st.changed.set(v);
+      });
+      if (trace.on()) {
+        observe::TraceEvent ev =
+            trace.make(observe::EventKind::kKernelLaunch, it);
+        ev.kernel = "lpa";
+        ev.work_items = fsize;
+        ev.has_counters = true;
+        ev.counters = st.ctr - ctr0;
+        ev.edges_scanned = ev.counters.edges_scanned;
+        ev.labels_changed = st.changed.count();
+        trace.record(ev);
+      }
+    }
+
+    // Local reactivation (host bookkeeping, like the baselines' diff
+    // loops): a changed master wakes itself and its in-shard neighbors;
+    // remote neighbors wake below when their mirror copy updates.
+    std::uint64_t delta = 0;
+    for (ShardState& st : shards) {
+      const Vertex masters = st.shard->num_masters;
+      st.changed.for_each_set([&](std::size_t v) {
+        ++delta;
+        st.active[v] = 1;
+        for (const Vertex u : st.shard->local.neighbors(
+                 static_cast<Vertex>(v))) {
+          if (u < masters) st.active[u] = 1;
+        }
+      });
+    }
+    total_changed += delta;
+
+    // Iteration barrier: ship every changed master to each peer that
+    // mirrors it, and wake the masters adjacent to an updated mirror. The
+    // encoding is per message (density decides, unless pinned by config).
+    const simt::PerfCounters comm0 = comm_ctr.snapshot();
+    for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+      ShardState& src = shards[s];
+      for (std::uint32_t t = 0; t < plan.num_shards; ++t) {
+        if (t == s || src.shard->send_masters[t].empty()) continue;
+        ShardState& dst = shards[t];
+        const std::span<const Vertex> recv_list =
+            dst.shard->recv_mirrors[s];
+        const comm::Message<Vertex> msg = comm::batch_get<Vertex>(
+            src.shard->send_masters[t], std::span<const Vertex>(src.labels),
+            src.changed, cfg.comm_mode, comm_ctr);
+        comm::batch_set<Vertex>(
+            msg, recv_list, std::span<Vertex>(dst.labels), comm_ctr,
+            [&](std::size_t pos) {
+              const Vertex m = recv_list[pos] - dst.shard->num_masters;
+              const EdgeIndex b = dst.shard->mirror_adj_offsets[m];
+              const EdgeIndex e = dst.shard->mirror_adj_offsets[m + 1];
+              for (EdgeIndex i = b; i < e; ++i) {
+                dst.active[dst.shard->mirror_adj[i]] = 1;
+              }
+            });
+      }
+    }
+    if (trace.on()) {
+      observe::TraceEvent ev =
+          trace.make(observe::EventKind::kKernelLaunch, it);
+      ev.kernel = "exchange";
+      ev.has_counters = true;
+      ev.counters = comm_ctr - comm0;
+      ev.work_items = ev.counters.exchanged_labels;
+      ev.labels_changed = delta;
+      trace.record(ev);
+    }
+
+    if (trace.on()) {
+      observe::TraceEvent ev =
+          trace.make(observe::EventKind::kIterationEnd, it);
+      ev.active_vertices = active_total;
+      ev.labels_changed = delta;
+      ev.seconds = iter_timer.seconds();
+      ev.has_counters = true;
+      for (const ShardState& st : shards) {
+        ev.counters += st.ctr;
+        for (const HashStats& h : st.worker_stats) ev.hash_stats += h;
+      }
+      ev.counters += comm_ctr;
+      ev.counters -= iter0;
+      ev.hash_stats -= hash0;
+      ev.edges_scanned = ev.counters.edges_scanned;
+      trace.record(ev);
+    }
+
+    // Tolerance convergence, on the global change count so the verdict is
+    // shard-count-invariant; pick-less sweeps are skipped like the async
+    // engine's (a PL iteration suppresses adoptions by design).
+    if (!pick_less &&
+        static_cast<double>(delta) < cfg.tolerance * n) {
+      ++it;
+      converged = true;
+      break;
+    }
+  }
+
+  // Gather master labels back to global id space.
+  for (const ShardState& st : shards) {
+    for (Vertex l = 0; l < st.shard->num_masters; ++l) {
+      res.labels[st.shard->local_to_global[l]] = st.labels[l];
+    }
+  }
+
+  for (const ShardState& st : shards) {
+    res.counters += st.ctr;
+    for (const HashStats& h : st.worker_stats) res.hash_stats += h;
+  }
+  res.counters += comm_ctr;
+  res.iterations = it;
+  res.edges_scanned = res.counters.edges_scanned;
+  res.seconds = timer.seconds();
+  if (trace.on()) {
+    observe::TraceEvent ev = trace.make(observe::EventKind::kRunEnd, -1);
+    ev.iterations = res.iterations;
+    ev.converged = converged;
+    ev.labels_changed = total_changed;
+    ev.edges_scanned = res.edges_scanned;
+    ev.seconds = res.seconds;
+    ev.has_counters = true;
+    ev.counters = res.counters;
+    ev.hash_stats = res.hash_stats;
+    trace.record(ev);
+  }
+  return res;
+}
+
+}  // namespace nulpa

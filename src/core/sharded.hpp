@@ -1,0 +1,104 @@
+// Multi-device sharded LPA: the graph is edge-cut into N shards
+// (graph/partition.hpp), each shard runs a label-propagation kernel on its
+// own simt::LaunchSession over its masters, and mirror copies of remote
+// neighbors are refreshed at every iteration barrier by the src/comm delta
+// exchange (only labels the owner actually changed cross the wire).
+//
+// Determinism contract: every gather reads the *previous iteration's*
+// label snapshot — the semi-synchronous formulation (Cordasco & Gargano)
+// — so a vertex's new label is a pure function of the last barrier state.
+// By induction over barriers, the final labels are byte-identical for any
+// shard count, any backend/thread count, any schedule seed, and any
+// DataCommMode; tests/shard_test.cpp pins the whole matrix. Pick-less on
+// alternating iterations breaks the period-2 label swaps synchronous LPA
+// is prone to (the async engine's PL4 guards the same failure mode).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "comm/exchange.hpp"
+#include "core/report.hpp"
+#include "graph/partition.hpp"
+#include "hash/probing.hpp"
+#include "observe/trace.hpp"
+#include "simt/grid.hpp"
+
+namespace nulpa {
+
+struct ShardedConfig {
+  std::uint32_t shards = 1;                     // --shards
+  ShardMode shard_mode = ShardMode::kContiguous;  // --shard-mode
+  // Message encoding: nullopt auto-picks per message by density
+  // (comm::pick_comm_mode); a forced mode pins every message — the bench
+  // pins kFullVector as the naive-broadcast reference.   --comm-mode
+  std::optional<comm::DataCommMode> comm_mode;
+
+  int max_iterations = 20;
+  double tolerance = 0.05;
+  // Pick-less (adopt only smaller labels) every Nth iteration, from
+  // iteration 0; 0 disables. Synchronous swaps have period 2, so the
+  // default guards every other sweep.
+  int pick_less_every = 2;
+  Probing probing = Probing::kQuadDouble;
+
+  // Per-shard session execution (backend/threads/determinism/seed — the
+  // same surface as NuLpaConfig::exec; the kernel itself is barrier-free).
+  simt::ExecPolicy exec{};
+  simt::LaunchConfig launch{.block_dim = 256, .resident_blocks = 8,
+                            .shared_bytes = 0, .stack_bytes = 1 << 13};
+
+  [[nodiscard]] ShardedConfig with_shards(std::uint32_t n) const {
+    ShardedConfig c = *this;
+    c.shards = n;
+    return c;
+  }
+  [[nodiscard]] ShardedConfig with_shard_mode(ShardMode m) const {
+    ShardedConfig c = *this;
+    c.shard_mode = m;
+    return c;
+  }
+  [[nodiscard]] ShardedConfig with_comm_mode(
+      std::optional<comm::DataCommMode> m) const {
+    ShardedConfig c = *this;
+    c.comm_mode = m;
+    return c;
+  }
+  [[nodiscard]] ShardedConfig with_max_iterations(int n) const {
+    ShardedConfig c = *this;
+    c.max_iterations = n;
+    return c;
+  }
+  [[nodiscard]] ShardedConfig with_tolerance(double tau) const {
+    ShardedConfig c = *this;
+    c.tolerance = tau;
+    return c;
+  }
+  [[nodiscard]] ShardedConfig with_pick_less(int every) const {
+    ShardedConfig c = *this;
+    c.pick_less_every = every;
+    return c;
+  }
+  [[nodiscard]] ShardedConfig with_exec(simt::ExecPolicy p) const {
+    ShardedConfig c = *this;
+    c.exec = p;
+    return c;
+  }
+};
+
+/// Shards the graph per cfg and runs to convergence. The report's labels
+/// are global (gathered from each shard's masters); counters are the
+/// merged per-shard session counters plus the comm-layer counters
+/// (exchanged_labels / exchange_bytes / full_broadcast_labels_saved /
+/// mirror_updates).
+RunReport sharded_lpa(const Graph& g, const ShardedConfig& cfg,
+                      observe::Tracer* tracer = nullptr);
+
+/// Same, over a caller-built plan (must match `g`); cfg.shards/shard_mode
+/// are ignored. Lets benches/tests reuse one plan across runs and assert
+/// against its compute_partition_stats.
+RunReport sharded_lpa(const Graph& g, const ShardPlan& plan,
+                      const ShardedConfig& cfg,
+                      observe::Tracer* tracer = nullptr);
+
+}  // namespace nulpa

@@ -1,5 +1,10 @@
 #include "graph/partition.hpp"
 
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.hpp"
+
 namespace nulpa {
 
 DegreePartition partition_by_degree(const Graph& g,
@@ -15,6 +20,198 @@ DegreePartition partition_by_degree(const Graph& g,
     }
   }
   return p;
+}
+
+std::string_view shard_mode_name(ShardMode mode) noexcept {
+  switch (mode) {
+    case ShardMode::kContiguous: return "contiguous";
+    case ShardMode::kHash: return "hash";
+  }
+  return "unknown";
+}
+
+bool shard_mode_from_name(std::string_view name, ShardMode& out) noexcept {
+  if (name == "contiguous") {
+    out = ShardMode::kContiguous;
+    return true;
+  }
+  if (name == "hash") {
+    out = ShardMode::kHash;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+constexpr Vertex kNoLocal = std::numeric_limits<Vertex>::max();
+
+/// Owner assignment. Contiguous mode balances *arcs*, not vertices: shard
+/// boundaries are the points where the arc prefix sum crosses k/S of the
+/// total, so a web graph's few heavy rows do not all land on one shard.
+std::vector<std::uint32_t> assign_owners(const Graph& g,
+                                         std::uint32_t num_shards,
+                                         ShardMode mode) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint32_t> owner(n, 0);
+  if (num_shards <= 1) return owner;
+
+  if (mode == ShardMode::kHash) {
+    for (Vertex v = 0; v < n; ++v) {
+      owner[v] = static_cast<std::uint32_t>(SplitMix64(v).next() % num_shards);
+    }
+    return owner;
+  }
+
+  // Contiguous: each vertex weighs degree+1 (the +1 keeps zero-degree
+  // tails from collapsing onto the last shard).
+  std::uint64_t total = 0;
+  for (Vertex v = 0; v < n; ++v) total += g.degree(v) + 1;
+  std::uint64_t seen = 0;
+  std::uint32_t s = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    // Advance the shard cursor while this vertex starts at or past the
+    // next boundary; never past the last shard.
+    while (s + 1 < num_shards &&
+           seen * num_shards >= static_cast<std::uint64_t>(s + 1) * total) {
+      ++s;
+    }
+    owner[v] = s;
+    seen += g.degree(v) + 1;
+  }
+  return owner;
+}
+
+}  // namespace
+
+ShardPlan make_shard_plan(const Graph& g, std::uint32_t num_shards,
+                          ShardMode mode) {
+  ShardPlan plan;
+  plan.mode = mode;
+  plan.num_shards = std::max<std::uint32_t>(num_shards, 1);
+  const Vertex n = g.num_vertices();
+  plan.owner = assign_owners(g, plan.num_shards, mode);
+  plan.shards.resize(plan.num_shards);
+
+  // Masters per shard, ascending global id.
+  for (Vertex v = 0; v < n; ++v) {
+    plan.shards[plan.owner[v]].local_to_global.push_back(v);
+  }
+  for (auto& sh : plan.shards) {
+    sh.num_masters = static_cast<Vertex>(sh.local_to_global.size());
+  }
+
+  // Scratch global->local map, rebuilt per shard (kNoLocal = not present).
+  std::vector<Vertex> to_local(n, kNoLocal);
+
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    ShardPlan::Shard& sh = plan.shards[s];
+    for (Vertex l = 0; l < sh.num_masters; ++l) {
+      to_local[sh.local_to_global[l]] = l;
+    }
+
+    // Mirrors: every distinct remote endpoint, sorted by global id so the
+    // send/recv lists of both sides align without translation.
+    std::vector<Vertex> mirrors;
+    for (Vertex l = 0; l < sh.num_masters; ++l) {
+      for (const Vertex u : g.neighbors(sh.local_to_global[l])) {
+        if (plan.owner[u] != s && to_local[u] == kNoLocal) {
+          to_local[u] = 0;  // mark seen; real id assigned after the sort
+          mirrors.push_back(u);
+        }
+      }
+    }
+    std::sort(mirrors.begin(), mirrors.end());
+    for (Vertex m = 0; m < static_cast<Vertex>(mirrors.size()); ++m) {
+      to_local[mirrors[m]] = sh.num_masters + m;
+      sh.local_to_global.push_back(mirrors[m]);
+    }
+
+    // Local CSR: full rows for masters, empty rows for mirrors.
+    const Vertex locals = static_cast<Vertex>(sh.local_to_global.size());
+    std::vector<EdgeIndex> offsets;
+    offsets.reserve(locals + 1);
+    offsets.push_back(0);
+    std::vector<Vertex> targets;
+    std::vector<Weight> weights;
+    for (Vertex l = 0; l < sh.num_masters; ++l) {
+      const Vertex v = sh.local_to_global[l];
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.weights_of(v);
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        targets.push_back(to_local[nbrs[e]]);
+        weights.push_back(wts[e]);
+      }
+      offsets.push_back(targets.size());
+    }
+    for (Vertex m = sh.num_masters; m < locals; ++m) {
+      offsets.push_back(targets.size());
+    }
+    sh.local = Graph(std::move(offsets), std::move(targets),
+                     std::move(weights));
+
+    // Mirror reverse adjacency (mirror index -> adjacent local masters),
+    // built by counting then filling so the per-mirror lists stay in
+    // ascending master order.
+    const Vertex nm = sh.num_mirrors();
+    sh.mirror_adj_offsets.assign(nm + 1, 0);
+    for (Vertex l = 0; l < sh.num_masters; ++l) {
+      for (const Vertex u : sh.local.neighbors(l)) {
+        if (u >= sh.num_masters) {
+          ++sh.mirror_adj_offsets[u - sh.num_masters + 1];
+        }
+      }
+    }
+    for (Vertex m = 0; m < nm; ++m) {
+      sh.mirror_adj_offsets[m + 1] += sh.mirror_adj_offsets[m];
+    }
+    sh.mirror_adj.resize(sh.mirror_adj_offsets[nm]);
+    std::vector<EdgeIndex> cursor(sh.mirror_adj_offsets.begin(),
+                                  sh.mirror_adj_offsets.end() - 1);
+    for (Vertex l = 0; l < sh.num_masters; ++l) {
+      for (const Vertex u : sh.local.neighbors(l)) {
+        if (u >= sh.num_masters) {
+          sh.mirror_adj[cursor[u - sh.num_masters]++] = l;
+        }
+      }
+    }
+
+    // Receive lists: our mirrors grouped by owning shard. Mirrors are
+    // globally sorted, so each per-peer list is ascending by global id.
+    sh.recv_mirrors.assign(plan.num_shards, {});
+    for (Vertex m = 0; m < nm; ++m) {
+      const Vertex global = sh.local_to_global[sh.num_masters + m];
+      sh.recv_mirrors[plan.owner[global]].push_back(sh.num_masters + m);
+    }
+
+    // Reset the scratch map for the next shard.
+    for (const Vertex v : sh.local_to_global) to_local[v] = kNoLocal;
+  }
+
+  // Send lists, derived from the receivers so both sides are aligned by
+  // construction: shard t mirrors global v of shard s at recv position i
+  // => shard s sends master local(v) at position i.
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    plan.shards[s].send_masters.assign(plan.num_shards, {});
+  }
+  for (std::uint32_t t = 0; t < plan.num_shards; ++t) {
+    const ShardPlan::Shard& receiver = plan.shards[t];
+    for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+      ShardPlan::Shard& sender = plan.shards[s];
+      auto& out = sender.send_masters[t];
+      out.reserve(receiver.recv_mirrors[s].size());
+      for (const Vertex m : receiver.recv_mirrors[s]) {
+        const Vertex global = receiver.local_to_global[m];
+        // Masters are the ascending-global prefix of the sender's id
+        // space, so the local id is the lower_bound position.
+        const auto begin = sender.local_to_global.begin();
+        const auto it = std::lower_bound(
+            begin, begin + sender.num_masters, global);
+        out.push_back(static_cast<Vertex>(it - begin));
+      }
+    }
+  }
+  return plan;
 }
 
 }  // namespace nulpa

@@ -1,9 +1,21 @@
-// Degree-based vertex partitioning for the two-kernel strategy (Section 4.3):
-// vertices below the switch degree go to the thread-per-vertex kernel, the
-// rest to the block-per-vertex kernel.
+// Vertex partitioning, two independent axes:
+//
+//  * partition_by_degree — the paper's two-kernel split (Section 4.3):
+//    vertices below the switch degree go to the thread-per-vertex kernel,
+//    the rest to the block-per-vertex kernel.
+//
+//  * make_shard_plan — edge-cut sharding for multi-device execution: the
+//    vertex set is split into N shards (contiguous edge-balanced ranges or
+//    hashed ids), every vertex is *master* on exactly one shard, and each
+//    shard materializes read-only *mirror* slots for the remote endpoints
+//    of its masters' edges. The ShardPlan carries, per shard, a local CSR
+//    (masters first, mirror rows empty), the local↔global id maps, and the
+//    aligned per-peer send/receive lists the comm layer (src/comm) packs
+//    its delta messages against — the Katana/Galois master/mirror scheme.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -19,5 +31,67 @@ struct DegreePartition {
 /// which keeps warp assignments deterministic.
 DegreePartition partition_by_degree(const Graph& g,
                                     std::uint32_t switch_degree);
+
+/// How global vertex ids map onto shards.
+enum class ShardMode : std::uint8_t {
+  kContiguous,  // edge-balanced contiguous id ranges (locality-preserving)
+  kHash,        // SplitMix64(id) % shards (load-spreading, locality-blind)
+};
+
+/// Wire/CLI name of a mode ("contiguous", "hash").
+std::string_view shard_mode_name(ShardMode mode) noexcept;
+
+/// Inverse of shard_mode_name. Returns false on an unknown name.
+bool shard_mode_from_name(std::string_view name, ShardMode& out) noexcept;
+
+/// An edge-cut sharding of one graph. Invariants (pinned by
+/// tests/shard_test.cpp):
+///
+///  * every global vertex is master on exactly `owner[v]`, and the masters
+///    of a shard appear in its local id space as [0, num_masters) in
+///    ascending global order;
+///  * mirrors occupy [num_masters, locals) in ascending global order, one
+///    per distinct remote endpoint of the shard's master edges;
+///  * the local CSR has one full adjacency row per master (targets remapped
+///    to local ids, original edge order preserved) and an empty row per
+///    mirror — a shard never owns a mirror's edges;
+///  * shard s's send_masters[t] and shard t's recv_mirrors[s] have equal
+///    length and are aligned index-by-index (both sorted by the mirrored
+///    vertex's global id), so a packed message needs no id translation.
+struct ShardPlan {
+  struct Shard {
+    Graph local;                          // masters + mirror stubs
+    Vertex num_masters = 0;               // locals [0, num_masters) owned
+    std::vector<Vertex> local_to_global;  // size = locals
+
+    // Per peer shard t: local ids of *our* masters whose labels t mirrors.
+    std::vector<std::vector<Vertex>> send_masters;
+    // Per peer shard t: local ids of *our* mirrors owned by t, aligned
+    // with t's send_masters[this shard].
+    std::vector<std::vector<Vertex>> recv_mirrors;
+
+    // Reverse adjacency mirror -> adjacent local masters (CSR over mirror
+    // index m - num_masters): when a mirror's label updates at a barrier,
+    // exactly these masters must re-enter the frontier.
+    std::vector<EdgeIndex> mirror_adj_offsets;
+    std::vector<Vertex> mirror_adj;
+
+    [[nodiscard]] Vertex num_mirrors() const noexcept {
+      return static_cast<Vertex>(local_to_global.size()) - num_masters;
+    }
+  };
+
+  ShardMode mode = ShardMode::kContiguous;
+  std::uint32_t num_shards = 1;
+  std::vector<std::uint32_t> owner;  // global vertex -> owning shard
+  std::vector<Shard> shards;
+};
+
+/// Builds the edge-cut sharding. `num_shards` is clamped to at least 1;
+/// shards may be empty when num_shards exceeds the vertex count.
+/// Deterministic: the same (graph, num_shards, mode) always yields the
+/// same plan.
+ShardPlan make_shard_plan(const Graph& g, std::uint32_t num_shards,
+                          ShardMode mode = ShardMode::kContiguous);
 
 }  // namespace nulpa

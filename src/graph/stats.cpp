@@ -14,6 +14,37 @@ GraphStats compute_stats(const Graph& g) {
   return s;
 }
 
+PartitionStats compute_partition_stats(const Graph& g,
+                                       const ShardPlan& plan) {
+  PartitionStats s;
+  s.shards = plan.num_shards;
+  const Vertex n = g.num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    for (const Vertex u : g.neighbors(v)) {
+      if (plan.owner[v] != plan.owner[u]) ++s.cut_arcs;
+    }
+  }
+  s.cut_fraction = g.num_edges() > 0
+                       ? static_cast<double>(s.cut_arcs) / g.num_edges()
+                       : 0.0;
+  std::uint64_t locals = 0;
+  EdgeIndex local_arcs = 0;
+  s.min_masters = n;
+  for (const ShardPlan::Shard& sh : plan.shards) {
+    locals += sh.local_to_global.size();
+    local_arcs += sh.local.num_edges();
+    s.max_masters = std::max(s.max_masters, sh.num_masters);
+    s.min_masters = std::min(s.min_masters, sh.num_masters);
+    s.max_local_arcs = std::max(s.max_local_arcs, sh.local.num_edges());
+  }
+  s.replication_factor = n > 0 ? static_cast<double>(locals) / n : 1.0;
+  const double avg_arcs =
+      static_cast<double>(local_arcs) / std::max(plan.num_shards, 1u);
+  s.arc_balance =
+      avg_arcs > 0 ? static_cast<double>(s.max_local_arcs) / avg_arcs : 1.0;
+  return s;
+}
+
 std::vector<std::uint64_t> degree_histogram(const Graph& g,
                                             std::uint32_t buckets) {
   std::vector<std::uint64_t> hist(buckets, 0);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/partition.hpp"
 
 namespace nulpa {
 
@@ -17,6 +18,24 @@ struct GraphStats {
 };
 
 GraphStats compute_stats(const Graph& g);
+
+/// Quality of an edge-cut sharding: how much of the edge set crosses shard
+/// boundaries, how many vertex copies (masters + mirrors) the plan
+/// materializes per real vertex, and how evenly masters/edges spread.
+/// Deterministic for a given (graph, plan) — the shard bench gates
+/// replication_factor as an exact value.
+struct PartitionStats {
+  std::uint32_t shards = 1;
+  EdgeIndex cut_arcs = 0;          // directed arcs with owner(u) != owner(v)
+  double cut_fraction = 0.0;       // cut_arcs / num_edges
+  double replication_factor = 1.0; // sum of shard locals / |V|
+  Vertex max_masters = 0;          // heaviest shard by owned vertices
+  Vertex min_masters = 0;
+  EdgeIndex max_local_arcs = 0;    // heaviest shard by local CSR arcs
+  double arc_balance = 1.0;        // max_local_arcs / (total arcs / shards)
+};
+
+PartitionStats compute_partition_stats(const Graph& g, const ShardPlan& plan);
 
 /// Degree histogram: result[d] = number of vertices of degree d
 /// (capped at `max_degree` buckets; the final bucket aggregates the tail).

@@ -63,6 +63,10 @@ constexpr struct {
     {"c_stallcyc", &simt::PerfCounters::stall_cycles},
     {"c_hiddencyc", &simt::PerfCounters::hidden_latency_cycles},
     {"c_stolen", &simt::PerfCounters::stolen_blocks},
+    {"c_exchlabels", &simt::PerfCounters::exchanged_labels},
+    {"c_exchbytes", &simt::PerfCounters::exchange_bytes},
+    {"c_bcastsaved", &simt::PerfCounters::full_broadcast_labels_saved},
+    {"c_mirrorupd", &simt::PerfCounters::mirror_updates},
 };
 
 /// Accumulates one flat JSON object; keys are emitted in insertion order so
@@ -285,6 +289,11 @@ void JsonlEmitter::record(const TraceEvent& ev) {
     case EventKind::kRunStart:
       w.num("vertices", ev.vertices);
       w.num("edges", ev.edges);
+      if (ev.shards > 0) {
+        w.num("shards", ev.shards);
+        w.num("cut_arcs", ev.cut_arcs);
+        w.num("replication", ev.replication_factor);
+      }
       break;
     case EventKind::kIterationStart:
       w.num("active", ev.active_vertices);
@@ -346,6 +355,9 @@ std::vector<TraceEvent> parse_trace_jsonl(std::istream& is) {
     ev.iteration = obj.i32("iter", -1);
     ev.vertices = obj.u64("vertices");
     ev.edges = obj.u64("edges");
+    ev.shards = obj.u64("shards");
+    ev.cut_arcs = obj.u64("cut_arcs");
+    ev.replication_factor = obj.f64("replication");
     ev.active_vertices = obj.u64("active");
     ev.work_items = obj.u64("work_items");
     ev.labels_changed = obj.u64("changed");
@@ -404,6 +416,16 @@ void print_iteration_table(const std::vector<TraceEvent>& events,
          << " arcs)";
     }
     os << '\n';
+    if (head.kind == EventKind::kRunStart && head.shards > 0) {
+      const double cut_pct =
+          head.edges > 0 ? 100.0 * static_cast<double>(head.cut_arcs) /
+                               static_cast<double>(head.edges)
+                         : 0.0;
+      os << "sharding: " << head.shards << " shards, cut arcs "
+         << fmt_count(static_cast<double>(head.cut_arcs)) << " ("
+         << fmt(cut_pct, 3) << "%), replication factor "
+         << fmt(head.replication_factor, 3) << '\n';
+    }
 
     TextTable table({"iter", "active", "changed", "edges", "mem words",
                      "atomics", "probes", "host s", "model s"});
@@ -477,14 +499,17 @@ void print_iteration_table(const std::vector<TraceEvent>& events,
       os << '\n';
     }
     // Only render the per-kernel breakdown when some launch actually
-    // tracked memory — otherwise every column would be zero.
+    // tracked memory or moved inter-shard traffic — otherwise every
+    // column would be zero.
     const bool any_kernel_txns = std::any_of(
         per_kernel.begin(), per_kernel.end(), [](const KernelAgg& a) {
-          return a.ctr.global_transactions > 0;
+          return a.ctr.global_transactions > 0 ||
+                 a.ctr.exchanged_labels > 0 ||
+                 a.ctr.full_broadcast_labels_saved > 0;
         });
     if (any_kernel_txns) {
       TextTable kt({"kernel", "launches", "txns", "misses", "cycles",
-                    "stall", "hidden"});
+                    "stall", "hidden", "exch", "exch B"});
       for (const KernelAgg& a : per_kernel) {
         kt.add_row(
             {a.name, fmt_count(static_cast<double>(a.launches)),
@@ -492,7 +517,9 @@ void print_iteration_table(const std::vector<TraceEvent>& events,
              fmt_count(static_cast<double>(a.ctr.cache_misses)),
              fmt_count(static_cast<double>(a.ctr.modeled_cycles)),
              fmt_count(static_cast<double>(a.ctr.stall_cycles)),
-             fmt_count(static_cast<double>(a.ctr.hidden_latency_cycles))});
+             fmt_count(static_cast<double>(a.ctr.hidden_latency_cycles)),
+             fmt_count(static_cast<double>(a.ctr.exchanged_labels)),
+             fmt_count(static_cast<double>(a.ctr.exchange_bytes))});
       }
       kt.print(os);
     }

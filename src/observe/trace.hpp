@@ -56,6 +56,13 @@ struct TraceEvent {
   std::uint64_t vertices = 0;
   std::uint64_t edges = 0;
 
+  // kRunStart, sharded runs only (shards == 0 means single-device): the
+  // partition shape/quality from graph/stats.hpp, recorded so trace-summary
+  // can report partition quality without re-sharding the graph.
+  std::uint64_t shards = 0;
+  std::uint64_t cut_arcs = 0;
+  double replication_factor = 0.0;
+
   // kIterationStart / kIterationEnd: vertices eligible for processing this
   // sweep (|V| when the algorithm has no pruning).
   std::uint64_t active_vertices = 0;
@@ -156,11 +163,21 @@ class RunTrace {
  public:
   RunTrace(Tracer* tracer, std::string algo, std::uint64_t vertices,
            std::uint64_t edges)
+      : RunTrace(tracer, std::move(algo), vertices, edges, 0, 0, 0.0) {}
+
+  /// Sharded runs: the run_start additionally carries the partition shape
+  /// (shards > 0) so trace-summary reports it without re-sharding.
+  RunTrace(Tracer* tracer, std::string algo, std::uint64_t vertices,
+           std::uint64_t edges, std::uint64_t shards, std::uint64_t cut_arcs,
+           double replication_factor)
       : tracer_(tracer), algo_(std::move(algo)) {
     if (!on()) return;
     TraceEvent ev = make(EventKind::kRunStart, -1);
     ev.vertices = vertices;
     ev.edges = edges;
+    ev.shards = shards;
+    ev.cut_arcs = cut_arcs;
+    ev.replication_factor = replication_factor;
     tracer_->record(ev);
   }
 

@@ -49,6 +49,10 @@ constexpr Field kFields[] = {
     {"stallcyc", &PerfCounters::stall_cycles},
     {"hiddencyc", &PerfCounters::hidden_latency_cycles},
     {"stolen", &PerfCounters::stolen_blocks},
+    {"exchlabels", &PerfCounters::exchanged_labels},
+    {"exchbytes", &PerfCounters::exchange_bytes},
+    {"bcastsaved", &PerfCounters::full_broadcast_labels_saved},
+    {"mirrorupd", &PerfCounters::mirror_updates},
 };
 
 }  // namespace

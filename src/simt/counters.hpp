@@ -71,6 +71,15 @@ struct PerfCounters {
   // Freerun parallel backend: resident blocks an idle shard adopted from
   // the heaviest shard mid-flight (always 0 in deterministic mode).
   std::uint64_t stolen_blocks = 0;
+  // Multi-device delta exchange (src/comm): labels actually packed into
+  // inter-shard messages, the wire bytes those messages cost under the
+  // selected DataCommMode, the labels a naive full-mirror broadcast would
+  // have sent but the changed-bitset filter dropped, and the mirror-copy
+  // writes applied on the receiving side. All zero for single-shard runs.
+  std::uint64_t exchanged_labels = 0;
+  std::uint64_t exchange_bytes = 0;
+  std::uint64_t full_broadcast_labels_saved = 0;
+  std::uint64_t mirror_updates = 0;
 
   void reset() { *this = PerfCounters{}; }
 
@@ -111,6 +120,10 @@ struct PerfCounters {
     stall_cycles += o.stall_cycles;
     hidden_latency_cycles += o.hidden_latency_cycles;
     stolen_blocks += o.stolen_blocks;
+    exchanged_labels += o.exchanged_labels;
+    exchange_bytes += o.exchange_bytes;
+    full_broadcast_labels_saved += o.full_broadcast_labels_saved;
+    mirror_updates += o.mirror_updates;
     return *this;
   }
 
@@ -157,6 +170,11 @@ struct PerfCounters {
     stall_cycles = sub(stall_cycles, o.stall_cycles);
     hidden_latency_cycles = sub(hidden_latency_cycles, o.hidden_latency_cycles);
     stolen_blocks = sub(stolen_blocks, o.stolen_blocks);
+    exchanged_labels = sub(exchanged_labels, o.exchanged_labels);
+    exchange_bytes = sub(exchange_bytes, o.exchange_bytes);
+    full_broadcast_labels_saved =
+        sub(full_broadcast_labels_saved, o.full_broadcast_labels_saved);
+    mirror_updates = sub(mirror_updates, o.mirror_updates);
     return *this;
   }
 

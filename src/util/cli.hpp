@@ -109,6 +109,13 @@ struct CommonFlags {
   // move, by the documented exact transform.
   bool scoreboard = true;     // --scoreboard
 
+  // Multi-device sharding (the "sharded" registry algorithm; see DESIGN.md
+  // "Sharding & delta exchange"). shards > 1 with the default algorithm
+  // routes to "sharded" automatically.
+  std::uint32_t shards = 1;              // --shards N: simulated devices
+  std::string shard_mode = "contiguous";  // --shard-mode contiguous|hash
+  std::string comm_mode = "auto";  // --comm-mode auto|none|bitset|offsets|full
+
   // Observability sinks (empty = disabled; "-" = stdout).
   std::string trace_file;    // --trace FILE -> JSONL event stream
   std::string metrics_file;  // --metrics FILE -> per-iteration table
@@ -134,6 +141,9 @@ inline CommonFlags parse_common_flags(const CliArgs& args) {
   if (args.has("seed")) {
     f.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
   }
+  f.shards = static_cast<std::uint32_t>(args.get_int("shards", f.shards));
+  f.shard_mode = args.get("shard-mode", f.shard_mode);
+  f.comm_mode = args.get("comm-mode", f.comm_mode);
   f.parallel_sim = args.get_bool("parallel-sim", f.parallel_sim);
   f.threads = static_cast<unsigned>(args.get_int("threads", f.threads));
   f.track_memory = args.get_bool("track-memory", f.track_memory);

@@ -132,11 +132,25 @@ TEST(Counters, AccumulateAndReset) {
   a.shared_stores = 2;
   b.global_loads = 7;
   b.shared_stores = 1;
+  a.exchanged_labels = 4;
+  a.exchange_bytes = 64;
+  b.exchanged_labels = 6;
+  b.full_broadcast_labels_saved = 9;
+  b.mirror_updates = 2;
   a += b;
   EXPECT_EQ(a.global_loads, 12u);
   EXPECT_EQ(a.shared_stores, 3u);
+  EXPECT_EQ(a.exchanged_labels, 10u);
+  EXPECT_EQ(a.exchange_bytes, 64u);
+  EXPECT_EQ(a.full_broadcast_labels_saved, 9u);
+  EXPECT_EQ(a.mirror_updates, 2u);
+  // Saturating span subtraction covers the comm fields too.
+  simt::PerfCounters d = a - b;
+  EXPECT_EQ(d.exchanged_labels, 4u);
+  EXPECT_EQ(d.full_broadcast_labels_saved, 0u);
   a.reset();
   EXPECT_EQ(a.global_loads, 0u);
+  EXPECT_EQ(a.exchanged_labels, 0u);
 }
 
 TEST(Counters, SnapshotDeltaIsolatesASpan) {
@@ -191,6 +205,14 @@ TEST(Counters, StreamRoundTripPreservesEveryField) {
   c.txn_128b = 103;
   c.cache_hits = 107;
   c.cache_misses = 109;
+  c.modeled_cycles = 113;
+  c.stall_cycles = 127;
+  c.hidden_latency_cycles = 131;
+  c.stolen_blocks = 137;
+  c.exchanged_labels = 139;
+  c.exchange_bytes = 149;
+  c.full_broadcast_labels_saved = 151;
+  c.mirror_updates = 157;
 
   std::ostringstream os;
   os << c;

@@ -183,7 +183,7 @@ TEST(Observe, ContextTracerStampsEvents) {
 TEST(Registry, EveryAlgorithmRunsThroughTheUniformSignature) {
   const Graph g = generate_web(600, 5, 0.85, 11);
   RunOptions opts;
-  ASSERT_EQ(algorithm_registry().size(), 7u);
+  ASSERT_EQ(algorithm_registry().size(), 8u);
   for (const auto& algo : algorithm_registry()) {
     SCOPED_TRACE(std::string(algo.name));
     const RunReport r = algo.run(g, opts);

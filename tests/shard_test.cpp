@@ -1,0 +1,389 @@
+// Sharding subsystem tests: ShardPlan construction invariants, the comm
+// layer's changed-bitset and message encodings, and the headline
+// determinism contract — sharded_lpa's final labels are byte-identical to
+// the single-device run for any shard count, shard mode, execution
+// backend, schedule seed, and message encoding.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "comm/bitset.hpp"
+#include "comm/exchange.hpp"
+#include "core/sharded.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "graph/stats.hpp"
+#include "observe/trace.hpp"
+
+namespace nulpa {
+namespace {
+
+Graph test_graph(Vertex n = 1500) { return generate_web(n, 6, 0.85, 99); }
+
+// ---- ShardPlan invariants -------------------------------------------------
+
+void check_plan(const Graph& g, const ShardPlan& plan) {
+  const Vertex n = g.num_vertices();
+  ASSERT_EQ(plan.owner.size(), n);
+  std::vector<int> master_seen(n, 0);
+
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    const ShardPlan::Shard& sh = plan.shards[s];
+    const auto locals = static_cast<Vertex>(sh.local_to_global.size());
+    ASSERT_LE(sh.num_masters, locals);
+    ASSERT_EQ(sh.local.num_vertices(), locals);
+
+    // Masters form an ascending-global prefix, mirrors an ascending-global
+    // suffix; ownership matches the plan's owner array.
+    for (Vertex l = 0; l < locals; ++l) {
+      const Vertex gv = sh.local_to_global[l];
+      ASSERT_LT(gv, n);
+      if (l > 0 && l != sh.num_masters) {
+        EXPECT_GT(gv, sh.local_to_global[l - 1]);
+      }
+      if (l < sh.num_masters) {
+        EXPECT_EQ(plan.owner[gv], s);
+        ++master_seen[gv];
+      } else {
+        EXPECT_NE(plan.owner[gv], s);
+      }
+    }
+
+    // Master rows reproduce the global adjacency (remapped, order and
+    // weights preserved); mirror rows are stubs.
+    for (Vertex l = 0; l < locals; ++l) {
+      const Vertex gv = sh.local_to_global[l];
+      if (l >= sh.num_masters) {
+        EXPECT_EQ(sh.local.degree(l), 0u);
+        continue;
+      }
+      const auto global_nbrs = g.neighbors(gv);
+      const auto local_nbrs = sh.local.neighbors(l);
+      ASSERT_EQ(local_nbrs.size(), global_nbrs.size());
+      const auto gw = g.weights_of(gv);
+      const auto lw = sh.local.weights_of(l);
+      for (std::size_t i = 0; i < global_nbrs.size(); ++i) {
+        EXPECT_EQ(sh.local_to_global[local_nbrs[i]], global_nbrs[i]);
+        EXPECT_EQ(lw[i], gw[i]);
+      }
+    }
+
+    // mirror_adj is a valid CSR over mirrors, listing only adjacent local
+    // masters.
+    const Vertex mirrors = sh.num_mirrors();
+    ASSERT_EQ(sh.mirror_adj_offsets.size(), mirrors + 1u);
+    for (Vertex m = 0; m < mirrors; ++m) {
+      const Vertex ml = sh.num_masters + m;
+      for (EdgeIndex i = sh.mirror_adj_offsets[m];
+           i < sh.mirror_adj_offsets[m + 1]; ++i) {
+        const Vertex master = sh.mirror_adj[i];
+        ASSERT_LT(master, sh.num_masters);
+        const auto nbrs = sh.local.neighbors(master);
+        EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), ml), nbrs.end());
+      }
+    }
+  }
+
+  // Every vertex is mastered exactly once.
+  for (Vertex v = 0; v < n; ++v) EXPECT_EQ(master_seen[v], 1) << v;
+
+  // Send/recv lists are aligned pairwise: entry k of s's send list to t is
+  // the same global vertex as entry k of t's recv list from s.
+  for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+    for (std::uint32_t t = 0; t < plan.num_shards; ++t) {
+      const auto& send = plan.shards[s].send_masters[t];
+      const auto& recv = plan.shards[t].recv_mirrors[s];
+      ASSERT_EQ(send.size(), recv.size());
+      for (std::size_t k = 0; k < send.size(); ++k) {
+        ASSERT_LT(send[k], plan.shards[s].num_masters);
+        ASSERT_GE(recv[k], plan.shards[t].num_masters);
+        EXPECT_EQ(plan.shards[s].local_to_global[send[k]],
+                  plan.shards[t].local_to_global[recv[k]]);
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, InvariantsHoldForBothModesAndManyCounts) {
+  const Graph g = test_graph();
+  for (const ShardMode mode : {ShardMode::kContiguous, ShardMode::kHash}) {
+    for (const std::uint32_t shards : {1u, 2u, 3u, 4u, 8u}) {
+      const ShardPlan plan = make_shard_plan(g, shards, mode);
+      ASSERT_EQ(plan.num_shards, shards);
+      ASSERT_EQ(plan.mode, mode);
+      check_plan(g, plan);
+    }
+  }
+}
+
+TEST(ShardPlan, SingleShardHasNoMirrors) {
+  const Graph g = test_graph(400);
+  const ShardPlan plan = make_shard_plan(g, 1);
+  EXPECT_EQ(plan.shards[0].num_masters, g.num_vertices());
+  EXPECT_EQ(plan.shards[0].num_mirrors(), 0u);
+  const PartitionStats ps = compute_partition_stats(g, plan);
+  EXPECT_EQ(ps.cut_arcs, 0u);
+  EXPECT_DOUBLE_EQ(ps.replication_factor, 1.0);
+}
+
+TEST(ShardPlan, PartitionStatsMatchPlanShape) {
+  const Graph g = test_graph();
+  const ShardPlan plan = make_shard_plan(g, 4, ShardMode::kHash);
+  const PartitionStats ps = compute_partition_stats(g, plan);
+  EXPECT_EQ(ps.shards, 4u);
+  EXPECT_GT(ps.cut_arcs, 0u);
+  EXPECT_LE(ps.cut_arcs, g.num_edges());
+  EXPECT_GE(ps.replication_factor, 1.0);
+  EXPECT_LE(ps.replication_factor, 4.0);
+  std::size_t locals = 0;
+  for (const auto& sh : plan.shards) locals += sh.local_to_global.size();
+  EXPECT_NEAR(ps.replication_factor,
+              static_cast<double>(locals) / g.num_vertices(), 1e-12);
+}
+
+TEST(ShardPlan, ModeNamesRoundTrip) {
+  for (const ShardMode m : {ShardMode::kContiguous, ShardMode::kHash}) {
+    ShardMode back{};
+    ASSERT_TRUE(shard_mode_from_name(shard_mode_name(m), back));
+    EXPECT_EQ(back, m);
+  }
+  ShardMode out{};
+  EXPECT_FALSE(shard_mode_from_name("nope", out));
+}
+
+// ---- ChangedBitset --------------------------------------------------------
+
+TEST(ChangedBitset, SetTestCountReset) {
+  comm::ChangedBitset bs(200);
+  EXPECT_EQ(bs.count(), 0u);
+  bs.set(0);
+  bs.set(63);
+  bs.set(64);
+  bs.set(199);
+  EXPECT_TRUE(bs.test(63));
+  EXPECT_FALSE(bs.test(62));
+  EXPECT_EQ(bs.count(), 4u);
+  std::vector<std::size_t> seen;
+  bs.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 63, 64, 199}));
+  bs.reset();
+  EXPECT_EQ(bs.count(), 0u);
+  EXPECT_FALSE(bs.test(0));
+}
+
+// ---- DeltaExchange --------------------------------------------------------
+
+TEST(DeltaExchange, CommModeNamesRoundTrip) {
+  for (const auto m :
+       {comm::DataCommMode::kNoData, comm::DataCommMode::kBitsetData,
+        comm::DataCommMode::kOffsetsData, comm::DataCommMode::kFullVector}) {
+    comm::DataCommMode back{};
+    ASSERT_TRUE(comm::comm_mode_from_name(comm::comm_mode_name(m), back));
+    EXPECT_EQ(back, m);
+  }
+}
+
+TEST(DeltaExchange, PickCommModeFollowsDensity) {
+  using comm::DataCommMode;
+  EXPECT_EQ(comm::pick_comm_mode(1000, 0, 4), DataCommMode::kNoData);
+  // Dense: every slot changed — nothing sparser can beat the bare vector.
+  EXPECT_EQ(comm::pick_comm_mode(1000, 1000, 4), DataCommMode::kFullVector);
+  // Very sparse: offsets (4B each) beat a 125-byte bitset.
+  EXPECT_EQ(comm::pick_comm_mode(1000, 3, 4), DataCommMode::kOffsetsData);
+  // Mid density: the bitset's fixed cost amortizes across many entries.
+  EXPECT_EQ(comm::pick_comm_mode(1000, 400, 4), DataCommMode::kBitsetData);
+  // The picked mode is never beaten by another encoding's wire size.
+  for (const std::size_t k : {0u, 1u, 7u, 50u, 333u, 999u, 1000u}) {
+    const auto picked = comm::pick_comm_mode(1000, k, 4);
+    for (const auto other :
+         {DataCommMode::kBitsetData, DataCommMode::kOffsetsData,
+          DataCommMode::kFullVector}) {
+      EXPECT_LE(comm::message_wire_bytes(picked, 1000, k, 4),
+                comm::message_wire_bytes(other, 1000, k, 4));
+    }
+  }
+}
+
+TEST(DeltaExchange, RoundTripEveryEncoding) {
+  // Owner side: 10 values, slots {2, 5, 9} changed.
+  std::vector<Vertex> values(10);
+  std::iota(values.begin(), values.end(), 100);
+  comm::ChangedBitset changed(10);
+  for (const std::size_t i : {2u, 5u, 9u}) {
+    changed.set(i);
+    values[i] += 1000;
+  }
+  const std::vector<Vertex> send_list{9, 2, 4, 5};  // list order != id order
+
+  for (const auto mode :
+       {comm::DataCommMode::kBitsetData, comm::DataCommMode::kOffsetsData,
+        comm::DataCommMode::kFullVector}) {
+    simt::PerfCounters ctr;
+    const auto msg = comm::batch_get<Vertex>(
+        send_list, values, changed, mode, ctr);
+    EXPECT_EQ(msg.mode, mode);
+    const std::size_t packed =
+        mode == comm::DataCommMode::kFullVector ? 4u : 3u;
+    EXPECT_EQ(msg.values.size(), packed);
+    EXPECT_EQ(ctr.exchanged_labels, packed);
+    EXPECT_EQ(ctr.full_broadcast_labels_saved, send_list.size() - packed);
+    EXPECT_EQ(ctr.exchange_bytes, msg.wire_bytes());
+    EXPECT_GT(msg.wire_bytes(), 0u);
+
+    // Receiver side: recv_list maps list positions to mirror slots 20..23.
+    std::vector<Vertex> mirror(24, 0);
+    for (std::size_t k = 0; k < send_list.size(); ++k) {
+      mirror[20 + k] = values[send_list[k]];  // stale copy except changed
+    }
+    mirror[20] = 9 + 100;  // pre-change copies of the changed entries
+    mirror[21] = 2 + 100;
+    mirror[23] = 5 + 100;
+    const std::vector<Vertex> recv_list{20, 21, 22, 23};
+    std::vector<std::size_t> updated;
+    simt::PerfCounters rctr;
+    comm::batch_set<Vertex>(msg, recv_list,
+                            std::span<Vertex>(mirror), rctr,
+                            [&](std::size_t pos) { updated.push_back(pos); });
+    // Every mirror copy now matches the owner, whatever the encoding.
+    for (std::size_t k = 0; k < send_list.size(); ++k) {
+      EXPECT_EQ(mirror[20 + k], values[send_list[k]]) << comm::comm_mode_name(mode);
+    }
+    // Only genuine changes count as updates or fire reactivation — the
+    // full vector re-sent position 2's unchanged value and it must not
+    // reactivate (encoding-invariant frontier).
+    EXPECT_EQ(rctr.mirror_updates, 3u);
+    EXPECT_EQ(updated, (std::vector<std::size_t>{0, 1, 3}));
+  }
+
+  // kNoData moves nothing.
+  simt::PerfCounters ctr;
+  comm::ChangedBitset none(10);
+  const auto msg = comm::batch_get<Vertex>(
+      send_list, values, none, std::nullopt, ctr);
+  EXPECT_EQ(msg.mode, comm::DataCommMode::kNoData);
+  EXPECT_EQ(ctr.exchanged_labels, 0u);
+  EXPECT_EQ(ctr.full_broadcast_labels_saved, send_list.size());
+}
+
+// ---- Byte-identity matrix -------------------------------------------------
+
+class ShardedIdentity : public ::testing::Test {
+ protected:
+  static const Graph& graph() {
+    static const Graph g = test_graph();
+    return g;
+  }
+  static const std::vector<Vertex>& reference() {
+    static const std::vector<Vertex> labels =
+        sharded_lpa(graph(), ShardedConfig{}).labels;
+    return labels;
+  }
+};
+
+TEST_F(ShardedIdentity, AnyShardCountMatchesSingleDevice) {
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    const auto r =
+        sharded_lpa(graph(), ShardedConfig{}.with_shards(shards));
+    EXPECT_EQ(r.labels, reference()) << shards << " shards";
+    EXPECT_GT(r.counters.exchanged_labels, 0u);
+    EXPECT_GT(r.counters.mirror_updates, 0u);
+  }
+  // Single device never touches the comm layer.
+  const auto r1 = sharded_lpa(graph(), ShardedConfig{});
+  EXPECT_EQ(r1.counters.exchanged_labels, 0u);
+  EXPECT_EQ(r1.counters.exchange_bytes, 0u);
+}
+
+TEST_F(ShardedIdentity, HashShardingMatches) {
+  const auto r = sharded_lpa(
+      graph(),
+      ShardedConfig{}.with_shards(4).with_shard_mode(ShardMode::kHash));
+  EXPECT_EQ(r.labels, reference());
+}
+
+TEST_F(ShardedIdentity, ParallelBackendMatches) {
+  for (const unsigned threads : {2u, 3u}) {
+    const auto r = sharded_lpa(
+        graph(), ShardedConfig{}.with_shards(4).with_exec(
+                     simt::ExecPolicy::parallel(threads)));
+    EXPECT_EQ(r.labels, reference()) << threads << " threads";
+  }
+}
+
+TEST_F(ShardedIdentity, ScheduleFuzzMatches) {
+  for (const std::uint64_t seed : {7ull, 1234ull}) {
+    const auto r = sharded_lpa(
+        graph(), ShardedConfig{}.with_shards(4).with_exec(
+                     simt::ExecPolicy{}.with_schedule_seed(seed)));
+    EXPECT_EQ(r.labels, reference()) << "seed " << seed;
+  }
+}
+
+TEST_F(ShardedIdentity, EveryCommModeMatches) {
+  for (const auto mode :
+       {comm::DataCommMode::kBitsetData, comm::DataCommMode::kOffsetsData,
+        comm::DataCommMode::kFullVector}) {
+    const auto r = sharded_lpa(
+        graph(), ShardedConfig{}.with_shards(4).with_comm_mode(mode));
+    EXPECT_EQ(r.labels, reference()) << comm::comm_mode_name(mode);
+  }
+}
+
+TEST_F(ShardedIdentity, DeltaShipsFewerLabelsThanBroadcast) {
+  const auto broadcast = sharded_lpa(
+      graph(), ShardedConfig{}.with_shards(4).with_comm_mode(
+                   comm::DataCommMode::kFullVector));
+  const auto delta =
+      sharded_lpa(graph(), ShardedConfig{}.with_shards(4));
+  EXPECT_EQ(broadcast.labels, delta.labels);
+  EXPECT_LT(delta.counters.exchanged_labels,
+            broadcast.counters.exchanged_labels);
+  EXPECT_LT(delta.counters.exchange_bytes,
+            broadcast.counters.exchange_bytes);
+  EXPECT_GT(delta.counters.full_broadcast_labels_saved, 0u);
+  // Both apply the same set of genuine mirror changes.
+  EXPECT_EQ(delta.counters.mirror_updates,
+            broadcast.counters.mirror_updates);
+}
+
+// ---- Tracing --------------------------------------------------------------
+
+TEST(ShardedTrace, RunStartCarriesPartitionStatsAndExchangeEvents) {
+  const Graph g = test_graph(600);
+  observe::CollectingTracer tracer;
+  const auto r =
+      sharded_lpa(g, ShardedConfig{}.with_shards(4), &tracer);
+  ASSERT_FALSE(tracer.events().empty());
+
+  const observe::TraceEvent& head = tracer.events().front();
+  ASSERT_EQ(head.kind, observe::EventKind::kRunStart);
+  EXPECT_EQ(head.shards, 4u);
+  EXPECT_GT(head.cut_arcs, 0u);
+  EXPECT_GT(head.replication_factor, 1.0);
+
+  std::uint64_t lpa_launches = 0, exchange_events = 0,
+                traced_exchanged = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind != observe::EventKind::kKernelLaunch) continue;
+    if (ev.kernel == "lpa") ++lpa_launches;
+    if (ev.kernel == "exchange") {
+      ++exchange_events;
+      traced_exchanged += ev.counters.exchanged_labels;
+      EXPECT_EQ(ev.work_items, ev.counters.exchanged_labels);
+    }
+  }
+  EXPECT_GT(lpa_launches, 0u);
+  EXPECT_EQ(exchange_events, static_cast<std::uint64_t>(r.iterations));
+  // Exchange events attribute the full comm volume.
+  EXPECT_EQ(traced_exchanged, r.counters.exchanged_labels);
+
+  const observe::TraceEvent& tail = tracer.events().back();
+  ASSERT_EQ(tail.kind, observe::EventKind::kRunEnd);
+  EXPECT_EQ(tail.counters, r.counters);
+}
+
+}  // namespace
+}  // namespace nulpa

@@ -6,14 +6,38 @@ committed reference JSON (``bench/baselines/BENCH_*.json``). A baseline
 describes two runs of the same algorithm per graph — a reference mode and
 an optimized mode, named by its top-level ``reference_mode`` /
 ``optimized_mode`` keys (defaults ``full`` / ``compacted`` keep the
-original frontier baseline readable without them):
+original frontier baseline readable without them).
 
-* labels must stay byte-identical between the two modes on every graph
-  (a correctness property, machine-independent);
-* every numeric ``headline`` ratio (optimized vs reference on the largest
-  graph) must not collapse — ratios of two runs on the *same* machine
-  transfer across hosts, so the gate requires the fresh ratio to keep at
-  least half the baseline's headroom over 1.0;
+Machine-independent gates:
+
+* labels must stay byte-identical between the two modes on every graph;
+* when the baseline carries a ``metrics`` object, each entry is gated by
+  its declared kind::
+
+      "metrics": {
+        "delta_exchange_reduction": {"value": 9.3, "kind": "ratio",
+                                     "min_value": 5.0},
+        "replication_factor":       {"value": 2.15, "kind": "exact",
+                                     "rel_tol": 0.001},
+        "wall_clock_speedup":       {"value": 0.92, "kind": "info"}
+      }
+
+  - ``ratio``: an optimized-vs-reference improvement ratio. The fresh
+    value must keep at least half the baseline's headroom over 1.0, and
+    must clear ``min_value`` when one is declared (an absolute floor the
+    feature promises regardless of what was recorded). A baseline ratio
+    below 1.0 is a recorded regression and fails outright — record it as
+    ``info`` if it is genuinely host-limited.
+  - ``exact``: a deterministic quantity (work counters, partition shape).
+    The fresh value must match within ``rel_tol`` (default 0 — equality).
+  - ``info``: recorded for provenance, never gated (host-dependent
+    quantities like wall-clock speedup on an unknown core count).
+
+* baselines without ``metrics`` fall back to the legacy ``headline``
+  gate: every numeric headline entry is treated as a ``ratio`` metric.
+
+Machine-dependent gate:
+
 * optimized-mode wall-clock must not regress more than --tolerance
   (default 20%) against the baseline, scaled by how much the reference
   run differs from baseline on this host (calibrates away machine speed).
@@ -26,7 +50,6 @@ Usage: bench_check.py --bench <path-to-bench-binary>
 
 import argparse
 import json
-import os
 import subprocess
 import sys
 import tempfile
@@ -36,6 +59,61 @@ from pathlib import Path
 def fail(msg: str) -> None:
     print(f"bench_check: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_ratio(name: str, base: float, fresh: float,
+                min_value=None) -> None:
+    """Halving-floor gate for an improvement ratio."""
+    if base < 1.0:
+        fail(f"metric {name}: baseline ratio {base:.2f}x is below 1.0 — a "
+             f"recorded regression cannot anchor a ratio gate; fix the "
+             f"regression or record the metric with kind 'info'")
+    floor = 1.0 + 0.5 * (base - 1.0)
+    if min_value is not None:
+        floor = max(floor, float(min_value))
+    if fresh < floor:
+        fail(f"metric {name} collapsed: {fresh:.2f}x "
+             f"(baseline {base:.2f}x, floor {floor:.2f}x)")
+    print(f"bench_check: {name}: {fresh:.2f}x vs baseline {base:.2f}x "
+          f"(floor {floor:.2f}x) — ok")
+
+
+def check_exact(name: str, base: float, fresh: float, rel_tol: float) -> None:
+    if abs(fresh - base) > rel_tol * abs(base):
+        fail(f"metric {name}: {fresh:.6g} != baseline {base:.6g} "
+             f"(rel_tol {rel_tol:g})")
+    print(f"bench_check: {name}: {fresh:.6g} matches baseline — ok")
+
+
+def check_metrics(baseline: dict, fresh: dict) -> None:
+    fresh_metrics = fresh.get("metrics", {})
+    for name, spec in baseline["metrics"].items():
+        kind = spec.get("kind", "ratio")
+        if kind == "info":
+            print(f"bench_check: {name}: "
+                  f"{fresh_metrics.get(name, {}).get('value')} "
+                  f"(info, not gated)")
+            continue
+        if name not in fresh_metrics:
+            fail(f"fresh run emitted no metric {name!r}")
+        fresh_value = float(fresh_metrics[name]["value"])
+        base_value = float(spec["value"])
+        if kind == "ratio":
+            check_ratio(name, base_value, fresh_value,
+                        spec.get("min_value"))
+        elif kind == "exact":
+            check_exact(name, base_value, fresh_value,
+                        float(spec.get("rel_tol", 0.0)))
+        else:
+            fail(f"metric {name}: unknown kind {kind!r}")
+
+
+def check_legacy_headline(baseline: dict, fresh: dict) -> None:
+    head = fresh.get("headline", {})
+    for key, base_ratio in baseline.get("headline", {}).items():
+        if not isinstance(base_ratio, float):
+            continue  # graph name, vertex count, ...
+        check_ratio(f"headline {key}", base_ratio, head.get(key, 0.0))
 
 
 def main() -> None:
@@ -68,48 +146,10 @@ def main() -> None:
     if not fresh.get("labels_identical", False):
         fail(f"{opt_mode} labels diverged from {ref_mode} labels")
 
-    head = fresh.get("headline", {})
-    base_head = baseline.get("headline", {})
-    # Ratio checks: every numeric headline entry is an optimized/reference
-    # ratio from one machine, portable across hosts. Require the fresh
-    # ratios to keep at least half the baseline's headroom over 1.0. A
-    # baseline recorded on a host that could not realize a win (e.g. the
-    # parallel backend on a single-core reference machine records honest
-    # ratios below 1.0) has no headroom to halve — there the gate only
-    # rejects a further collapse past 80% of the recorded ratio.
-    base_threads = baseline.get("hardware_threads")
-    host_threads = os.cpu_count()
-    for key, base_ratio in base_head.items():
-        if not isinstance(base_ratio, float):
-            continue  # graph name, vertex count, ...
-        fresh_ratio = head.get(key, 0.0)
-        if base_ratio > 1.0:
-            floor = 1.0 + 0.5 * (base_ratio - 1.0)
-        else:
-            # A sub-1.0 baseline ratio means the recording host could not
-            # realize the win (e.g. too few cores for the parallel
-            # backend). That is only acceptable when the baseline says so
-            # explicitly: the recording bench must have emitted a
-            # "subunity_note" documenting why. A sub-1.0 ratio without the
-            # note is a silently collapsed baseline — hard-fail rather
-            # than weaken the gate around it.
-            if not baseline.get("subunity_note"):
-                fail(f"headline {key} baseline ratio {base_ratio:.2f}x is "
-                     f"below 1.0 but the baseline carries no "
-                     f"'subunity_note' explaining it; re-record the "
-                     f"baseline (the bench emits the note automatically) "
-                     f"or fix the regression it hides")
-            if base_threads is not None and base_threads != host_threads:
-                print(f"bench_check: WARNING: headline {key} baseline ratio "
-                      f"{base_ratio:.2f}x was recorded on a host with "
-                      f"{base_threads} hardware threads; this host has "
-                      f"{host_threads}. Applying the collapsed-ratio floor "
-                      f"({0.8 * base_ratio:.2f}x) — consider re-recording "
-                      f"the baseline on this host.", file=sys.stderr)
-            floor = 0.8 * base_ratio
-        if fresh_ratio < floor:
-            fail(f"headline {key} collapsed: {fresh_ratio:.2f}x "
-                 f"(baseline {base_ratio:.2f}x, floor {floor:.2f}x)")
+    if "metrics" in baseline:
+        check_metrics(baseline, fresh)
+    else:
+        check_legacy_headline(baseline, fresh)
 
     # Wall-time regression, calibrated by the reference run so a slower
     # machine does not trip the gate: compare optimized seconds after

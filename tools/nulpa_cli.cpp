@@ -2,13 +2,15 @@
 //
 // Usage:
 //   nulpa detect   --input g.mtx [--format mtx|edges|bin|metis]
-//                  [--algo nulpa|gve|flpa|plp|seq|gunrock|louvain]
+//                  [--algo nulpa|sharded|gve|flpa|plp|seq|gunrock|louvain]
 //                  [--output labels.txt] [--pick-less 4] [--cross-check 0]
 //                  [--switch-degree 32] [--probing quad-double|linear|
 //                  quadratic|double|coalesced] [--tolerance 0.05]
 //                  [--max-iterations 20] [--double-values] [--shared-tables]
 //                  [--pruning true|false] [--seed N]
 //                  [--parallel-sim] [--threads N]
+//                  [--shards N] [--shard-mode contiguous|hash]
+//                  [--comm-mode auto|none|bitset|offsets|full]
 //                  [--trace run.jsonl] [--metrics table.txt]
 //   nulpa trace-summary --input run.jsonl    (per-iteration table from a
 //                                             --trace capture; "-" = stdin)
@@ -20,6 +22,14 @@
 // kernel launches, counter deltas); --metrics writes the human-readable
 // per-iteration table. "-" sends either stream to stdout. The trace schema
 // is documented in DESIGN.md ("Trace schema").
+//
+// --shards N > 1 simulates N devices: the graph is edge-cut (--shard-mode),
+// each shard runs its own simulated device, and only changed labels cross
+// shard boundaries at iteration barriers (--comm-mode pins the message
+// encoding; "auto" picks per message by density). With the default --algo
+// this routes to the "sharded" algorithm automatically; final labels are
+// byte-identical for any shard count. See DESIGN.md "Sharding & delta
+// exchange".
 //
 // --parallel-sim runs the SIMT simulator's sharded multi-threaded backend;
 // --threads N fixes its worker count (0 = hardware concurrency; N > 1
@@ -95,7 +105,11 @@ std::ostream& open_sink(std::ofstream& file, const std::string& path) {
 
 int cmd_detect(const CliArgs& args) {
   const Graph g = load(args);
-  const CommonFlags flags = parse_common_flags(args);
+  CommonFlags flags = parse_common_flags(args);
+  if (flags.shards > 1 && flags.algo == "nulpa" && !args.has("algo")) {
+    std::printf("note: --shards %u selects --algo sharded\n", flags.shards);
+    flags.algo = "sharded";
+  }
 
   const AlgorithmInfo* algo = find_algorithm(flags.algo);
   if (algo == nullptr) {
