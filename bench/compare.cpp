@@ -18,12 +18,14 @@
 // schema"); inspect it with `nulpa trace-summary --input FILE`.
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/runner.hpp"
+#include "observe/metrics.hpp"
 #include "observe/trace.hpp"
 #include "perfmodel/machine.hpp"
 #include "quality/modularity.hpp"
@@ -69,16 +71,35 @@ int main(int argc, char** argv) {
   // sweeps per pass) — keep the comparison's historical setting.
   run_opts.louvain.tolerance = 1e-3;
 
+  // Per-iteration latency distributions, one histogram per algorithm
+  // across all graphs (LPA's early sweeps move almost every label and the
+  // tail moves a handful — means hide that; p50/p95/p99 expose it).
+  observe::MetricsRegistry iter_metrics;
+
   for (const auto& inst : graphs) {
     const Graph& g = inst.graph;
     Row row;
     row.name = inst.spec.name;
 
     observe::ContextTracer ctx(jsonl ? &*jsonl : nullptr, inst.spec.name);
-    run_opts.tracer = ctx.enabled() ? &ctx : nullptr;
 
     for (const auto& algo : registry) {
+      observe::CollectingTracer iter_sink;
+      observe::MultiTracer fan;
+      if (ctx.enabled()) fan.add(&ctx);
+      fan.add(&iter_sink);
+      run_opts.tracer = &fan;
       const RunReport r = algo.run(g, run_opts);
+      auto& hist = iter_metrics.histogram(std::string(algo.name));
+      for (const auto& ev : iter_sink.events()) {
+        if (ev.kind != observe::EventKind::kIterationEnd) continue;
+        // Modeled seconds for simulator-backed rows (deterministic at a
+        // fixed scale/seed), host wall for the rest.
+        const double s = ev.has_counters
+                             ? modeled_gpu_seconds(a100(), ev.counters)
+                             : ev.seconds;
+        hist.record(static_cast<std::uint64_t>(s * 1e9));
+      }
       Cell cell;
       cell.t = r.modeled_seconds;
       cell.q = modularity(g, r.labels);
@@ -164,5 +185,10 @@ int main(int argc, char** argv) {
                 (bench::mean(q_ratio[k]) - 1.0) * 100.0,
                 k + 1 < others.size() ? "," : "\n");
   }
+
+  std::printf("\n=== Per-iteration latency distribution, all graphs pooled "
+              "(ms; modeled seconds for simulator-backed rows, host wall "
+              "otherwise)\n\n");
+  iter_metrics.print_table(std::cout, 1e-6, "ms");
   return 0;
 }

@@ -27,6 +27,7 @@
 
 #include "comm/bitset.hpp"
 #include "graph/csr.hpp"
+#include "observe/profiler.hpp"
 #include "simt/counters.hpp"
 
 namespace nulpa::comm {
@@ -89,6 +90,8 @@ Message<T> batch_get(std::span<const Vertex> send_list,
                      std::span<const T> values, const ChangedBitset& changed,
                      std::optional<DataCommMode> forced,
                      simt::PerfCounters& ctr) {
+  observe::ProfSpan prof_span("comm.batch_get", "list_size",
+                              send_list.size());
   Message<T> msg;
   msg.list_size = static_cast<std::uint32_t>(send_list.size());
 
@@ -142,6 +145,8 @@ template <typename T, typename OnUpdate>
 void batch_set(const Message<T>& msg, std::span<const Vertex> recv_list,
                std::span<T> values, simt::PerfCounters& ctr,
                OnUpdate&& on_update) {
+  observe::ProfSpan prof_span("comm.batch_set", "values",
+                              msg.values.size());
   const auto apply = [&](std::size_t pos, const T& v) {
     T& slot = values[recv_list[pos]];
     if (slot == v) return;

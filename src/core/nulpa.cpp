@@ -9,10 +9,10 @@
 #include "core/shared_accumulate.hpp"
 #include "graph/partition.hpp"
 #include "hash/coalesced.hpp"
+#include "observe/profiler.hpp"
 #include "simt/collectives.hpp"
 #include "simt/grid.hpp"
 #include "util/bits.hpp"
-#include "util/timer.hpp"
 
 namespace nulpa {
 
@@ -139,7 +139,8 @@ class Engine {
   }
 
   NuLpaResult run() {
-    Timer timer;
+    observe::ProfSpan run_span("run.nulpa");
+    observe::SpanTimer timer;
     NuLpaResult res;
     const Vertex n = g_.num_vertices();
     const bool tracing = observe::active(tracer_);
@@ -155,6 +156,8 @@ class Engine {
     std::uint64_t total_changed = 0;
 
     for (int iter = 0; n != 0 && iter < cfg_.max_iterations; ++iter) {
+      observe::ProfSpan iter_span("iteration", "iter",
+                                  static_cast<std::uint64_t>(iter));
       iter_ = iter;
       pick_less_ = cfg_.swap.pick_less_every > 0 &&
                    iter % cfg_.swap.pick_less_every == 0;
@@ -166,7 +169,7 @@ class Engine {
       // label state, so a traced run is bit-identical to an untraced one.
       simt::PerfCounters iter_ctr0;
       HashStats iter_hs0;
-      Timer iter_timer;
+      observe::SpanTimer iter_timer;
       if (tracing) {
         iter_ctr0 = ctr_.snapshot();
         iter_hs0 = hstats_total();
@@ -255,13 +258,16 @@ class Engine {
   /// attached. `fn` returns the number of work items it launched.
   template <typename F>
   void traced_kernel(const char* name, F&& fn) {
+    // `name` is a string literal at every call site, so it satisfies
+    // ProfSpan's static-storage requirement.
+    observe::ProfSpan prof_span(name);
     if (!observe::active(tracer_)) {
       fn();
       return;
     }
     const simt::PerfCounters ctr0 = ctr_.snapshot();
     const HashStats hs0 = hstats_total();
-    Timer t;
+    observe::SpanTimer t;
     const std::uint64_t work_items = fn();
     observe::TraceEvent ev;
     ev.kind = observe::EventKind::kKernelLaunch;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "observe/profiler.hpp"
 #include "perfmodel/machine.hpp"
 
 namespace nulpa {
@@ -18,12 +19,14 @@ namespace {
 //  * louvain         — modeled A100 time from its edge-scan work.
 
 RunReport run_nulpa(const Graph& g, const RunOptions& opts) {
+  observe::ProfSpan runner_span("runner.nulpa");
   RunReport r = nu_lpa(g, opts.nulpa, opts.tracer);
   r.modeled_seconds = modeled_gpu_seconds(a100(), r.counters);
   return r;
 }
 
 RunReport run_sharded(const Graph& g, const RunOptions& opts) {
+  observe::ProfSpan runner_span("runner.sharded");
   RunReport r = sharded_lpa(g, opts.sharded, opts.tracer);
   // Per-shard kernels are modeled A100 devices; the exchange is host-side
   // packing whose volume the comm counters report. The modeled time takes
@@ -34,30 +37,35 @@ RunReport run_sharded(const Graph& g, const RunOptions& opts) {
 }
 
 RunReport run_gve(const Graph& g, const RunOptions& opts) {
+  observe::ProfSpan runner_span("runner.gve");
   RunReport r = gve_lpa(g, ThreadPool::global(), opts.gve, opts.tracer);
   r.modeled_seconds = modeled_cpu_seconds(r.seconds, 32, 0.5);
   return r;
 }
 
 RunReport run_flpa(const Graph& g, const RunOptions& opts) {
+  observe::ProfSpan runner_span("runner.flpa");
   RunReport r = flpa(g, opts.flpa, opts.tracer);
   r.modeled_seconds = r.seconds;
   return r;
 }
 
 RunReport run_plp(const Graph& g, const RunOptions& opts) {
+  observe::ProfSpan runner_span("runner.plp");
   RunReport r = plp(g, ThreadPool::global(), opts.plp, opts.tracer);
   r.modeled_seconds = modeled_cpu_seconds(r.seconds, 32, 0.5);
   return r;
 }
 
 RunReport run_seq(const Graph& g, const RunOptions& opts) {
+  observe::ProfSpan runner_span("runner.seq");
   RunReport r = seq_lpa(g, opts.seq, opts.tracer);
   r.modeled_seconds = r.seconds;
   return r;
 }
 
 RunReport run_gunrock(const Graph& g, const RunOptions& opts) {
+  observe::ProfSpan runner_span("runner.gunrock");
   RunReport r = gunrock_lpa_simt(g, opts.gunrock, opts.tracer);
   // Gunrock's label aggregation is a segmented *sort* in the real system:
   // ~4 radix passes, each reading and writing key+value for every edge,
@@ -73,6 +81,7 @@ RunReport run_gunrock(const Graph& g, const RunOptions& opts) {
 }
 
 RunReport run_louvain(const Graph& g, const RunOptions& opts) {
+  observe::ProfSpan runner_span("runner.louvain");
   RunReport r = louvain(g, opts.louvain, opts.tracer);
   // cuGraph Louvain: per-edge hashmap work plus graph contraction dominate,
   // and each pass issues dozens of kernels — modeled as 16 words + 2
@@ -164,6 +173,8 @@ simt::ExecPolicy exec_policy_from_flags(const CommonFlags& flags) {
 
 RunOptions run_options_from_flags(const CommonFlags& flags) {
   RunOptions opts;
+  opts.profile_file = flags.profile_file;
+  opts.metrics_histograms = flags.metrics_histograms;
   opts.nulpa = nulpa_config_from_flags(flags);
   opts.exec = exec_policy_from_flags(flags);
   // nulpa_config_from_flags() already derived the same policy; keep the

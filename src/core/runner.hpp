@@ -46,6 +46,14 @@ struct RunOptions {
   // gunrock.exec), so tools pick the backend through this one field.
   simt::ExecPolicy exec{};
   observe::Tracer* tracer = nullptr;
+  // Host-side span profiling (src/observe/profiler.hpp): when
+  // `profile_file` is non-empty the CLI enables the ProfilerRegistry for
+  // the run and writes the drained spans there as Chrome trace-event JSON;
+  // `metrics_histograms` additionally prints per-phase latency histograms
+  // (p50/p95/p99). Pure observation — labels and PerfCounters are
+  // byte-identical whether or not these are set.
+  std::string profile_file;
+  bool metrics_histograms = false;
 };
 
 using Runner = RunReport (*)(const Graph& g, const RunOptions& opts);

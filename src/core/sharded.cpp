@@ -7,9 +7,9 @@
 
 #include "graph/stats.hpp"
 #include "hash/vertex_table.hpp"
+#include "observe/profiler.hpp"
 #include "simt/mem.hpp"
 #include "util/bits.hpp"
-#include "util/timer.hpp"
 
 namespace nulpa {
 
@@ -48,7 +48,8 @@ RunReport sharded_lpa(const Graph& g, const ShardedConfig& cfg,
 
 RunReport sharded_lpa(const Graph& g, const ShardPlan& plan,
                       const ShardedConfig& cfg, observe::Tracer* tracer) {
-  Timer timer;
+  observe::ProfSpan run_span("run.sharded", "shards", plan.num_shards);
+  observe::SpanTimer timer;
   RunReport res;
   res.has_counters = true;
   const Vertex n = g.num_vertices();
@@ -101,7 +102,9 @@ RunReport sharded_lpa(const Graph& g, const ShardPlan& plan,
   bool converged = false;
   int it = 0;
   for (; it < cfg.max_iterations; ++it) {
-    Timer iter_timer;
+    observe::ProfSpan iter_span("iteration", "iter",
+                                static_cast<std::uint64_t>(it));
+    observe::SpanTimer iter_timer;
     simt::PerfCounters iter0{};
     HashStats hash0{};
     if (trace.on()) {
@@ -150,6 +153,9 @@ RunReport sharded_lpa(const Graph& g, const ShardPlan& plan,
       ShardState& st = shards[s];
       const auto fsize = static_cast<std::uint32_t>(st.frontier.size());
       if (fsize == 0) continue;
+      // Spans inside this launch land in the shard's trace-process lane.
+      observe::ProfPidScope pid_scope(s);
+      observe::ProfSpan shard_span("shard.launch", "frontier", fsize);
       const simt::PerfCounters ctr0 =
           trace.on() ? st.ctr.snapshot() : simt::PerfCounters{};
       ++st.ctr.kernel_launches;
@@ -242,26 +248,40 @@ RunReport sharded_lpa(const Graph& g, const ShardPlan& plan,
     // mirrors it, and wake the masters adjacent to an updated mirror. The
     // encoding is per message (density decides, unless pinned by config).
     const simt::PerfCounters comm0 = comm_ctr.snapshot();
-    for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
-      ShardState& src = shards[s];
-      for (std::uint32_t t = 0; t < plan.num_shards; ++t) {
-        if (t == s || src.shard->send_masters[t].empty()) continue;
-        ShardState& dst = shards[t];
-        const std::span<const Vertex> recv_list =
-            dst.shard->recv_mirrors[s];
-        const comm::Message<Vertex> msg = comm::batch_get<Vertex>(
-            src.shard->send_masters[t], std::span<const Vertex>(src.labels),
-            src.changed, cfg.comm_mode, comm_ctr);
-        comm::batch_set<Vertex>(
-            msg, recv_list, std::span<Vertex>(dst.labels), comm_ctr,
-            [&](std::size_t pos) {
-              const Vertex m = recv_list[pos] - dst.shard->num_masters;
-              const EdgeIndex b = dst.shard->mirror_adj_offsets[m];
-              const EdgeIndex e = dst.shard->mirror_adj_offsets[m + 1];
-              for (EdgeIndex i = b; i < e; ++i) {
-                dst.active[dst.shard->mirror_adj[i]] = 1;
-              }
-            });
+    {
+      observe::ProfSpan barrier_span("exchange.barrier", "iter",
+                                     static_cast<std::uint64_t>(it));
+      for (std::uint32_t s = 0; s < plan.num_shards; ++s) {
+        ShardState& src = shards[s];
+        for (std::uint32_t t = 0; t < plan.num_shards; ++t) {
+          if (t == s || src.shard->send_masters[t].empty()) continue;
+          ShardState& dst = shards[t];
+          const std::span<const Vertex> recv_list =
+              dst.shard->recv_mirrors[s];
+          comm::Message<Vertex> msg;
+          {
+            // Serialize in the source shard's lane, apply in the
+            // destination's — the timeline shows who pays for each half.
+            observe::ProfPidScope src_scope(s);
+            observe::ProfSpan ser_span("comm.serialize", "dst", t);
+            msg = comm::batch_get<Vertex>(
+                src.shard->send_masters[t],
+                std::span<const Vertex>(src.labels), src.changed,
+                cfg.comm_mode, comm_ctr);
+          }
+          observe::ProfPidScope dst_scope(t);
+          observe::ProfSpan apply_span("comm.apply", "src", s);
+          comm::batch_set<Vertex>(
+              msg, recv_list, std::span<Vertex>(dst.labels), comm_ctr,
+              [&](std::size_t pos) {
+                const Vertex m = recv_list[pos] - dst.shard->num_masters;
+                const EdgeIndex b = dst.shard->mirror_adj_offsets[m];
+                const EdgeIndex e = dst.shard->mirror_adj_offsets[m + 1];
+                for (EdgeIndex i = b; i < e; ++i) {
+                  dst.active[dst.shard->mirror_adj[i]] = 1;
+                }
+              });
+        }
       }
     }
     if (trace.on()) {

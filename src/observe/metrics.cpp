@@ -1,0 +1,192 @@
+#include "observe/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace nulpa::observe {
+
+namespace {
+
+constexpr std::uint32_t kSub = Histogram::kSubBuckets;
+
+/// Bucket index for a value: exact below 16, then 16 linear sub-buckets
+/// per power of two.
+std::size_t bucket_index(std::uint64_t v) noexcept {
+  if (v < 16) return static_cast<std::size_t>(v);
+  const int msb = std::bit_width(v) - 1;  // >= 4
+  const std::uint64_t sub = (v >> (msb - 4)) & (kSub - 1);
+  return 16 + static_cast<std::size_t>(msb - 4) * kSub +
+         static_cast<std::size_t>(sub);
+}
+
+/// Inclusive-exclusive value range [lo, hi) covered by a bucket.
+void bucket_bounds(std::size_t index, double& lo, double& hi) noexcept {
+  if (index < 16) {
+    lo = static_cast<double>(index);
+    hi = lo + 1.0;
+    return;
+  }
+  const std::size_t octave = (index - 16) / kSub;
+  const std::size_t sub = (index - 16) % kSub;
+  const int shift = static_cast<int>(octave);  // msb - 4
+  const double width = std::ldexp(1.0, shift);
+  lo = static_cast<double>(16 + sub) * width;
+  hi = lo + width;
+}
+
+void json_escape_ascii(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    const auto u = static_cast<unsigned char>(ch);
+    if (ch == '"' || ch == '\\') {
+      os << '\\' << ch;
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      os << buf;
+    } else {
+      os << ch;
+    }
+  }
+}
+
+void json_number(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[bucket_index(value)]++;
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  const double target =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    cum += buckets_[i];
+    if (static_cast<double>(cum) < target) continue;
+    double lo = 0.0;
+    double hi = 0.0;
+    bucket_bounds(i, lo, hi);
+    const double into =
+        target - static_cast<double>(cum - buckets_[i]);
+    const double frac =
+        std::clamp(into / static_cast<double>(buckets_[i]), 0.0, 1.0);
+    const double v = lo + frac * (hi - lo);
+    return std::clamp(v, static_cast<double>(min_),
+                      static_cast<double>(max_));
+  }
+  return static_cast<double>(max_);
+}
+
+HistogramSummary summarize(const Histogram& h) noexcept {
+  HistogramSummary s;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.p50 = h.percentile(50.0);
+  s.p95 = h.percentile(95.0);
+  s.p99 = h.percentile(99.0);
+  s.min = h.min();
+  s.max = h.max();
+  return s;
+}
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return find_or_add(counters_, name);
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  return find_or_add(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return find_or_add(histograms_, name);
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << '{';
+  os << "\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"';
+    json_escape_ascii(os, counters_[i].name);
+    os << "\":" << counters_[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"';
+    json_escape_ascii(os, gauges_[i].name);
+    os << "\":";
+    json_number(os, gauges_[i].value);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (i != 0) os << ',';
+    const HistogramSummary s = summarize(histograms_[i].value);
+    os << '"';
+    json_escape_ascii(os, histograms_[i].name);
+    os << "\":{\"count\":" << s.count << ",\"mean\":";
+    json_number(os, s.mean);
+    os << ",\"p50\":";
+    json_number(os, s.p50);
+    os << ",\"p95\":";
+    json_number(os, s.p95);
+    os << ",\"p99\":";
+    json_number(os, s.p99);
+    os << ",\"min\":" << s.min << ",\"max\":" << s.max << '}';
+  }
+  os << "}}\n";
+}
+
+void MetricsRegistry::print_table(std::ostream& os, double unit_per_count,
+                                  const char* unit_name) const {
+  if (!counters_.empty() || !gauges_.empty()) {
+    TextTable t({"metric", "value"});
+    for (const auto& c : counters_) {
+      t.add_row({c.name, fmt_count(static_cast<double>(c.value))});
+    }
+    for (const auto& g : gauges_) t.add_row({g.name, fmt(g.value, 4)});
+    t.print(os);
+  }
+  if (histograms_.empty()) return;
+  const std::string unit =
+      unit_name[0] == '\0' ? std::string{} : " (" + std::string(unit_name) +
+                                                 ")";
+  TextTable t({"histogram" + unit, "count", "mean", "p50", "p95", "p99",
+               "max"});
+  for (const auto& h : histograms_) {
+    const HistogramSummary s = summarize(h.value);
+    t.add_row({h.name, fmt_count(static_cast<double>(s.count)),
+               fmt(s.mean * unit_per_count, 4),
+               fmt(s.p50 * unit_per_count, 4),
+               fmt(s.p95 * unit_per_count, 4),
+               fmt(s.p99 * unit_per_count, 4),
+               fmt(static_cast<double>(s.max) * unit_per_count, 4)});
+  }
+  t.print(os);
+}
+
+}  // namespace nulpa::observe

@@ -1,0 +1,562 @@
+#include "observe/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+#include "observe/metrics.hpp"
+#include "util/table.hpp"
+
+namespace nulpa::observe {
+
+// ---------------------------------------------------------------------------
+// Clock plumbing.
+
+namespace {
+
+class SteadyClockSource final : public ClockSource {
+ public:
+  std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+std::atomic<ClockSource*>& clock_slot() noexcept {
+  static std::atomic<ClockSource*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+ClockSource& steady_clock_source() noexcept {
+  static SteadyClockSource source;
+  return source;
+}
+
+ClockSource& active_clock() noexcept {
+  ClockSource* c = clock_slot().load(std::memory_order_acquire);
+  return c != nullptr ? *c : steady_clock_source();
+}
+
+ClockSource* set_clock(ClockSource* clock) noexcept {
+  return clock_slot().exchange(clock, std::memory_order_acq_rel);
+}
+
+// ---------------------------------------------------------------------------
+// Thread buffers and the registry.
+
+namespace detail {
+
+std::atomic<bool> prof_enabled{false};
+thread_local std::uint32_t prof_current_pid = 0;
+
+struct ProfThreadBuf {
+  std::mutex mutex;  // owner pushes, drain snapshots; never both hot
+  std::vector<ProfSpanRecord> spans;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+namespace {
+
+/// Registry state behind a function-local static so thread buffers created
+/// during static init (the global ThreadPool's workers) order correctly.
+struct RegistryState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ProfThreadBuf>> bufs;
+  std::uint32_t next_tid = 1;
+};
+
+RegistryState& registry_state() {
+  static RegistryState state;
+  return state;
+}
+
+}  // namespace
+
+ProfThreadBuf& prof_thread_buf() {
+  // The thread_local shared_ptr and the registry's copy jointly own the
+  // buffer: a pool worker exiting (shutdown/resize) keeps its spans
+  // drainable, which is what "no spans lost" means across resizes.
+  thread_local std::shared_ptr<ProfThreadBuf> buf = [] {
+    auto b = std::make_shared<ProfThreadBuf>();
+    RegistryState& st = registry_state();
+    std::lock_guard lock(st.mutex);
+    b->tid = st.next_tid++;
+    b->name = b->tid == 1 ? "main" : "thread-" + std::to_string(b->tid);
+    st.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void prof_push(const ProfSpanRecord& rec) {
+  ProfThreadBuf& buf = prof_thread_buf();
+  std::lock_guard lock(buf.mutex);
+  if (buf.spans.size() >= ProfilerRegistry::kMaxSpansPerThread) {
+    buf.dropped++;
+    return;
+  }
+  ProfSpanRecord r = rec;
+  r.tid = buf.tid;
+  buf.spans.push_back(r);
+}
+
+}  // namespace detail
+
+ProfilerRegistry& ProfilerRegistry::instance() {
+  static ProfilerRegistry registry;
+  return registry;
+}
+
+void ProfilerRegistry::enable() {
+  clear();
+  detail::prof_enabled.store(true, std::memory_order_relaxed);
+}
+
+void ProfilerRegistry::disable() {
+  detail::prof_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ProfilerRegistry::clear() {
+  detail::RegistryState& st = detail::registry_state();
+  std::lock_guard lock(st.mutex);
+  for (const auto& buf : st.bufs) {
+    std::lock_guard buf_lock(buf->mutex);
+    buf->spans.clear();
+    buf->dropped = 0;
+  }
+}
+
+std::vector<ProfSpanRecord> ProfilerRegistry::drain() const {
+  detail::RegistryState& st = detail::registry_state();
+  std::vector<ProfSpanRecord> out;
+  std::lock_guard lock(st.mutex);
+  for (const auto& buf : st.bufs) {
+    std::lock_guard buf_lock(buf->mutex);
+    out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProfSpanRecord& a, const ProfSpanRecord& b) {
+                     return a.tid != b.tid ? a.tid < b.tid
+                                           : a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::uint64_t ProfilerRegistry::dropped() const {
+  detail::RegistryState& st = detail::registry_state();
+  std::uint64_t total = 0;
+  std::lock_guard lock(st.mutex);
+  for (const auto& buf : st.bufs) {
+    std::lock_guard buf_lock(buf->mutex);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+void ProfilerRegistry::set_thread_name(std::string name) {
+  detail::ProfThreadBuf& buf = detail::prof_thread_buf();
+  std::lock_guard lock(buf.mutex);
+  buf.name = std::move(name);
+}
+
+void set_thread_name(std::string name) {
+  ProfilerRegistry::instance().set_thread_name(std::move(name));
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export.
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    const auto u = static_cast<unsigned char>(ch);
+    if (ch == '"' || ch == '\\') {
+      os << '\\' << ch;
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      os << buf;
+    } else {
+      os << ch;
+    }
+  }
+  os << '"';
+}
+
+void write_us(std::ostream& os, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  os << buf;
+}
+
+}  // namespace
+
+void ProfilerRegistry::write_chrome_trace(std::ostream& os) const {
+  const std::vector<ProfSpanRecord> spans = drain();
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const ProfSpanRecord& s : spans) t0 = std::min(t0, s.start_ns);
+  if (spans.empty()) t0 = 0;
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Process-name metadata: one lane per pid seen (0 = host, s + 1 =
+  // shard s), so Perfetto groups shard timelines the way the simulated
+  // devices are laid out.
+  std::vector<std::uint32_t> pids;
+  for (const ProfSpanRecord& s : spans) {
+    if (std::find(pids.begin(), pids.end(), s.pid) == pids.end()) {
+      pids.push_back(s.pid);
+    }
+  }
+  std::sort(pids.begin(), pids.end());
+  for (const std::uint32_t pid : pids) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":";
+    write_json_string(os, pid == 0 ? std::string("host")
+                                   : "shard " + std::to_string(pid - 1));
+    os << "}}";
+  }
+
+  // Thread-name metadata per (pid, tid) pair: the same OS thread appears
+  // in every shard lane it emitted spans under (the sharded engine runs
+  // several simulated devices on one host thread).
+  {
+    detail::RegistryState& st = detail::registry_state();
+    std::lock_guard lock(st.mutex);
+    for (const auto& buf : st.bufs) {
+      std::string name;
+      std::uint32_t tid = 0;
+      {
+        std::lock_guard buf_lock(buf->mutex);
+        name = buf->name;
+        tid = buf->tid;
+      }
+      for (const std::uint32_t pid : pids) {
+        const bool present = std::any_of(
+            spans.begin(), spans.end(), [&](const ProfSpanRecord& s) {
+              return s.tid == tid && s.pid == pid;
+            });
+        if (!present) continue;
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+           << ",\"tid\":" << tid << ",\"args\":{\"name\":";
+        write_json_string(os, name);
+        os << "}}";
+      }
+    }
+  }
+
+  for (const ProfSpanRecord& s : spans) {
+    sep();
+    os << "{\"ph\":\"X\",\"name\":";
+    write_json_string(os, s.name);
+    os << ",\"cat\":\"nulpa\",\"ts\":";
+    write_us(os, s.start_ns - t0);
+    os << ",\"dur\":";
+    write_us(os, s.dur_ns);
+    os << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid;
+    if (s.arg_name != nullptr) {
+      os << ",\"args\":{";
+      write_json_string(os, s.arg_name);
+      os << ':' << s.arg << '}';
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"";
+  if (const std::uint64_t d = dropped(); d > 0) {
+    os << ",\"metadata\":{\"nulpa_dropped_spans\":" << d << '}';
+  }
+  os << "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Reading Chrome traces back (prof-summary).
+
+namespace {
+
+/// Minimal recursive JSON reader over an in-memory document. Only the
+/// shapes the profiler writes are extracted (flat string/number fields of
+/// the traceEvents objects); everything else is validated and skipped.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string text) : text_(std::move(text)) {}
+
+  [[noreturn]] void bad(const std::string& why) const {
+    throw std::runtime_error("chrome trace: " + why + " at offset " +
+                             std::to_string(i_));
+  }
+
+  void skip_ws() {
+    while (i_ < text_.size() &&
+           (text_[i_] == ' ' || text_[i_] == '\t' || text_[i_] == '\n' ||
+            text_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (i_ >= text_.size()) bad("unexpected end of input");
+    return text_[i_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) bad(std::string("expected '") + ch + "'");
+    ++i_;
+  }
+
+  bool consume(char ch) {
+    if (i_ < text_.size() && peek() == ch) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string s;
+    while (i_ < text_.size() && text_[i_] != '"') {
+      char ch = text_[i_++];
+      if (ch != '\\') {
+        s.push_back(ch);
+        continue;
+      }
+      if (i_ >= text_.size()) bad("truncated escape");
+      const char esc = text_[i_++];
+      switch (esc) {
+        case 'n': s.push_back('\n'); break;
+        case 't': s.push_back('\t'); break;
+        case 'r': s.push_back('\r'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'u': {
+          if (i_ + 4 > text_.size()) bad("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[i_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              bad("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only — the writer never emits surrogates).
+          if (code < 0x80) {
+            s.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            s.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: s.push_back(esc);
+      }
+    }
+    expect('"');
+    return s;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* start = text_.c_str() + i_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) bad("expected number");
+    i_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  void skip_literal(const char* lit) {
+    skip_ws();
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(i_, len, lit) != 0) bad("bad literal");
+    i_ += len;
+  }
+
+  void skip_value() {
+    switch (peek()) {
+      case '"': parse_string(); return;
+      case '{':
+        ++i_;
+        if (consume('}')) return;
+        do {
+          parse_string();
+          expect(':');
+          skip_value();
+        } while (consume(','));
+        expect('}');
+        return;
+      case '[':
+        ++i_;
+        if (consume(']')) return;
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+        return;
+      case 't': skip_literal("true"); return;
+      case 'f': skip_literal("false"); return;
+      case 'n': skip_literal("null"); return;
+      default: parse_number(); return;
+    }
+  }
+
+ private:
+  std::string text_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+std::vector<ParsedSpan> parse_chrome_trace(std::istream& is) {
+  std::string text{std::istreambuf_iterator<char>(is),
+                   std::istreambuf_iterator<char>()};
+  JsonCursor c(std::move(text));
+  std::vector<ParsedSpan> out;
+
+  // Either the {"traceEvents": [...]} envelope or a bare event array.
+  if (c.peek() == '{') {
+    c.expect('{');
+    bool found = false;
+    if (!c.consume('}')) {
+      do {
+        const std::string key = c.parse_string();
+        c.expect(':');
+        if (key == "traceEvents") {
+          found = true;
+          break;
+        }
+        c.skip_value();
+      } while (c.consume(','));
+    }
+    if (!found) throw std::runtime_error("chrome trace: no traceEvents key");
+  }
+
+  c.expect('[');
+  if (!c.consume(']')) {
+    do {
+      c.expect('{');
+      std::string ph;
+      std::string name;
+      double ts = 0.0;
+      double dur = 0.0;
+      double pid = 0.0;
+      double tid = 0.0;
+      bool has_ts = false;
+      bool has_dur = false;
+      bool has_pid = false;
+      bool has_tid = false;
+      if (!c.consume('}')) {
+        do {
+          const std::string key = c.parse_string();
+          c.expect(':');
+          if (key == "ph") {
+            ph = c.parse_string();
+          } else if (key == "name") {
+            name = c.parse_string();
+          } else if (key == "ts") {
+            ts = c.parse_number();
+            has_ts = true;
+          } else if (key == "dur") {
+            dur = c.parse_number();
+            has_dur = true;
+          } else if (key == "pid") {
+            pid = c.parse_number();
+            has_pid = true;
+          } else if (key == "tid") {
+            tid = c.parse_number();
+            has_tid = true;
+          } else {
+            c.skip_value();
+          }
+        } while (c.consume(','));
+        c.expect('}');
+      }
+      if (ph == "X") {
+        if (name.empty() || !has_ts || !has_dur || !has_pid || !has_tid) {
+          throw std::runtime_error(
+              "chrome trace: complete event missing one of "
+              "name/ts/dur/pid/tid");
+        }
+        ParsedSpan s;
+        s.name = std::move(name);
+        s.ts_us = ts;
+        s.dur_us = dur;
+        s.pid = static_cast<std::uint32_t>(pid);
+        s.tid = static_cast<std::uint32_t>(tid);
+        out.push_back(std::move(s));
+      }
+    } while (c.consume(','));
+    c.expect(']');
+  }
+  return out;
+}
+
+void print_prof_summary(const std::vector<ParsedSpan>& spans,
+                        std::ostream& os) {
+  struct PhaseAgg {
+    std::string name;
+    Histogram hist;  // nanosecond samples
+    double total_us = 0.0;
+  };
+  std::vector<PhaseAgg> phases;
+  for (const ParsedSpan& s : spans) {
+    auto it = std::find_if(phases.begin(), phases.end(), [&](const PhaseAgg& p) {
+      return p.name == s.name;
+    });
+    if (it == phases.end()) {
+      phases.push_back({s.name, {}, 0.0});
+      it = phases.end() - 1;
+    }
+    it->hist.record(static_cast<std::uint64_t>(s.dur_us * 1000.0));
+    it->total_us += s.dur_us;
+  }
+  std::stable_sort(phases.begin(), phases.end(),
+                   [](const PhaseAgg& a, const PhaseAgg& b) {
+                     return a.total_us > b.total_us;
+                   });
+  TextTable t({"phase", "count", "total s", "p50 ms", "p95 ms", "p99 ms",
+               "max ms"});
+  for (const PhaseAgg& p : phases) {
+    const HistogramSummary s = summarize(p.hist);
+    t.add_row({p.name, fmt_count(static_cast<double>(s.count)),
+               fmt(p.total_us * 1e-6, 4), fmt(s.p50 * 1e-6, 4),
+               fmt(s.p95 * 1e-6, 4), fmt(s.p99 * 1e-6, 4),
+               fmt(static_cast<double>(s.max) * 1e-6, 4)});
+  }
+  t.print(os);
+}
+
+}  // namespace nulpa::observe

@@ -1,0 +1,227 @@
+// Host-side span profiler: RAII ProfSpan guards write into per-thread ring
+// buffers registered with a process-wide ProfilerRegistry, which drains them
+// to Chrome trace-event JSON ("ph":"X" complete events) loadable in Perfetto
+// or chrome://tracing. Complements src/observe/trace.{hpp,cpp}: the tracer
+// records *what the algorithm did* (counters, label deltas) per iteration,
+// the profiler records *where host time went* (nested spans with per-worker
+// tid and per-shard pid attribution, nanosecond steady_clock stamps).
+//
+// Profiling is host-side only and off by default. Nothing here touches lane
+// counters or label state, so labels and PerfCounters are byte-identical
+// with profiling on or off at any backend/thread/shard count; when disabled
+// a ProfSpan costs one relaxed atomic load (the same discipline as
+// observe::active for the tracer).
+//
+// This header deliberately has no simulator dependencies (it lives in the
+// standalone nulpa_prof library): the simt/parallel/comm layers emit spans,
+// and nulpa_observe depends on simt — the profiler must sit *below* both.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nulpa::observe {
+
+// ---------------------------------------------------------------------------
+// Pluggable clock (unit tests pin deterministic timestamps).
+
+/// Monotonic nanosecond clock behind a virtual, so tests can script time.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// The process-wide steady_clock-backed source (the default).
+ClockSource& steady_clock_source() noexcept;
+
+/// The active clock. Defaults to steady_clock_source(); reads are lock-free.
+ClockSource& active_clock() noexcept;
+
+/// Swaps the active clock; returns the previous one. Pass nullptr to restore
+/// the steady default. For single-threaded test setup only — swapping while
+/// spans are in flight mixes time bases.
+ClockSource* set_clock(ClockSource* clock) noexcept;
+
+/// Drop-in for util/timer.hpp's Timer in producers whose `seconds` stamps
+/// must be test-pinnable: reads the active observe clock instead of calling
+/// std::chrono directly.
+class SpanTimer {
+ public:
+  SpanTimer() : start_ns_(active_clock().now_ns()) {}
+  void reset() { start_ns_ = active_clock().now_ns(); }
+  [[nodiscard]] std::uint64_t ns() const {
+    return active_clock().now_ns() - start_ns_;
+  }
+  [[nodiscard]] double seconds() const {
+    return 1e-9 * static_cast<double>(ns());
+  }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+// ---------------------------------------------------------------------------
+// Span records.
+
+/// One completed span. `name` and `arg_name` must point at static-storage
+/// strings (phase names are compile-time literals); `pid` is the Chrome
+/// trace process lane (0 = host, s + 1 = shard s), `tid` the registry-
+/// assigned id of the emitting thread.
+struct ProfSpanRecord {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  // nullptr: no args payload
+  std::uint64_t arg = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+};
+
+namespace detail {
+
+/// Per-thread span buffer. The owning thread pushes under `mutex` (always
+/// uncontended except while a drain snapshot runs); the registry keeps the
+/// buffer alive after thread exit so pool resizes never lose spans.
+struct ProfThreadBuf;
+
+ProfThreadBuf& prof_thread_buf();
+void prof_push(const ProfSpanRecord& rec);
+extern std::atomic<bool> prof_enabled;
+extern thread_local std::uint32_t prof_current_pid;
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// The registry.
+
+/// Process-wide owner of every thread's span buffer.
+class ProfilerRegistry {
+ public:
+  /// Spans each thread retains before dropping (drops are counted and
+  /// reported by drain()/write_chrome_trace()). 1M records ≈ 56 MB/thread
+  /// worst case; timeline viewers degrade well before that.
+  static constexpr std::size_t kMaxSpansPerThread = 1u << 20;
+
+  static ProfilerRegistry& instance();
+
+  /// Clears all retained spans and starts capture.
+  void enable();
+  /// Stops capture; retained spans stay drainable.
+  void disable();
+  static bool enabled() noexcept {
+    return detail::prof_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Discards every retained span and drop count (capture state unchanged).
+  void clear();
+
+  /// Snapshot of every thread's spans, in (tid, start_ns) order. Safe to
+  /// call while other threads keep emitting; their in-flight spans land in
+  /// the next drain.
+  [[nodiscard]] std::vector<ProfSpanRecord> drain() const;
+
+  /// Spans discarded because a thread buffer hit kMaxSpansPerThread.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Names the calling thread's timeline lane ("main", "pool-worker-3").
+  /// Cheap and callable whether or not capture is enabled.
+  void set_thread_name(std::string name);
+
+  /// Writes the retained spans as a Chrome trace-event JSON document:
+  /// {"traceEvents":[...]} with "ph":"M" process/thread-name metadata and
+  /// one "ph":"X" complete event per span (ts/dur in microseconds,
+  /// normalized to the earliest span).
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  ProfilerRegistry() = default;
+};
+
+// ---------------------------------------------------------------------------
+// Producer-side guards.
+
+/// RAII span: stamps start on construction, pushes the completed record on
+/// destruction. Near-zero when profiling is off (one relaxed load, no
+/// clock read). Name/arg_name must be static-storage strings.
+class ProfSpan {
+ public:
+  explicit ProfSpan(const char* name) noexcept {
+    if (!ProfilerRegistry::enabled()) return;
+    name_ = name;
+    start_ns_ = active_clock().now_ns();
+  }
+  ProfSpan(const char* name, const char* arg_name, std::uint64_t arg) noexcept
+      : ProfSpan(name) {
+    arg_name_ = arg_name;
+    arg_ = arg;
+  }
+  ProfSpan(const ProfSpan&) = delete;
+  ProfSpan& operator=(const ProfSpan&) = delete;
+  ~ProfSpan() {
+    if (name_ == nullptr) return;
+    ProfSpanRecord rec;
+    rec.name = name_;
+    rec.arg_name = arg_name_;
+    rec.arg = arg_;
+    rec.start_ns = start_ns_;
+    rec.dur_ns = active_clock().now_ns() - start_ns_;
+    rec.pid = detail::prof_current_pid;
+    detail::prof_push(rec);
+  }
+
+ private:
+  const char* name_ = nullptr;  // nullptr: capture was off at construction
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Scopes the calling thread's spans to a shard's process lane: spans
+/// emitted inside the scope carry pid = shard_id + 1 (pid 0 stays the
+/// host lane). Nest freely; restores the previous pid on exit.
+class ProfPidScope {
+ public:
+  explicit ProfPidScope(std::uint32_t shard_id) noexcept
+      : prev_(detail::prof_current_pid) {
+    detail::prof_current_pid = shard_id + 1;
+  }
+  ProfPidScope(const ProfPidScope&) = delete;
+  ProfPidScope& operator=(const ProfPidScope&) = delete;
+  ~ProfPidScope() { detail::prof_current_pid = prev_; }
+
+ private:
+  std::uint32_t prev_;
+};
+
+/// Free-function shorthand for ProfilerRegistry::instance().set_thread_name.
+void set_thread_name(std::string name);
+
+// ---------------------------------------------------------------------------
+// Reading profiles back (the `nulpa prof-summary` subcommand).
+
+/// A span parsed back from a Chrome trace file (names are owned strings
+/// here; the producer-side const char* optimization does not round-trip).
+struct ParsedSpan {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Parses a Chrome trace-event JSON document (either the {"traceEvents":
+/// [...]} envelope or a bare array) and returns its "ph":"X" spans.
+/// Throws std::runtime_error on malformed input or on complete events
+/// missing required keys (name/ts/dur/pid/tid).
+std::vector<ParsedSpan> parse_chrome_trace(std::istream& is);
+
+/// Per-phase latency summary table (count, total, p50/p95/p99) for a set
+/// of parsed spans, aggregated by name in first-appearance order.
+void print_prof_summary(const std::vector<ParsedSpan>& spans,
+                        std::ostream& os);
+
+}  // namespace nulpa::observe

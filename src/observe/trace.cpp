@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <istream>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "observe/metrics.hpp"
 #include "util/table.hpp"
 
 namespace nulpa::observe {
@@ -82,7 +84,18 @@ class JsonObjectWriter {
         case '\\': os_ << "\\\\"; break;
         case '\n': os_ << "\\n"; break;
         case '\t': os_ << "\\t"; break;
-        default: os_ << ch;
+        default:
+          // Remaining control characters are invalid raw inside a JSON
+          // string (and a literal newline would also break the one-object-
+          // per-line framing); emit the \uXXXX escape.
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned char>(ch));
+            os_ << buf;
+          } else {
+            os_ << ch;
+          }
       }
     }
     os_ << '"';
@@ -214,7 +227,44 @@ FlatJson parse_flat_object(const std::string& line, std::size_t line_no) {
       char ch = line[i++];
       if (ch == '\\' && i < line.size()) {
         const char esc = line[i++];
-        ch = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+        switch (esc) {
+          case 'n': ch = '\n'; break;
+          case 't': ch = '\t'; break;
+          case 'r': ch = '\r'; break;
+          case 'b': ch = '\b'; break;
+          case 'f': ch = '\f'; break;
+          case 'u': {
+            // \uXXXX — the writer only emits these for control characters,
+            // but decode any BMP code point (UTF-8) for robustness.
+            if (i + 4 > line.size()) malformed(line_no, "truncated \\u");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = line[i++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                malformed(line_no, "bad hex digit in \\u escape");
+              }
+            }
+            if (code < 0x80) {
+              s.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              s.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              s.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            continue;
+          }
+          default: ch = esc;
+        }
       }
       s.push_back(ch);
     }
@@ -443,6 +493,14 @@ void print_iteration_table(const std::vector<TraceEvent>& events,
       simt::PerfCounters ctr;
     };
     std::vector<KernelAgg> per_kernel;
+    // Host-seconds latency histograms per phase (kernel name or the whole
+    // iteration), nanosecond samples.
+    static const std::string kIterPhase = "iteration";
+    struct PhaseLat {
+      std::string name;
+      Histogram hist;
+    };
+    std::vector<PhaseLat> phase_lat;
     for (std::size_t k = i; k < end; ++k) {
       const TraceEvent& ev = events[k];
       if (ev.kind == EventKind::kRunEnd) run_end = &ev;
@@ -461,6 +519,23 @@ void print_iteration_table(const std::vector<TraceEvent>& events,
         }
         it->launches++;
         it->ctr += ev.counters;
+      }
+      // Phase-latency distributions from the host `seconds` stamps:
+      // per-kernel launch times plus whole iterations.
+      if ((ev.kind == EventKind::kKernelLaunch ||
+           ev.kind == EventKind::kIterationEnd) &&
+          ev.seconds > 0.0) {
+        const std::string& phase = ev.kind == EventKind::kKernelLaunch
+                                       ? ev.kernel
+                                       : kIterPhase;
+        auto it = std::find_if(
+            phase_lat.begin(), phase_lat.end(),
+            [&](const PhaseLat& p) { return p.name == phase; });
+        if (it == phase_lat.end()) {
+          phase_lat.push_back({phase, {}});
+          it = phase_lat.end() - 1;
+        }
+        it->hist.record(static_cast<std::uint64_t>(ev.seconds * 1e9));
       }
       if (ev.kind != EventKind::kIterationEnd) continue;
       const std::uint64_t words =
@@ -522,6 +597,23 @@ void print_iteration_table(const std::vector<TraceEvent>& events,
              fmt_count(static_cast<double>(a.ctr.exchange_bytes))});
       }
       kt.print(os);
+    }
+    // Latency percentiles per phase — only worth a table when some phase
+    // repeated (a single sample's p50 == p99 == the sample).
+    const bool any_repeat = std::any_of(
+        phase_lat.begin(), phase_lat.end(),
+        [](const PhaseLat& p) { return p.hist.count() > 1; });
+    if (any_repeat) {
+      TextTable lt({"phase", "count", "p50 ms", "p95 ms", "p99 ms",
+                    "max ms"});
+      for (const PhaseLat& p : phase_lat) {
+        const HistogramSummary s = summarize(p.hist);
+        lt.add_row({p.name, fmt_count(static_cast<double>(s.count)),
+                    fmt(s.p50 * 1e-6, 4), fmt(s.p95 * 1e-6, 4),
+                    fmt(s.p99 * 1e-6, 4),
+                    fmt(static_cast<double>(s.max) * 1e-6, 4)});
+      }
+      lt.print(os);
     }
     if (run_end != nullptr) {
       os << (run_end->converged ? "converged" : "stopped") << " after "

@@ -1,5 +1,9 @@
 #include "parallel/thread_pool.hpp"
 
+#include <string>
+
+#include "observe/profiler.hpp"
+
 namespace nulpa {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -59,6 +63,7 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
 }
 
 void ThreadPool::worker_loop(unsigned id) {
+  observe::set_thread_name("pool-worker-" + std::to_string(id));
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(unsigned)>* job = nullptr;
@@ -71,7 +76,10 @@ void ThreadPool::worker_loop(unsigned id) {
       seen_epoch = epoch_;
       job = job_;
     }
-    (*job)(id);
+    {
+      observe::ProfSpan span("pool.job", "worker", id);
+      (*job)(id);
+    }
     {
       std::lock_guard lock(mutex_);
       if (--remaining_ == 0) done_cv_.notify_all();

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "observe/profiler.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace nulpa::simt {
@@ -366,6 +367,7 @@ bool LaunchSession::pass_block(Shard& sh, ResidentBlock& rb) {
   if (rb.live == 0) {
     if (track_) {
       rb.mem.flush_all();  // drain: close the final windows
+      observe::ProfSpan replay_span("simt.replay", "block", rb.block_idx);
       rb.mem.drain_pipeline();  // replay the block against the model SM
     }
     release_block_stacks(sh, rb);
@@ -408,6 +410,7 @@ void LaunchSession::direct_loop(Shard& sh) {
     sh.direct_lane = nullptr;
     if (track_) {
       rb.mem.flush_all();  // inline drain: close the windows
+      observe::ProfSpan replay_span("simt.replay", "block", rb.block_idx);
       rb.mem.drain_pipeline();
     }
     rb.active = false;
@@ -523,6 +526,7 @@ void LaunchSession::run(std::uint32_t grid_dim, KernelRef kernel) {
 void LaunchSession::run_impl(std::uint32_t grid_dim, KernelRef kernel,
                              SyncMode sync) {
   if (grid_dim == 0) return;
+  observe::ProfSpan launch_span("simt.launch", "grid_dim", grid_dim);
   ensure_capacity(grid_dim);
   grid_dim_ = grid_dim;
   kernel_ = &kernel;
@@ -563,6 +567,7 @@ void LaunchSession::run_serial(SyncMode sync) {
   }
 
   for (;;) {
+    observe::ProfSpan pass_span("simt.pass");
     bool any_active = false;
     bool progress = false;
     for (auto& rb : blocks_) {
@@ -615,6 +620,7 @@ void LaunchSession::run_parallel_lockstep() {
   const unsigned pool_width = pool.size();
   std::uint32_t next_block = 0;
   for (;;) {
+    observe::ProfSpan pass_span("simt.pass");
     bool any_active = false;
     bool progress = false;
     for (std::uint32_t s = 0; s < slots_; ++s) {
@@ -634,6 +640,7 @@ void LaunchSession::run_parallel_lockstep() {
         Shard& sh = *shards_[id];
         sh.pass_progress = false;
         try {
+          observe::ProfSpan shard_span("simt.shard_pass", "shard", id);
           bool stepped = false;
           for (std::uint32_t s = id; s < slots_; s += workers_) {
             ResidentBlock& rb = blocks_[s];
@@ -811,6 +818,7 @@ void LaunchSession::run_parallel_direct() {
 }
 
 void LaunchSession::merge_shard_counters() {
+  observe::ProfSpan drain_span("simt.drain");
   for (const auto& sh : shards_) {
     if (sh->ctr == &sh->local) {
       ctr_ += sh->local;

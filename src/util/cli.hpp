@@ -119,6 +119,10 @@ struct CommonFlags {
   // Observability sinks (empty = disabled; "-" = stdout).
   std::string trace_file;    // --trace FILE -> JSONL event stream
   std::string metrics_file;  // --metrics FILE -> per-iteration table
+  std::string profile_file;  // --profile FILE -> Chrome trace-event JSON
+  // --metrics-histograms: per-phase latency histograms (p50/p95/p99) from
+  // the profiler spans, printed after the run.
+  bool metrics_histograms = false;
 };
 
 inline CommonFlags parse_common_flags(const CliArgs& args) {
@@ -150,6 +154,9 @@ inline CommonFlags parse_common_flags(const CliArgs& args) {
   f.scoreboard = args.get_bool("scoreboard", f.scoreboard);
   f.trace_file = args.get("trace", "");
   f.metrics_file = args.get("metrics", "");
+  f.profile_file = args.get("profile", "");
+  f.metrics_histograms =
+      args.get_bool("metrics-histograms", f.metrics_histograms);
   return f;
 }
 

@@ -150,6 +150,50 @@ TEST(Observe, JsonlRoundTrip) {
   }
 }
 
+TEST(Observe, JsonlEscapesHostileStringsAndRoundTrips) {
+  // Strings with quotes, backslashes, and control characters must survive
+  // the wire: the emitter escapes chars < 0x20 as \uXXXX and the parser
+  // decodes them back (a raw control byte inside a JSON string literal is
+  // invalid JSON and breaks downstream json.load consumers).
+  observe::TraceEvent ev;
+  ev.kind = observe::EventKind::kKernelLaunch;
+  ev.algo = "al\"go\\with\nnewline";
+  ev.kernel = std::string("k\x01\x1f") + "\t\r\b\f";
+  ev.context = "ctx\x07quoted\"";
+  ev.iteration = 3;
+  ev.work_items = 17;
+
+  std::ostringstream os;
+  observe::JsonlEmitter jsonl(os);
+  jsonl.record(ev);
+  const std::string line = os.str();
+  // No raw control byte may appear on the wire (bar the line terminator).
+  ASSERT_FALSE(line.empty());
+  ASSERT_EQ(line.back(), '\n');
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    EXPECT_GE(static_cast<unsigned char>(line[i]), 0x20u) << "at " << i;
+  }
+  EXPECT_NE(line.find("\\u0001"), std::string::npos);
+  EXPECT_NE(line.find("\\u001f"), std::string::npos);
+
+  std::istringstream is(line);
+  const auto parsed = observe::parse_trace_jsonl(is);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].algo, ev.algo);
+  EXPECT_EQ(parsed[0].kernel, ev.kernel);
+  EXPECT_EQ(parsed[0].context, ev.context);
+  EXPECT_EQ(parsed[0].work_items, ev.work_items);
+}
+
+TEST(Observe, ParseDecodesUnicodeEscapes) {
+  std::istringstream is(
+      "{\"kind\":\"kernel_launch\",\"algo\":\"a\",\"iter\":0,"
+      "\"kernel\":\"\\u0041\\u00e9\\u20ac\",\"work_items\":1}\n");
+  const auto parsed = observe::parse_trace_jsonl(is);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].kernel, "A\xc3\xa9\xe2\x82\xac");  // A, é, €
+}
+
 TEST(Observe, ParseRejectsMalformedLines) {
   std::istringstream is("{\"kind\":\"iteration_end\",\"iter\":oops}\n");
   EXPECT_THROW(observe::parse_trace_jsonl(is), std::runtime_error);

@@ -1,0 +1,48 @@
+# End-to-end smoke of the profiling pipeline, run as a ctest script:
+# generate a graph, run `nulpa run --profile` (sharded, so shard lanes get
+# distinct pids), validate the capture as Chrome trace-event JSON, then
+# render it with `nulpa prof-summary` and check the percentile columns
+# made it out.
+#
+# Inputs: -DNULPA=<path to the nulpa binary> -DWORK_DIR=<scratch dir>
+#         -DPYTHON=<python3 interpreter or ""> -DTOOLS_DIR=<repo tools/>
+
+function(run_or_die)
+  execute_process(COMMAND ${ARGV}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+set(graph "${WORK_DIR}/prof_smoke.mtx")
+set(profile "${WORK_DIR}/prof_smoke.json")
+
+run_or_die(${NULPA} generate --kind web --vertices 800 --output ${graph})
+run_or_die(${NULPA} run --input ${graph} --algo sharded --shards 2
+           --profile ${profile})
+
+if(NOT EXISTS ${profile})
+  message(FATAL_ERROR "run --profile did not write ${profile}")
+endif()
+
+# Structural validation with a real JSON parser when the host has one:
+# Perfetto-loadable envelope, every "ph":"X" event carries name/ts/dur/
+# pid/tid, and the two shards surface as distinct pids (plus the host
+# lane pid 0).
+if(PYTHON)
+  run_or_die(${PYTHON} ${TOOLS_DIR}/validate_chrome_trace.py ${profile}
+             --min-pids 3)
+endif()
+
+run_or_die(${NULPA} prof-summary --input ${profile})
+foreach(needle "phase" "p50 ms" "p95 ms" "p99 ms" "iteration")
+  string(FIND "${last_output}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "prof-summary output missing \"${needle}\":\n${last_output}")
+  endif()
+endforeach()

@@ -1,0 +1,485 @@
+// Tests for the span profiler (observe/profiler.hpp) and the metrics
+// histograms (observe/metrics.hpp): the pluggable clock pins deterministic
+// timestamps, per-thread buffers lose no spans under the thread pool or the
+// sharded runner, pid/tid attribution is well-formed, and — the acceptance
+// bar — labels and PerfCounters are byte-identical with profiling on or
+// off at any backend/thread/shard count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/nulpa.hpp"
+#include "core/sharded.hpp"
+#include "graph/generators.hpp"
+#include "observe/metrics.hpp"
+#include "observe/profiler.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nulpa {
+namespace {
+
+const Graph& web() {
+  static const Graph g = generate_web(2000, 6, 0.85, 7);
+  return g;
+}
+
+/// Scriptable clock: now_ns() returns the set value, advancing by `step`
+/// per call (step 0 freezes time). Atomic so pool workers may read it.
+class FakeClock : public observe::ClockSource {
+ public:
+  explicit FakeClock(std::uint64_t start = 0, std::uint64_t step = 0)
+      : now_(start), step_(step) {}
+  std::uint64_t now_ns() override { return now_.fetch_add(step_); }
+  void set(std::uint64_t ns) { now_.store(ns); }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+  std::uint64_t step_;
+};
+
+/// Installs a clock for the test body and restores the previous one on
+/// exit (tests must never leak a dead clock into the process default).
+class ScopedClock {
+ public:
+  explicit ScopedClock(observe::ClockSource* clock)
+      : prev_(observe::set_clock(clock)) {}
+  ~ScopedClock() { observe::set_clock(prev_); }
+  ScopedClock(const ScopedClock&) = delete;
+  ScopedClock& operator=(const ScopedClock&) = delete;
+
+ private:
+  observe::ClockSource* prev_;
+};
+
+/// Enables capture for the test body; disables and clears on exit so no
+/// test leaks an enabled profiler into its neighbours.
+class ScopedProfiling {
+ public:
+  ScopedProfiling() { observe::ProfilerRegistry::instance().enable(); }
+  ~ScopedProfiling() {
+    observe::ProfilerRegistry::instance().disable();
+    observe::ProfilerRegistry::instance().clear();
+  }
+};
+
+std::vector<observe::ProfSpanRecord> named(
+    const std::vector<observe::ProfSpanRecord>& spans, const char* name) {
+  std::vector<observe::ProfSpanRecord> out;
+  for (const auto& r : spans) {
+    if (std::string(r.name) == name) out.push_back(r);
+  }
+  return out;
+}
+
+TEST(Clock, DefaultIsSteadyAndMonotone) {
+  auto& clock = observe::active_clock();
+  const std::uint64_t a = clock.now_ns();
+  const std::uint64_t b = clock.now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Clock, SetClockSwapsAndRestores) {
+  FakeClock fake(123);
+  observe::ClockSource* prev = observe::set_clock(&fake);
+  EXPECT_EQ(observe::active_clock().now_ns(), 123u);
+  // nullptr restores the steady default.
+  observe::set_clock(nullptr);
+  EXPECT_NE(&observe::active_clock(), static_cast<observe::ClockSource*>(
+                                          &fake));
+  observe::set_clock(prev);
+}
+
+TEST(Clock, ScriptedClockPinsSpanTimestamps) {
+  FakeClock clock(1000);
+  ScopedClock guard(&clock);
+  ScopedProfiling prof;
+  {
+    observe::ProfSpan span("scripted", "arg", 42);  // start = 1000
+    clock.set(4000);
+  }  // dur = 3000
+  {
+    observe::ProfPidScope pid(2);                  // -> pid 3
+    observe::ProfSpan span("scripted.sharded");    // start = 4000
+    clock.set(4500);
+  }  // dur = 500
+  const auto spans = observe::ProfilerRegistry::instance().drain();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "scripted");
+  EXPECT_EQ(spans[0].start_ns, 1000u);
+  EXPECT_EQ(spans[0].dur_ns, 3000u);
+  EXPECT_EQ(spans[0].pid, 0u);
+  EXPECT_STREQ(spans[0].arg_name, "arg");
+  EXPECT_EQ(spans[0].arg, 42u);
+  EXPECT_STREQ(spans[1].name, "scripted.sharded");
+  EXPECT_EQ(spans[1].start_ns, 4000u);
+  EXPECT_EQ(spans[1].dur_ns, 500u);
+  EXPECT_EQ(spans[1].pid, 3u);  // shard 2 -> lane 3
+  EXPECT_EQ(spans[0].tid, spans[1].tid) << "same emitting thread";
+}
+
+TEST(Clock, SpanTimerReadsTheActiveClock) {
+  FakeClock clock(5000);
+  ScopedClock guard(&clock);
+  observe::SpanTimer t;
+  EXPECT_EQ(t.ns(), 0u);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+  clock.set(5'000'000'000 + 5000);
+  EXPECT_DOUBLE_EQ(t.seconds(), 5.0);
+  clock.set(7000);
+  t.reset();
+  clock.set(9000);
+  EXPECT_EQ(t.ns(), 2000u);
+}
+
+TEST(Clock, FrozenClockZeroesTracerSecondsDeterministically) {
+  // Satellite: the tracer's `seconds` stamps flow through the injected
+  // clock, so a frozen clock makes the full event stream reproducible.
+  FakeClock frozen(1'000'000);
+  ScopedClock guard(&frozen);
+  observe::CollectingTracer sink;
+  const auto r = nu_lpa(web(), NuLpaConfig{}, &sink);
+  ASSERT_FALSE(sink.events().empty());
+  for (const auto& ev : sink.events()) {
+    EXPECT_DOUBLE_EQ(ev.seconds, 0.0);
+  }
+  // Frozen time must not perturb the algorithm itself.
+  EXPECT_EQ(r.labels, nu_lpa(web()).labels);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+TEST(Histogram, ExactBelowSixteen) {
+  observe::Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+  // With one sample per exact bucket the p-th percentile lands inside
+  // bucket floor(p/100 * 16); spot-check the median region.
+  EXPECT_GE(h.percentile(50.0), 7.0);
+  EXPECT_LE(h.percentile(50.0), 8.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 15.0);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  const observe::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  const auto s = observe::summarize(h);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Histogram, PercentilesClampToObservedRange) {
+  observe::Histogram h;
+  h.record(1'000'000);  // a single large sample
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1'000'000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 1'000'000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.9), 1'000'000.0);
+}
+
+TEST(Histogram, PercentileRelativeErrorIsBounded) {
+  // Log bucketing with 16 sub-buckets per octave: any percentile is within
+  // one sub-bucket width (~6.25% relative) of the true order statistic.
+  observe::Histogram h;
+  for (std::uint64_t v = 1; v <= 10'000; ++v) h.record(v * 1000);
+  const double p50 = h.percentile(50.0);
+  EXPECT_NEAR(p50, 5'000'000.0, 0.07 * 5'000'000.0);
+  const double p99 = h.percentile(99.0);
+  EXPECT_NEAR(p99, 9'900'000.0, 0.07 * 9'900'000.0);
+  EXPECT_LE(h.percentile(95.0), p99);
+  EXPECT_LE(p50, h.percentile(95.0));
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  observe::Histogram a, b, combined;
+  for (std::uint64_t v : {3u, 170u, 99'000u}) {
+    a.record(v);
+    combined.record(v);
+  }
+  for (std::uint64_t v : {1u, 42u, 7'777'777u}) {
+    b.record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {10.0, 50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p));
+  }
+}
+
+TEST(Metrics, RegistryRoundTripsThroughJson) {
+  observe::MetricsRegistry reg;
+  reg.counter("spans") = 7;
+  reg.gauge("overhead_pct") = 1.25;
+  reg.histogram("lat").record(100);
+  reg.histogram("lat").record(300);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"spans\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"overhead_pct\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\":{\"count\":2"), std::string::npos);
+  std::ostringstream table;
+  reg.print_table(table, 1e-9, "s");
+  EXPECT_NE(table.str().find("p99"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded capture (satellite: spans from {1,2,8} threads all land).
+
+TEST(Profiler, SpansFromManyThreadsAllDrained) {
+  constexpr int kSpansPerWorker = 50;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    ScopedProfiling prof;
+    ThreadPool pool(threads);
+    pool.run([&](unsigned id) {
+      for (int i = 0; i < kSpansPerWorker; ++i) {
+        observe::ProfSpan span("test.work", "worker", id);
+      }
+    });
+    observe::ProfilerRegistry::instance().disable();
+    const auto spans = observe::ProfilerRegistry::instance().drain();
+    EXPECT_EQ(observe::ProfilerRegistry::instance().dropped(), 0u);
+
+    const auto work = named(spans, "test.work");
+    ASSERT_EQ(work.size(),
+              static_cast<std::size_t>(pool.size()) * kSpansPerWorker)
+        << "no span lost or torn";
+    std::set<std::uint32_t> tids;
+    for (const auto& r : work) {
+      EXPECT_GE(r.tid, 1u) << "tids are 1-based";
+      EXPECT_EQ(r.pid, 0u) << "host lane outside any shard scope";
+      tids.insert(r.tid);
+    }
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(pool.size()))
+        << "distinct tid per worker";
+    // The pool's own instrumentation attributes one pool.job span per
+    // worker dispatch (background workers only; worker 0 is the caller).
+    EXPECT_EQ(named(spans, "pool.job").size(),
+              static_cast<std::size_t>(pool.size()) - 1);
+  }
+}
+
+TEST(Profiler, DrainIsSortedAndStableAcrossEnableCycles) {
+  ScopedProfiling prof;
+  { observe::ProfSpan a("test.one"); }
+  { observe::ProfSpan b("test.two"); }
+  auto spans = observe::ProfilerRegistry::instance().drain();
+  ASSERT_GE(spans.size(), 2u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    const bool ordered =
+        spans[i - 1].tid < spans[i].tid ||
+        (spans[i - 1].tid == spans[i].tid &&
+         spans[i - 1].start_ns <= spans[i].start_ns);
+    EXPECT_TRUE(ordered) << "drain() sorts by (tid, start_ns)";
+  }
+  // enable() starts a fresh capture: prior spans are discarded.
+  observe::ProfilerRegistry::instance().enable();
+  { observe::ProfSpan c("test.three"); }
+  spans = observe::ProfilerRegistry::instance().drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "test.three");
+}
+
+TEST(Profiler, DisabledSpansCostNoRecords) {
+  observe::ProfilerRegistry::instance().clear();
+  ASSERT_FALSE(observe::ProfilerRegistry::enabled());
+  { observe::ProfSpan span("test.invisible"); }
+  EXPECT_TRUE(observe::ProfilerRegistry::instance().drain().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Shard attribution (satellite: {1,4} shards, distinct pid per shard).
+
+TEST(Profiler, ShardedRunsGetDistinctPidPerShard) {
+  for (std::uint32_t shards : {1u, 4u}) {
+    SCOPED_TRACE(shards);
+    ScopedProfiling prof;
+    sharded_lpa(web(), ShardedConfig{}.with_shards(shards));
+    observe::ProfilerRegistry::instance().disable();
+    const auto spans = observe::ProfilerRegistry::instance().drain();
+
+    std::set<std::uint32_t> launch_pids;
+    for (const auto& r : named(spans, "shard.launch")) {
+      launch_pids.insert(r.pid);
+    }
+    std::set<std::uint32_t> expected;
+    for (std::uint32_t s = 0; s < shards; ++s) expected.insert(s + 1);
+    EXPECT_EQ(launch_pids, expected) << "pid = shard + 1, host stays 0";
+
+    // Run-level spans stay on the host lane.
+    const auto runs = named(spans, "run.sharded");
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].pid, 0u);
+    if (shards > 1) {
+      EXPECT_FALSE(named(spans, "exchange.barrier").empty());
+      EXPECT_FALSE(named(spans, "comm.serialize").empty());
+      EXPECT_FALSE(named(spans, "comm.apply").empty());
+    }
+  }
+}
+
+TEST(Profiler, ParallelBackendTagsWorkerTids) {
+  // The lockstep backend schedules shards over ThreadPool::global(); size
+  // it like the CLI's --threads flag does (restored below) so the test is
+  // meaningful on single-CPU hosts too.
+  ThreadPool::global().resize(4);
+  ScopedProfiling prof;
+  NuLpaConfig cfg;
+  cfg.exec.backend = simt::ExecPolicy::Backend::kParallel;
+  cfg.exec.threads = 4;
+  nu_lpa(web(), cfg);
+  ThreadPool::global().resize(0);
+  observe::ProfilerRegistry::instance().disable();
+  const auto spans = observe::ProfilerRegistry::instance().drain();
+  std::set<std::uint32_t> tids;
+  for (const auto& r : named(spans, "simt.shard_pass")) tids.insert(r.tid);
+  EXPECT_GE(tids.size(), 2u) << "shard passes ran on multiple workers";
+  EXPECT_FALSE(named(spans, "simt.launch").empty());
+  EXPECT_FALSE(named(spans, "iteration").empty());
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance bar: profiling must not perturb the run.
+
+TEST(Profiler, LabelsAndCountersByteIdenticalOnOff) {
+  const auto plain = nu_lpa(web());
+  {
+    ScopedProfiling prof;
+    const auto profiled = nu_lpa(web());
+    EXPECT_EQ(plain.labels, profiled.labels);
+    EXPECT_EQ(plain.iterations, profiled.iterations);
+    EXPECT_EQ(plain.counters, profiled.counters);
+    EXPECT_EQ(plain.hash_stats, profiled.hash_stats);
+    EXPECT_FALSE(observe::ProfilerRegistry::instance().drain().empty());
+  }
+
+  // Parallel backend, multiple thread counts.
+  NuLpaConfig par;
+  par.exec.backend = simt::ExecPolicy::Backend::kParallel;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    par.exec.threads = threads;
+    const auto base = nu_lpa(web(), par);
+    EXPECT_EQ(base.labels, plain.labels) << "backend determinism holds";
+    ScopedProfiling prof;
+    const auto profiled = nu_lpa(web(), par);
+    EXPECT_EQ(base.labels, profiled.labels);
+    EXPECT_EQ(base.counters, profiled.counters);
+  }
+}
+
+TEST(Profiler, ShardedByteIdenticalOnOff) {
+  for (std::uint32_t shards : {1u, 4u}) {
+    SCOPED_TRACE(shards);
+    const auto cfg = ShardedConfig{}.with_shards(shards);
+    const auto plain = sharded_lpa(web(), cfg);
+    ScopedProfiling prof;
+    const auto profiled = sharded_lpa(web(), cfg);
+    EXPECT_EQ(plain.labels, profiled.labels);
+    EXPECT_EQ(plain.iterations, profiled.iterations);
+    EXPECT_EQ(plain.counters, profiled.counters);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace writing and reading.
+
+TEST(Profiler, ChromeTraceRoundTrip) {
+  FakeClock clock(10'000);
+  ScopedClock guard(&clock);
+  ScopedProfiling prof;
+  observe::set_thread_name("round-trip-main");
+  {
+    observe::ProfSpan outer("test.outer", "items", 9);
+    clock.set(20'000);
+    {
+      observe::ProfPidScope pid(0);  // shard 0 -> pid 1
+      observe::ProfSpan inner("test.inner");
+      clock.set(25'000);
+    }
+    clock.set(40'000);
+  }
+  std::ostringstream os;
+  observe::ProfilerRegistry::instance().write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("round-trip-main"), std::string::npos);
+  EXPECT_NE(json.find("\"items\":9"), std::string::npos);
+
+  std::istringstream is(json);
+  const auto spans = observe::parse_chrome_trace(is);
+  ASSERT_EQ(spans.size(), 2u);
+  // ts is normalized to the earliest span and scaled to microseconds.
+  const auto& outer = spans[0].name == "test.outer" ? spans[0] : spans[1];
+  const auto& inner = spans[0].name == "test.outer" ? spans[1] : spans[0];
+  EXPECT_EQ(outer.name, "test.outer");
+  EXPECT_DOUBLE_EQ(outer.ts_us, 0.0);
+  EXPECT_DOUBLE_EQ(outer.dur_us, 30.0);
+  EXPECT_EQ(outer.pid, 0u);
+  EXPECT_EQ(inner.name, "test.inner");
+  EXPECT_DOUBLE_EQ(inner.ts_us, 10.0);
+  EXPECT_DOUBLE_EQ(inner.dur_us, 5.0);
+  EXPECT_EQ(inner.pid, 1u);
+}
+
+TEST(Profiler, ParseRejectsMalformedTraces) {
+  std::istringstream junk("this is not json");
+  EXPECT_THROW(observe::parse_chrome_trace(junk), std::runtime_error);
+  std::istringstream missing(
+      R"({"traceEvents":[{"ph":"X","name":"a","ts":1}]})");
+  EXPECT_THROW(observe::parse_chrome_trace(missing), std::runtime_error)
+      << "complete events must carry name/ts/dur/pid/tid";
+  std::istringstream truncated(R"({"traceEvents":[{"ph":"X")");
+  EXPECT_THROW(observe::parse_chrome_trace(truncated), std::runtime_error);
+}
+
+TEST(Profiler, ParseAcceptsBareArraysAndSkipsMetadata) {
+  std::istringstream is(
+      R"([{"ph":"M","name":"process_name","pid":1,"args":{"name":"x"}},)"
+      R"({"ph":"X","name":"k","ts":2.5,"dur":1.25,"pid":1,"tid":3}])");
+  const auto spans = observe::parse_chrome_trace(is);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "k");
+  EXPECT_DOUBLE_EQ(spans[0].ts_us, 2.5);
+  EXPECT_DOUBLE_EQ(spans[0].dur_us, 1.25);
+  EXPECT_EQ(spans[0].pid, 1u);
+  EXPECT_EQ(spans[0].tid, 3u);
+}
+
+TEST(Profiler, SummaryPrintsPercentileColumnsPerPhase) {
+  std::vector<observe::ParsedSpan> spans;
+  for (int i = 1; i <= 100; ++i) {
+    spans.push_back({"phase.a", 0.0, static_cast<double>(i), 0, 1});
+  }
+  spans.push_back({"phase.b", 0.0, 10'000.0, 0, 1});
+  std::ostringstream os;
+  observe::print_prof_summary(spans, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("phase.a"), std::string::npos);
+  EXPECT_NE(out.find("phase.b"), std::string::npos);
+  EXPECT_NE(out.find("p50"), std::string::npos);
+  EXPECT_NE(out.find("p95"), std::string::npos);
+  EXPECT_NE(out.find("p99"), std::string::npos);
+  // phase.b has more total time, so it sorts first.
+  EXPECT_LT(out.find("phase.b"), out.find("phase.a"));
+}
+
+}  // namespace
+}  // namespace nulpa

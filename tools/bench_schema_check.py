@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Schema check for the committed bench baselines.
+
+Validates every ``bench/baselines/BENCH_*.json`` against the structure
+``tools/bench_check.py`` consumes, so a malformed baseline fails fast in
+the default ctest run instead of surfacing as a confusing perf-gate error
+months later (the perf gates themselves stay behind -DNULPA_PERF_TESTS=ON).
+
+Checked per file:
+
+* parses as JSON;
+* ``labels_identical`` is present and is the boolean ``true`` (a committed
+  baseline recording diverged labels is a recorded correctness bug);
+* every ``metrics`` entry has a numeric ``value`` and a ``kind`` in
+  {ratio, exact, info}; ratio entries must record >= 1.0 (bench_check
+  refuses to anchor a gate on a recorded regression);
+* ``graphs`` is a non-empty list whose entries carry ``name`` and, for
+  both ``reference_mode`` and ``optimized_mode``, an object with a
+  numeric ``seconds`` (what the calibrated wall-time gate reads);
+* baselines with neither ``metrics`` nor ``headline`` are rejected —
+  there would be nothing machine-independent to gate.
+
+Usage: bench_schema_check.py <baselines-dir>
+"""
+
+import json
+import numbers
+import sys
+from pathlib import Path
+
+
+def fail(path: Path, msg: str) -> None:
+    print(f"bench_schema_check: FAIL: {path.name}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path: Path) -> None:
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail(path, f"not valid JSON: {e}")
+
+    if doc.get("labels_identical") is not True:
+        fail(path, "labels_identical must be present and true")
+
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict) or not metrics:
+            fail(path, "metrics must be a non-empty object")
+        for name, spec in metrics.items():
+            if not isinstance(spec, dict):
+                fail(path, f"metric {name!r} is not an object")
+            if not isinstance(spec.get("value"), numbers.Real):
+                fail(path, f"metric {name!r} has no numeric value")
+            kind = spec.get("kind", "ratio")
+            if kind not in ("ratio", "exact", "info"):
+                fail(path, f"metric {name!r} has unknown kind {kind!r}")
+            if kind == "ratio" and float(spec["value"]) < 1.0:
+                fail(path, f"metric {name!r}: ratio {spec['value']} < 1.0 "
+                           f"is a recorded regression; use kind 'info'")
+    elif "headline" not in doc:
+        fail(path, "needs a metrics or headline object to gate on")
+
+    ref_mode = doc.get("reference_mode", "full")
+    opt_mode = doc.get("optimized_mode", "compacted")
+    graphs = doc.get("graphs")
+    if not isinstance(graphs, list) or not graphs:
+        fail(path, "graphs must be a non-empty list")
+    for g in graphs:
+        if not isinstance(g.get("name"), str):
+            fail(path, "graph entry without a name")
+        for mode in (ref_mode, opt_mode):
+            run = g.get(mode)
+            if not isinstance(run, dict):
+                fail(path, f"{g['name']}: missing mode object {mode!r}")
+            if not isinstance(run.get("seconds"), numbers.Real):
+                fail(path, f"{g['name']}/{mode}: no numeric seconds")
+
+    print(f"bench_schema_check: {path.name}: ok "
+          f"({len(graphs)} graphs, modes {ref_mode}/{opt_mode})")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    baselines = sorted(Path(sys.argv[1]).glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench_schema_check: FAIL: no BENCH_*.json under "
+              f"{sys.argv[1]}", file=sys.stderr)
+        sys.exit(1)
+    for path in baselines:
+        check_file(path)
+    print(f"bench_schema_check: PASS ({len(baselines)} baselines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,8 +12,12 @@
 //                  [--shards N] [--shard-mode contiguous|hash]
 //                  [--comm-mode auto|none|bitset|offsets|full]
 //                  [--trace run.jsonl] [--metrics table.txt]
+//                  [--profile prof.json] [--metrics-histograms]
+//                  ("run" is accepted as an alias of "detect")
 //   nulpa trace-summary --input run.jsonl    (per-iteration table from a
 //                                             --trace capture; "-" = stdin)
+//   nulpa prof-summary  --input prof.json    (per-phase p50/p95/p99 table
+//                                             from a --profile capture)
 //   nulpa convert  --input g.mtx --output g.bin       (to binary CSR)
 //   nulpa info     --input g.mtx                      (graph statistics)
 //   nulpa generate --kind web|social|road|kmer|er --vertices N --output g.mtx
@@ -22,6 +26,13 @@
 // kernel launches, counter deltas); --metrics writes the human-readable
 // per-iteration table. "-" sends either stream to stdout. The trace schema
 // is documented in DESIGN.md ("Trace schema").
+//
+// --profile enables the host-side span profiler and writes a Chrome
+// trace-event JSON timeline (open in Perfetto / chrome://tracing; one
+// process lane per shard, one thread lane per simulator worker).
+// --metrics-histograms prints per-phase latency percentiles from the same
+// spans. Both are pure observation: labels and counters are byte-identical
+// with profiling on or off. See DESIGN.md "Profiling & metrics".
 //
 // --shards N > 1 simulates N devices: the graph is edge-cut (--shard-mode),
 // each shard runs its own simulated device, and only changed labels cross
@@ -52,6 +63,7 @@
 #include "graph/io.hpp"
 #include "graph/metis_io.hpp"
 #include "graph/stats.hpp"
+#include "observe/profiler.hpp"
 #include "observe/trace.hpp"
 #include "perfmodel/machine.hpp"
 #include "quality/communities.hpp"
@@ -66,8 +78,8 @@ using namespace nulpa;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: nulpa <detect|trace-summary|convert|info|generate> "
-               "--input FILE [options]\n"
+               "usage: nulpa <detect|trace-summary|prof-summary|convert|"
+               "info|generate> --input FILE [options]\n"
                "run `nulpa` with no arguments for the full option list "
                "(see the header of tools/nulpa_cli.cpp)\n");
   return 1;
@@ -135,8 +147,34 @@ int cmd_detect(const CliArgs& args) {
   apply_threads(opts.exec);
   if (tracer.enabled()) opts.tracer = &tracer;
 
+  // Span profiling (host-side only; labels/counters unaffected).
+  const bool profiling =
+      !opts.profile_file.empty() || opts.metrics_histograms;
+  if (profiling) observe::ProfilerRegistry::instance().enable();
+
   const RunReport r = algo->run(g, opts);
   if (table) table->flush();
+  if (profiling) {
+    auto& prof = observe::ProfilerRegistry::instance();
+    prof.disable();
+    if (!opts.profile_file.empty()) {
+      std::ofstream pf;
+      prof.write_chrome_trace(open_sink(pf, opts.profile_file));
+    }
+    if (opts.metrics_histograms) {
+      std::vector<observe::ParsedSpan> spans;
+      for (const observe::ProfSpanRecord& rec : prof.drain()) {
+        observe::ParsedSpan s;
+        s.name = rec.name;
+        s.ts_us = static_cast<double>(rec.start_ns) / 1000.0;
+        s.dur_us = static_cast<double>(rec.dur_ns) / 1000.0;
+        s.pid = rec.pid;
+        s.tid = rec.tid;
+        spans.push_back(std::move(s));
+      }
+      observe::print_prof_summary(spans, std::cout);
+    }
+  }
 
   std::printf("algorithm:   %s\n", flags.algo.c_str());
   std::printf("graph:       %u vertices, %llu arcs\n", g.num_vertices(),
@@ -155,6 +193,9 @@ int cmd_detect(const CliArgs& args) {
   }
   if (!flags.metrics_file.empty() && flags.metrics_file != "-") {
     std::printf("metrics:     %s\n", flags.metrics_file.c_str());
+  }
+  if (!flags.profile_file.empty() && flags.profile_file != "-") {
+    std::printf("profile:     %s\n", flags.profile_file.c_str());
   }
 
   if (const std::string out = args.get("output", ""); !out.empty()) {
@@ -183,6 +224,22 @@ int cmd_trace_summary(const CliArgs& args) {
   // The JSONL already carries modeled seconds (m_total_s) when the capture
   // had a machine model; don't re-model on read.
   observe::print_iteration_table(events, std::cout, std::nullopt);
+  return 0;
+}
+
+int cmd_prof_summary(const CliArgs& args) {
+  const std::string path = args.get("input", "");
+  if (path.empty()) throw std::runtime_error("--input is required");
+  std::vector<observe::ParsedSpan> spans;
+  if (path == "-") {
+    spans = observe::parse_chrome_trace(std::cin);
+  } else {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open: " + path);
+    spans = observe::parse_chrome_trace(is);
+  }
+  if (spans.empty()) throw std::runtime_error("no spans in " + path);
+  observe::print_prof_summary(spans, std::cout);
   return 0;
 }
 
@@ -257,8 +314,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const CliArgs args(argc - 1, argv + 1);
   try {
-    if (command == "detect") return cmd_detect(args);
+    if (command == "detect" || command == "run") return cmd_detect(args);
     if (command == "trace-summary") return cmd_trace_summary(args);
+    if (command == "prof-summary") return cmd_prof_summary(args);
     if (command == "convert") return cmd_convert(args);
     if (command == "info") return cmd_info(args);
     if (command == "generate") return cmd_generate(args);

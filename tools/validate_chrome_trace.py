@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Validates a profiler capture as Chrome trace-event JSON.
+
+The contract `nulpa run --profile out.json` promises: the file is a single
+JSON document Perfetto / chrome://tracing will accept — a ``traceEvents``
+array whose complete events ("ph":"X") all carry name/ts/dur/pid/tid, with
+process/thread metadata ("ph":"M") naming the lanes.
+
+Usage: validate_chrome_trace.py <trace.json> [--min-pids N] [--min-tids N]
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_chrome_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--min-pids", type=int, default=1,
+                    help="require at least N distinct pids across spans")
+    ap.add_argument("--min-tids", type=int, default=1,
+                    help="require at least N distinct tids across spans")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents array")
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        fail("no complete ('ph':'X') events")
+    for i, e in enumerate(spans):
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                fail(f"span {i} ({e.get('name', '?')}) missing {key!r}")
+        for key in ("ts", "dur", "pid", "tid"):
+            if not isinstance(e[key], numbers.Real):
+                fail(f"span {i}: {key} is not numeric")
+
+    meta = [e for e in events if e.get("ph") == "M"]
+    names = {e.get("name") for e in meta}
+    if "process_name" not in names or "thread_name" not in names:
+        fail("missing process_name/thread_name metadata events")
+
+    pids = sorted({e["pid"] for e in spans})
+    tids = sorted({e["tid"] for e in spans})
+    if len(pids) < args.min_pids:
+        fail(f"expected >= {args.min_pids} distinct pids, got {pids}")
+    if len(tids) < args.min_tids:
+        fail(f"expected >= {args.min_tids} distinct tids, got {tids}")
+
+    print(f"validate_chrome_trace: ok: {len(spans)} spans, "
+          f"pids={pids}, tids={tids}, "
+          f"phases={len({e['name'] for e in spans})}")
+
+
+if __name__ == "__main__":
+    main()
